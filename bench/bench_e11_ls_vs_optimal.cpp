@@ -1,0 +1,82 @@
+// Experiment E11 — the empirical face of Lemma 1: how close is Graham list
+// scheduling (and hence MINPROCS's processor counts) to OPTIMAL?
+//
+// For random small DAGs the exact non-preemptive optimum is computed by
+// branch and bound (listsched/optimal_makespan.h) and compared against the
+// LS makespan under each priority policy. Lemma 1 guarantees
+// LS ≤ (2 − 1/m)·OPT; the measured ratios show how pessimistic that factor
+// is for realistic DAG shapes — the same story E4/E7 tell at system level,
+// here isolated to the high-density phase's core primitive.
+#include <iostream>
+
+#include "fedcons/gen/dag_gen.h"
+#include "fedcons/listsched/list_scheduler.h"
+#include "fedcons/listsched/optimal_makespan.h"
+#include "fedcons/util/flags.h"
+#include "fedcons/util/rng.h"
+#include "fedcons/util/stats.h"
+#include "fedcons/util/table.h"
+
+using namespace fedcons;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool csv = flags.get_bool("csv", false);
+  const int samples = static_cast<int>(flags.get_int("samples", 250));
+
+  std::cout << "== E11: LS makespan vs exact optimum on random layered DAGs "
+               "(" << samples << " DAGs per row, |V| <= 12)\n";
+  Table t({"m", "policy", "mean LS/OPT", "p95 LS/OPT", "max LS/OPT",
+           "LS==OPT", "bound 2-1/m"});
+  Rng rng(271828);
+  for (int m : {2, 3, 4}) {
+    struct PolicyRow {
+      ListPolicy policy;
+      OnlineStats ratio;
+      std::vector<double> ratios;
+      int exact_hits = 0;
+    };
+    std::vector<PolicyRow> rows{{ListPolicy::kVertexOrder, {}, {}, 0},
+                                {ListPolicy::kCriticalPath, {}, {}, 0},
+                                {ListPolicy::kLongestWcet, {}, {}, 0}};
+    int measured = 0;
+    while (measured < samples) {
+      LayeredDagParams p;
+      p.min_layers = 2;
+      p.max_layers = 4;
+      p.min_width = 1;
+      p.max_width = 3;
+      p.max_wcet = 20;
+      Dag g = generate_layered_dag(rng, p);
+      if (g.num_vertices() > 12) continue;
+      auto opt = optimal_makespan(g, m);
+      if (!opt.exact) continue;
+      ++measured;
+      for (auto& row : rows) {
+        Time ls = list_schedule(g, m, row.policy).makespan();
+        double ratio = static_cast<double>(ls) /
+                       static_cast<double>(opt.makespan);
+        row.ratio.add(ratio);
+        row.ratios.push_back(ratio);
+        if (ls == opt.makespan) ++row.exact_hits;
+      }
+    }
+    for (auto& row : rows) {
+      t.add_row({fmt_int(m), to_string(row.policy),
+                 fmt_double(row.ratio.mean()),
+                 fmt_double(percentile(row.ratios, 95)),
+                 fmt_double(row.ratio.max()),
+                 fmt_ratio(static_cast<std::size_t>(row.exact_hits),
+                           static_cast<std::size_t>(measured)),
+                 fmt_double(2.0 - 1.0 / static_cast<double>(m))});
+    }
+  }
+  t.print(std::cout);
+  if (csv) t.print_csv(std::cout);
+  std::cout << "\nExpected shape: every max ratio sits strictly below the "
+               "2 − 1/m Graham bound; critical-path priority tracks OPT "
+               "closest; LS hits the exact optimum on a large fraction of "
+               "instances — the slack behind MINPROCS's near-ceil(delta) "
+               "processor counts in E7.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Experiment E6 — run-time validation of the analysis (paper §IV-A and
+// footnote 2).
+//
+// Part 1: every random system FEDCONS accepts is simulated on the full
+// platform under four release/execution regimes; the analysis is vindicated
+// by ZERO deadline misses across millions of simulated jobs.
+// Part 2: the Graham-anomaly demonstration — the same accepted allocation,
+// dispatched by re-running LS online with shorter actual execution times,
+// DOES miss deadlines, justifying the template-replay run-time rule.
+#include <iostream>
+
+#include "fedcons/expr/acceptance.h"
+#include "fedcons/gen/taskset_gen.h"
+#include "fedcons/listsched/anomaly.h"
+#include "fedcons/sim/system_sim.h"
+#include "fedcons/util/flags.h"
+#include "fedcons/util/table.h"
+
+using namespace fedcons;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool csv = flags.get_bool("csv", false);
+  const int systems = static_cast<int>(flags.get_int("systems", 40));
+  const Time horizon = flags.get_int("horizon", 50000);
+
+  std::cout << "== E6.1: accepted systems never miss (federated run-time "
+               "composition)\n";
+  Table t({"release", "exec model", "systems", "dag-jobs simulated",
+           "deadline misses"});
+  Rng master(2025);
+  TaskSetParams params;
+  params.num_tasks = 12;
+  params.total_utilization = 4.0;
+  params.utilization_cap = 6.0;
+  params.period_min = 50;
+  params.period_max = 5000;
+  params.topology = DagTopology::kMixed;
+
+  struct Regime {
+    const char* release;
+    const char* exec;
+    ReleaseModel rm;
+    ExecModel em;
+  };
+  const Regime regimes[] = {
+      {"periodic", "always-WCET", ReleaseModel::kPeriodic,
+       ExecModel::kAlwaysWcet},
+      {"periodic", "uniform[0.4,1]", ReleaseModel::kPeriodic,
+       ExecModel::kUniform},
+      {"sporadic", "always-WCET", ReleaseModel::kSporadic,
+       ExecModel::kAlwaysWcet},
+      {"sporadic", "uniform[0.4,1]", ReleaseModel::kSporadic,
+       ExecModel::kUniform},
+  };
+  for (const auto& regime : regimes) {
+    std::uint64_t jobs = 0, misses = 0;
+    int accepted = 0;
+    Rng rng = master.split();
+    int tried = 0;
+    while (accepted < systems && tried < systems * 20) {
+      ++tried;
+      Rng sys_rng = rng.split();
+      TaskSystem sys = generate_task_system(sys_rng, params);
+      auto alloc = fedcons_schedule(sys, 8);
+      if (!alloc.success) continue;
+      ++accepted;
+      SimConfig cfg;
+      cfg.horizon = horizon;
+      cfg.release = regime.rm;
+      cfg.exec = regime.em;
+      cfg.exec_lo = 0.4;
+      cfg.seed = 7000 + static_cast<std::uint64_t>(accepted);
+      SystemSimReport rep = simulate_system(sys, alloc, cfg);
+      jobs += rep.total.jobs_released;
+      misses += rep.total.deadline_misses;
+    }
+    t.add_row({regime.release, regime.exec, fmt_int(accepted),
+               fmt_int(static_cast<long long>(jobs)),
+               fmt_int(static_cast<long long>(misses))});
+  }
+  t.print(std::cout);
+  if (csv) t.print_csv(std::cout);
+
+  std::cout << "\n== E6.2: Graham anomaly — template replay vs online LS "
+               "re-run (paper footnote 2)\n";
+  AnomalyInstance inst = make_graham_anomaly_instance();
+  TaskSystem sys;
+  sys.add(DagTask(inst.dag, inst.wcet_makespan, inst.wcet_makespan,
+                  "graham-9job"));
+  auto alloc = fedcons_schedule(sys, inst.processors);
+  Table t2({"dispatch", "exec times", "dag-job completion", "deadline",
+            "verdict"});
+  // Template replay with the anomalous reduced execution times.
+  std::vector<DagJobRelease> one(1);
+  one[0].release = 0;
+  one[0].exec_times = inst.reduced_exec_times;
+  SimConfig cfg;
+  cfg.horizon = 100;
+  SimStats replay = simulate_cluster(sys[0], alloc.clusters[0].sigma, one,
+                                     cfg, ClusterDispatch::kTemplateReplay);
+  SimStats rerun = simulate_cluster(sys[0], alloc.clusters[0].sigma, one, cfg,
+                                    ClusterDispatch::kOnlineRerun);
+  t2.add_row({"template replay (σ lookup)", "reduced by 1 tick each",
+              fmt_int(replay.max_response_time), fmt_int(inst.wcet_makespan),
+              replay.deadline_misses == 0 ? "MEETS" : "MISSES"});
+  t2.add_row({"online LS re-run", "reduced by 1 tick each",
+              fmt_int(rerun.max_response_time), fmt_int(inst.wcet_makespan),
+              rerun.deadline_misses == 0 ? "MEETS" : "MISSES"});
+  t2.print(std::cout);
+  if (csv) t2.print_csv(std::cout);
+  std::cout << "\nExpected shape: zero misses everywhere in E6.1; in E6.2 the "
+               "online re-run completes at "
+            << inst.reduced_makespan << " > D = " << inst.wcet_makespan
+            << " although every job ran SHORTER than its WCET.\n";
+  return 0;
+}

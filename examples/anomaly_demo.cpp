@@ -1,0 +1,65 @@
+// Demonstration of Graham's timing anomaly — why FEDCONS replays template
+// schedules instead of re-running the list scheduler online (paper,
+// footnote 2).
+//
+// Walks through the classic 9-job instance slot by slot: the WCET-based
+// template finishes at 12; when every job runs one tick FASTER, an online
+// re-run of LS finishes at 13 and would miss a deadline of 12.
+#include <iostream>
+
+#include "fedcons/listsched/anomaly.h"
+#include "fedcons/listsched/list_scheduler.h"
+#include "fedcons/sim/gantt.h"
+#include "fedcons/util/table.h"
+
+using namespace fedcons;
+
+namespace {
+
+void print_schedule(const char* title, const TemplateSchedule& s) {
+  std::cout << title << " (makespan " << s.makespan() << ", "
+            << s.num_processors() << " processors):\n";
+  Table t({"job", "processor", "start", "finish"});
+  for (const auto& slot : s.jobs()) {
+    t.add_row({"v" + std::to_string(slot.vertex), fmt_int(slot.processor),
+               fmt_int(slot.start), fmt_int(slot.finish)});
+  }
+  t.print(std::cout);
+  std::cout << render_gantt(s) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  AnomalyInstance inst = make_graham_anomaly_instance();
+
+  std::cout << "Graham's 9-job anomaly instance on " << inst.processors
+            << " processors.\nDAG:\n"
+            << inst.dag.to_dot("graham") << "\n";
+
+  TemplateSchedule wcet_schedule =
+      list_schedule(inst.dag, inst.processors);
+  print_schedule("List schedule with full WCETs", wcet_schedule);
+
+  TemplateSchedule reduced_schedule = list_schedule_with_exec_times(
+      inst.dag, inst.processors, inst.reduced_exec_times);
+  print_schedule("List schedule RE-RUN with every job one tick shorter",
+                 reduced_schedule);
+
+  std::cout << "Every job became FASTER, yet the re-run schedule grew from "
+            << inst.wcet_makespan << " to " << inst.reduced_makespan
+            << " ticks.\n"
+            << "With a relative deadline of " << inst.wcet_makespan
+            << ", online re-scheduling misses; FEDCONS's rule — replay the\n"
+            << "WCET template as a lookup table and idle early-completing "
+               "slots — is immune:\n";
+
+  Time replay_completion = 0;
+  for (const auto& slot : wcet_schedule.jobs()) {
+    replay_completion = std::max(
+        replay_completion, slot.start + inst.reduced_exec_times[slot.vertex]);
+  }
+  std::cout << "  template-replay completion with the same shorter times: "
+            << replay_completion << " <= " << inst.wcet_makespan << "  OK\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Demonstration of the arbitrary-deadline extension (paper §V future work):
+// a streaming pipeline whose per-item latency budget exceeds its input rate.
+//
+// Scenario: a radar processing chain ingests a new dwell every 2 ms but may
+// take up to 10 ms to fully process one (D = 5·T) — so up to five dwells are
+// in flight simultaneously. Constrained-deadline FEDCONS cannot express
+// this; the pipelined-cluster strategy dedicates k = ⌈makespan/T⌉ template
+// instances and round-robins dag-jobs across them.
+#include <iostream>
+
+#include "fedcons/core/builders.h"
+#include "fedcons/federated/arbitrary.h"
+#include "fedcons/sim/cluster_sim.h"
+#include "fedcons/sim/gantt.h"
+
+using namespace fedcons;
+
+int main() {
+  // The per-dwell DAG (ticks = 100 µs): ingest → {beamform, doppler} →
+  // detect → track-update. vol = 86, len = 62.
+  Dag g = DagBuilder{}
+              .vertices({6, 30, 24, 20, 6})
+              .fan_out(0, {1, 2})
+              .fan_in({1, 2}, 3)
+              .edge(3, 4)
+              .build();
+  TaskSystem sys;
+  sys.add(DagTask(std::move(g), /*deadline=*/100, /*period=*/20,
+                  "radar-dwell"));
+  std::cout << sys.summary() << "\n";
+
+  // Clamping to the period is hopeless: len 62 > T 20.
+  bool clamped_ok = arbitrary_federated_schedulable(
+      sys, 64, ArbitraryStrategy::kClampToPeriod);
+  std::cout << "clamp-to-period on 64 processors: "
+            << (clamped_ok ? "schedulable" : "REJECTED (len > T)") << "\n";
+
+  // The pipelined strategy sizes instances automatically.
+  auto arb = arbitrary_federated_schedule(sys, 16,
+                                          ArbitraryStrategy::kPipelined);
+  std::cout << arb.describe(sys) << "\n";
+  if (!arb.success) return 1;
+  const auto& cluster = arb.clusters[0];
+  std::cout << "Template schedule per instance:\n"
+            << render_gantt(cluster.sigma) << "\n";
+
+  // Validate at run time: sporadic dwell arrivals, early completions; the
+  // simulator also proves no two dag-jobs ever collide on a processor.
+  SimConfig cfg;
+  cfg.horizon = 100000;
+  cfg.release = ReleaseModel::kSporadic;
+  cfg.jitter_frac = 0.25;
+  cfg.exec = ExecModel::kUniform;
+  cfg.exec_lo = 0.6;
+  Rng rng(11);
+  auto releases = generate_releases(sys[0], cfg, rng);
+  ExecutionTrace trace;
+  SimStats stats = simulate_pipelined_cluster(
+      sys[0], cluster.sigma, cluster.instances, releases, cfg, &trace);
+  auto violation = trace.validate();
+  std::cout << "Simulated " << stats.jobs_released << " dwells: "
+            << stats.deadline_misses << " deadline misses, max latency "
+            << stats.max_response_time << " ticks (budget "
+            << sys[0].deadline() << "); trace "
+            << (violation ? "INVALID: " + *violation : "validated clean")
+            << ".\n\nFirst 200 ticks across the cluster ("
+            << cluster.total_processors() << " processors, "
+            << cluster.instances << " instances):\n";
+  GanttOptions window;
+  window.end = 200;
+  std::cout << render_gantt(trace, cluster.total_processors(), window);
+  return stats.deadline_misses == 0 && !violation ? 0 : 1;
+}

@@ -1,0 +1,162 @@
+// Case study: an avionics-style flight-control workload.
+//
+// The paper's introduction motivates the sporadic DAG model with "complex
+// multi-threaded computations … naturally expressed as directed acyclic
+// graphs". This example models a representative integrated-modular-avionics
+// partition (time units: 100 µs ticks) and walks the full workflow:
+// analysis → allocation → platform sizing → run-time validation.
+//
+// Workload (periods/deadlines loosely follow classic flight-control rates):
+//   * flight-control law  — 5 ms period, 2.5 ms deadline: fork–join over the
+//     three axes with a fusion source and an actuator sink. High density:
+//     must run on a dedicated cluster.
+//   * navigation/EKF      — 20 ms period, 10 ms deadline: layered update
+//     pipeline (predict → per-sensor correct → commit).
+//   * air-data sampling   — 10 ms, tight 2 ms deadline, tiny chain.
+//   * telemetry downlink  — 100 ms, relaxed deadline, sequential frame pack.
+//   * health monitoring   — 50 ms, sporadic, small diamond.
+#include <iostream>
+
+#include "fedcons/analysis/feasibility.h"
+#include "fedcons/core/builders.h"
+#include "fedcons/federated/sensitivity.h"
+#include "fedcons/federated/speedup.h"
+#include "fedcons/sim/system_sim.h"
+#include "fedcons/util/table.h"
+
+using namespace fedcons;
+
+namespace {
+
+DagTask flight_control_law() {
+  // fuse(2) → {roll(8), pitch(8), yaw(8), filters(10)} → actuate(3)
+  Dag g = DagBuilder{}
+              .vertices({2, 8, 8, 8, 10, 3})
+              .fan_out(0, {1, 2, 3, 4})
+              .fan_in({1, 2, 3, 4}, 5)
+              .build();
+  // vol = 39, len = 15; D = 25 ticks (2.5 ms), T = 50 (5 ms): δ = 39/25 > 1.
+  return DagTask(std::move(g), 25, 50, "flight-control-law");
+}
+
+DagTask navigation_ekf() {
+  // predict(12) → {gps(6), imu(4), baro(3)} → commit(8)
+  Dag g = DagBuilder{}
+              .vertices({12, 6, 4, 3, 8})
+              .fan_out(0, {1, 2, 3})
+              .fan_in({1, 2, 3}, 4)
+              .build();
+  return DagTask(std::move(g), 100, 200, "navigation-ekf");
+}
+
+DagTask air_data() {
+  Time wcets[] = {3, 4};
+  return DagTask(make_chain(wcets), 20, 100, "air-data");
+}
+
+DagTask telemetry() {
+  Time wcets[] = {10, 14, 6};
+  return DagTask(make_chain(wcets), 600, 1000, "telemetry");
+}
+
+DagTask health_monitor() {
+  Dag g = DagBuilder{}
+              .vertices({2, 5, 4, 2})
+              .edge(0, 1)
+              .edge(0, 2)
+              .edge(1, 3)
+              .edge(2, 3)
+              .build();
+  return DagTask(std::move(g), 250, 500, "health-monitor");
+}
+
+}  // namespace
+
+int main() {
+  TaskSystem system;
+  system.add(flight_control_law());
+  system.add(navigation_ekf());
+  system.add(air_data());
+  system.add(telemetry());
+  system.add(health_monitor());
+
+  std::cout << "Avionics partition workload (1 tick = 100 us):\n"
+            << system.summary() << "\n";
+
+  // Platform sizing: smallest processor count FEDCONS accepts.
+  std::cout << "== Platform sizing\n";
+  Table sizing({"m", "necessary conditions", "FEDCONS verdict"});
+  int chosen_m = -1;
+  for (int m = 1; m <= 6; ++m) {
+    bool nec = passes_necessary_conditions(system, m);
+    bool fed = fedcons_schedulable(system, m);
+    if (fed && chosen_m < 0) chosen_m = m;
+    sizing.add_row({fmt_int(m), nec ? "pass" : "FAIL",
+                    fed ? "schedulable" : "rejected"});
+  }
+  sizing.print(std::cout);
+  if (chosen_m < 0) {
+    std::cout << "No platform up to 6 cores suffices.\n";
+    return 1;
+  }
+  std::cout << "→ deploy on " << chosen_m << " cores.\n\n";
+
+  // Show the allocation on the chosen platform.
+  FedconsResult alloc = fedcons_schedule(system, chosen_m);
+  std::cout << alloc.describe(system) << "\n";
+
+  // Safety margin: how much slower could the silicon be?
+  auto speed = min_speed(system, chosen_m,
+                         [](const TaskSystem& s, int m) {
+                           return fedcons_schedulable(s, m);
+                         });
+  if (speed.has_value()) {
+    std::cout << "Minimum processor speed for schedulability: " << *speed
+              << "x (theoretical worst-case need: "
+              << fedcons_speedup_bound(chosen_m) << "x)\n\n";
+  }
+
+  // WCET sensitivity: which task constrains the design, and by how much
+  // could each execution budget grow before the verdict flips?
+  std::cout << "== WCET sensitivity on " << chosen_m << " cores\n";
+  Table margins({"task", "WCET growth margin"});
+  SensitivityTest accept = [](const TaskSystem& s, int m) {
+    return fedcons_schedulable(s, m);
+  };
+  for (const auto& tm : wcet_sensitivity(system, chosen_m, accept)) {
+    margins.add_row({system[tm.task].name(),
+                     fmt_double(tm.margin, 2) + "x"});
+  }
+  margins.add_row({"(all tasks together)",
+                   fmt_double(system_wcet_margin(system, chosen_m, accept), 2) +
+                       "x"});
+  margins.print(std::cout);
+  std::cout << "\n";
+
+  // Run-time validation: one second of flight (10,000 ticks) with sporadic
+  // releases and variable execution times.
+  SimConfig sim;
+  sim.horizon = 10000;
+  sim.release = ReleaseModel::kSporadic;
+  sim.jitter_frac = 0.2;
+  sim.exec = ExecModel::kUniform;
+  sim.exec_lo = 0.6;
+  sim.seed = 7;
+  SystemSimReport report = simulate_system(system, alloc, sim);
+  std::cout << "Simulated 1 s of operation: " << report.total.jobs_released
+            << " dag-jobs, " << report.total.deadline_misses
+            << " deadline misses.\n";
+  for (std::size_t c = 0; c < report.cluster_stats.size(); ++c) {
+    std::cout << "  cluster " << c << ": busy "
+              << fmt_double(report.cluster_stats[c].busy_fraction * 100, 1)
+              << "%, max response "
+              << report.cluster_stats[c].max_response_time << " ticks\n";
+  }
+  for (std::size_t p = 0; p < report.shared_stats.size(); ++p) {
+    std::cout << "  shared proc " << p << ": busy "
+              << fmt_double(report.shared_stats[p].busy_fraction * 100, 1)
+              << "%, max response "
+              << report.shared_stats[p].max_response_time << " ticks\n";
+  }
+  return report.total.deadline_misses == 0 ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Demonstration of the paper's Example 2: why capacity augmentation bounds
+// are the wrong metric for constrained-deadline systems.
+//
+// The family τ(n) = { n tasks, each a single job with C = 1, D = 1, T = n }
+// satisfies both premises of a capacity augmentation bound — U_sum ≈ 1 ≤ m
+// and len_i ≤ D_i — yet at the synchronous release instant it demands n
+// units of work inside a 1-tick window. No fixed speedup rescues a single
+// processor as n grows, so "the capacity augmentation bound of any
+// scheduling algorithm is necessarily zero" and the paper adopts SPEEDUP
+// bounds instead.
+#include <iostream>
+
+#include "fedcons/analysis/feasibility.h"
+#include "fedcons/core/builders.h"
+#include "fedcons/federated/fedcons_algorithm.h"
+#include "fedcons/util/table.h"
+
+using namespace fedcons;
+
+int main() {
+  std::cout << "Paper Example 2: tau_i = single job, C=1, D=1, T=n\n\n";
+  Table t({"n", "U_sum", "len<=D", "feasible on m=n", "feasible on m=n-1",
+           "FEDCONS min m"});
+  for (int n = 2; n <= 10; ++n) {
+    TaskSystem sys = make_capacity_augmentation_counterexample(n);
+    int min_m = -1;
+    for (int m = 1; m <= n; ++m) {
+      if (fedcons_schedulable(sys, m)) {
+        min_m = m;
+        break;
+      }
+    }
+    t.add_row({fmt_int(n), sys.total_utilization().to_string(), "yes",
+               passes_necessary_conditions(sys, n) ? "maybe (nec. pass)"
+                                                   : "no",
+               passes_necessary_conditions(sys, n - 1) ? "maybe" : "NO",
+               fmt_int(min_m)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nReading: total utilization stays at 1 while the processors\n"
+         "required grow linearly with n — a speed-b single processor (any\n"
+         "fixed b) fails once n > b, so no capacity augmentation bound\n"
+         "exists. FEDCONS handles the family by dedicating one processor\n"
+         "per task (each has density exactly 1).\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "fedcons/analysis/dbf.h"
+
+#include <algorithm>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+Time dbf(const SporadicTask& task, Time t) {
+  if (t < task.deadline) return 0;
+  Time jobs = floor_div(t - task.deadline, task.period) + 1;
+  return checked_mul(jobs, task.wcet);
+}
+
+BigRational dbf_approx(const SporadicTask& task, Time t) {
+  if (t < task.deadline) return BigRational(0);
+  // vol + u·(t − D) = C·(T + t − D)/T.
+  BigInt num = BigInt(task.wcet) *
+               BigInt(checked_add(task.period, t - task.deadline));
+  return BigRational(std::move(num), BigInt(task.period));
+}
+
+BigRational dbf_approx_k(const SporadicTask& task, Time t, int points) {
+  FEDCONS_EXPECTS(points >= 1);
+  if (t < task.deadline) return BigRational(0);
+  // Last exact step instant covered by the k points.
+  const Time tail_start =
+      checked_add(task.deadline,
+                  checked_mul(static_cast<Time>(points - 1), task.period));
+  if (t < tail_start) return BigRational(dbf(task, t));  // exact region
+  // k·C + u·(t − tail_start).
+  BigInt num = BigInt(task.wcet) *
+               (BigInt(checked_mul(static_cast<Time>(points), task.period)) +
+                BigInt(t - tail_start));
+  return BigRational(std::move(num), BigInt(task.period));
+}
+
+std::vector<Time> dbf_approx_breakpoints(std::span<const SporadicTask> tasks,
+                                         int points, Time horizon) {
+  FEDCONS_EXPECTS(points >= 1);
+  std::vector<Time> out;
+  for (const auto& task : tasks) {
+    for (int i = 0; i < points; ++i) {
+      Time bp = checked_add(task.deadline,
+                            checked_mul(static_cast<Time>(i), task.period));
+      if (bp > 0 && bp <= horizon) out.push_back(bp);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool approx_demand_fits(std::span<const SporadicTask> tasks, Time t) {
+  FEDCONS_EXPECTS(t >= 0);
+  // Fast path: accumulate C·(T + t − D) / T as integer quotient plus a
+  // remainder comparison, all in __int128. Each term is split as
+  //   C·(T + t − D) = q·T + r,  0 ≤ r < T,
+  // so Σ term/T ≤ t  ⟺  Σ q + Σ (r/T) ≤ t. We track Q = Σ q exactly and
+  // bound the fractional sum F = Σ r/T by [F_lo, F_hi] with F integer-part
+  // extraction; only if the decision falls inside the undecidable band do we
+  // fall back to exact rationals.
+  __int128 q_sum = 0;
+  long double frac = 0.0L;
+  bool frac_nonzero = false;
+  bool overflow = false;
+  for (const auto& task : tasks) {
+    if (t < task.deadline) continue;
+    __int128 num = static_cast<__int128>(task.wcet) *
+                   (static_cast<__int128>(task.period) + t - task.deadline);
+    __int128 q = num / task.period;
+    __int128 r = num % task.period;
+    q_sum += q;
+    if (r != 0) {
+      frac_nonzero = true;
+      frac += static_cast<long double>(r) /
+              static_cast<long double>(task.period);
+    }
+    if (q_sum > static_cast<__int128>(1) << 100) {
+      overflow = true;  // absurdly large demand; decide via rationals
+      break;
+    }
+  }
+  if (!overflow) {
+    if (!frac_nonzero) return q_sum <= static_cast<__int128>(t);
+    // F ∈ (0, n); margin of one whole unit on either side of the long-double
+    // estimate is far beyond its rounding error here.
+    __int128 target = static_cast<__int128>(t);
+    if (q_sum + static_cast<__int128>(frac) + 2 <= target) return true;
+    if (q_sum > target) return false;
+    // Undecided band: exact evaluation below.
+  }
+  BigRational sum;
+  for (const auto& task : tasks) sum += dbf_approx(task, t);
+  return sum <= BigRational(t);
+}
+
+Time total_dbf(std::span<const SporadicTask> tasks, Time t) {
+  Time sum = 0;
+  for (const auto& task : tasks) sum = checked_add(sum, dbf(task, t));
+  return sum;
+}
+
+}  // namespace fedcons

@@ -1,0 +1,63 @@
+// Demand bound functions for three-parameter sporadic tasks.
+//
+// DBF(τ, t) [Baruah–Mok–Rosier 1990] is the maximum cumulative execution
+// demand of jobs of τ with both arrival and deadline inside any interval of
+// length t:
+//     DBF(τ, t) = max(0, ⌊(t − D)/T⌋ + 1) · C.
+//
+// DBF*(τ, t) is the linear upper approximation used by Algorithm PARTITION
+// (paper, Eq. (1), restated from Baruah–Fisher 2006), in DAG-task notation:
+//     DBF*(τ_i, t) = 0                         if t < D_i,
+//                    vol_i + u_i · (t − D_i)   otherwise  (u_i = vol_i/T_i).
+//
+// Key properties (pinned by property tests): DBF ≤ DBF* everywhere; both are
+// monotone non-decreasing in t; DBF* − DBF < C; DBF steps exactly at
+// t = D + kT.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fedcons/core/sequential_task.h"
+#include "fedcons/util/rational.h"
+#include "fedcons/util/time_types.h"
+
+namespace fedcons {
+
+/// Exact demand bound function. Pure integer arithmetic; t may be any value
+/// (negative t yields 0).
+[[nodiscard]] Time dbf(const SporadicTask& task, Time t);
+
+/// The DBF* approximation, exactly, as a rational (denominator divides T).
+[[nodiscard]] BigRational dbf_approx(const SporadicTask& task, Time t);
+
+/// The k-point refinement of DBF* (Albers–Slomka family): exact DBF for the
+/// first `points` steps, then the linear tail
+///     k·C + u·(t − D − (k−1)·T)      for t ≥ D + (k−1)·T.
+/// points == 1 reproduces DBF* exactly; points → ∞ converges to DBF from
+/// above. Monotone in `points`: more points never increase the bound.
+/// Precondition: points >= 1.
+[[nodiscard]] BigRational dbf_approx_k(const SporadicTask& task, Time t,
+                                       int points);
+
+/// The instants where Σ_j dbf_approx_k(τ_j, ·, points) changes slope within
+/// (0, horizon]: every D_j + i·T_j for i < points. Sorted, deduplicated.
+/// With the additional condition Σ u_j ≤ 1, verifying the demand inequality
+/// at exactly these breakpoints certifies it for all t (piecewise linearity
+/// + final slope ≤ 1).
+[[nodiscard]] std::vector<Time> dbf_approx_breakpoints(
+    std::span<const SporadicTask> tasks, int points, Time horizon);
+
+/// Σ_j DBF*(τ_j, t) ≤ t, decided exactly.
+///
+/// This is the acceptance predicate of PARTITION's line 3 once the candidate
+/// task's own volume is folded into the sum. A pure-int64 fast path covers
+/// the overwhelmingly common case; the BigRational slow path guarantees
+/// exactness when 128-bit intermediates would overflow.
+[[nodiscard]] bool approx_demand_fits(std::span<const SporadicTask> tasks,
+                                      Time t);
+
+/// Σ_j DBF(τ_j, t) with overflow checking (exact demand at one instant).
+[[nodiscard]] Time total_dbf(std::span<const SporadicTask> tasks, Time t);
+
+}  // namespace fedcons

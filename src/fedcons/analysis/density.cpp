@@ -1,0 +1,35 @@
+#include "fedcons/analysis/density.h"
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+BigRational total_density(std::span<const SporadicTask> tasks) {
+  BigRational sum;
+  for (const auto& t : tasks) sum += t.density();
+  return sum;
+}
+
+BigRational max_density(std::span<const SporadicTask> tasks) {
+  FEDCONS_EXPECTS(!tasks.empty());
+  BigRational best = tasks.front().density();
+  for (const auto& t : tasks.subspan(1)) {
+    BigRational d = t.density();
+    if (d > best) best = d;
+  }
+  return best;
+}
+
+bool uniproc_density_test(std::span<const SporadicTask> tasks) {
+  return total_density(tasks) <= BigRational(1);
+}
+
+bool gedf_density_test(std::span<const SporadicTask> tasks, int m) {
+  FEDCONS_EXPECTS(m >= 1);
+  if (tasks.empty()) return true;
+  BigRational dmax = max_density(tasks);
+  return total_density(tasks) <=
+         BigRational(m) - BigRational(m - 1) * dmax;
+}
+
+}  // namespace fedcons

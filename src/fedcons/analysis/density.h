@@ -1,0 +1,35 @@
+// Density-based sufficient schedulability tests.
+//
+// Density tests are the cheapest (O(n)) sufficient conditions in the
+// sporadic-task literature. They are used here (a) as sanity baselines and
+// (b) inside the global-EDF comparison heuristic. They are *sufficient only*
+// — far more pessimistic than the exact PDC — which the test suite pins down
+// with explicit examples.
+#pragma once
+
+#include <span>
+
+#include "fedcons/core/sequential_task.h"
+#include "fedcons/util/rational.h"
+
+namespace fedcons {
+
+/// Σ δ_i over sequential tasks, exactly.
+[[nodiscard]] BigRational total_density(std::span<const SporadicTask> tasks);
+
+/// max δ_i, exactly. Precondition: non-empty.
+[[nodiscard]] BigRational max_density(std::span<const SporadicTask> tasks);
+
+/// Uniprocessor density test: Σ δ_i ≤ 1 ⟹ EDF-schedulable on one
+/// preemptive processor (sufficient, not necessary).
+[[nodiscard]] bool uniproc_density_test(std::span<const SporadicTask> tasks);
+
+/// Multiprocessor global-EDF density test (Goossens–Funk–Baruah bound,
+/// extended to constrained deadlines): a sequential sporadic task set is
+/// global-EDF-schedulable on m identical processors if
+///     Σ δ_i ≤ m − (m − 1)·δ_max.
+/// Sufficient only. Precondition: m >= 1.
+[[nodiscard]] bool gedf_density_test(std::span<const SporadicTask> tasks,
+                                     int m);
+
+}  // namespace fedcons

@@ -1,0 +1,82 @@
+#include "fedcons/analysis/feasibility.h"
+
+#include <queue>
+#include <vector>
+
+#include "fedcons/analysis/dbf.h"
+#include "fedcons/analysis/edf_uniproc.h"
+#include "fedcons/util/check.h"
+#include "fedcons/util/rational.h"
+
+namespace fedcons {
+
+FeasibilityCheck necessary_feasibility(const TaskSystem& system, int m) {
+  FEDCONS_EXPECTS(m >= 1);
+
+  // 1. Critical path per task.
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    if (system[i].len() > system[i].deadline()) {
+      return {false, "len > D for task " + std::to_string(i)};
+    }
+  }
+  // 2. Long-run utilization.
+  if (system.total_utilization() > BigRational(m)) {
+    return {false, "U_sum > m"};
+  }
+  // 3. Per-dag-job work vs window capacity.
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    if (system[i].vol() > checked_mul(m, system[i].deadline())) {
+      return {false, "vol > m*D for task " + std::to_string(i)};
+    }
+  }
+  // 4. Global synchronous demand Σ DBF_i(t) ≤ m·t at deadline points below
+  //    a finite testing bound (sequentialized volumes give a valid lower
+  //    bound on required work regardless of intra-task structure).
+  std::vector<SporadicTask> seq;
+  seq.reserve(system.size());
+  for (const auto& t : system) seq.push_back(t.to_sequential());
+  // Reuse the uniprocessor machinery on a "speed-m" processor: Σ DBF ≤ m·t
+  // at all t ⟺ the set with every WCET left intact fits a processor of
+  // capacity m. Evaluate directly at deadline points below the bound of the
+  // utilization-scaled set (divide utilizations by m for the BMR bound by
+  // checking against m·t).
+  Time bound = pdc_testing_bound(seq);
+  if (bound == kTimeInfinity) {
+    // No finite bound (U_sum typically ≥ 1 on purpose here): cap the scan at
+    // the largest deadline plus a few periods — still a *necessary*
+    // condition (any prefix of the point set is).
+    bound = 0;
+    for (const auto& t : seq) {
+      bound = std::max(bound, checked_add(t.deadline, checked_mul(4, t.period)));
+    }
+  }
+  struct Point {
+    Time t;
+    std::size_t task;
+    bool operator>(const Point& rhs) const noexcept { return t > rhs.t; }
+  };
+  std::priority_queue<Point, std::vector<Point>, std::greater<>> heap;
+  for (std::size_t j = 0; j < seq.size(); ++j) {
+    if (seq[j].deadline < bound) heap.push({seq[j].deadline, j});
+  }
+  Time demand = 0;
+  std::size_t points = 0;
+  constexpr std::size_t kMaxPoints = 2'000'000;
+  while (!heap.empty() && points < kMaxPoints) {
+    const Time t = heap.top().t;
+    while (!heap.empty() && heap.top().t == t) {
+      auto [pt, j] = heap.top();
+      heap.pop();
+      demand = checked_add(demand, seq[j].wcet);
+      Time next = checked_add(pt, seq[j].period);
+      if (next < bound) heap.push({next, j});
+    }
+    if (demand > checked_mul(m, t)) {
+      return {false, "total demand exceeds m*t at t=" + std::to_string(t)};
+    }
+    ++points;
+  }
+  return {true, {}};
+}
+
+}  // namespace fedcons

@@ -1,0 +1,44 @@
+// Necessary feasibility conditions for sporadic DAG task systems.
+//
+// Federated scheduling speedup bounds (paper, Definition 1) are stated
+// relative to an *optimal clairvoyant* scheduler. Deciding optimal
+// feasibility is strongly NP-hard (paper, Section III), so experiments use
+// the standard proxy: cheap *necessary* conditions. Any system failing them
+// is infeasible for every scheduler; systems passing them form the
+// denominator against which acceptance ratios and empirical speedups are
+// normalized (documented as an upper bound on OPT in EXPERIMENTS.md).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "fedcons/core/task_system.h"
+
+namespace fedcons {
+
+/// Outcome of the necessary-condition battery, with the first failed
+/// condition named for diagnostics.
+struct FeasibilityCheck {
+  bool passed = false;
+  std::string failed_condition;  ///< empty when passed
+};
+
+/// Necessary conditions for feasibility of τ on m unit-speed processors
+/// (violating ANY one proves infeasibility under every scheduling algorithm):
+///   1. len_i ≤ D_i for every task (the critical path cannot be parallelized);
+///   2. U_sum(τ) ≤ m (long-run platform capacity);
+///   3. vol_i ≤ m·D_i for every task (one dag-job cannot exceed the platform
+///      work capacity of its scheduling window);
+///   4. global synchronous demand: Σ_i ⌊(t−D_i)/T_i + 1⌋⁺·vol_i ≤ m·t at
+///      every absolute-deadline point t below a bounded horizon (the DBF
+///      load condition generalized to m processors).
+[[nodiscard]] FeasibilityCheck necessary_feasibility(const TaskSystem& system,
+                                                     int m);
+
+/// Convenience wrapper returning only the verdict.
+[[nodiscard]] inline bool passes_necessary_conditions(
+    const TaskSystem& system, int m) {
+  return necessary_feasibility(system, m).passed;
+}
+
+}  // namespace fedcons

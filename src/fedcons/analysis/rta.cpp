@@ -1,0 +1,64 @@
+#include "fedcons/analysis/rta.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+std::optional<Time> response_time(const SporadicTask& task,
+                                  std::span<const SporadicTask> higher_priority,
+                                  Time bound) {
+  FEDCONS_EXPECTS(bound >= 1);
+  Time r = task.wcet;
+  // Standard fixed-point iteration; strictly increasing until convergence,
+  // so it terminates once r exceeds the bound.
+  while (r <= bound) {
+    Time next = task.wcet;
+    for (const auto& hp : higher_priority) {
+      next = checked_add(next,
+                         checked_mul(ceil_div(r, hp.period), hp.wcet));
+    }
+    if (next == r) return r;
+    r = next;
+  }
+  return std::nullopt;
+}
+
+FpResult fp_schedulable(std::span<const SporadicTask> tasks) {
+  FpResult result;
+  result.response_times.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    auto r = response_time(tasks[i], tasks.first(i), tasks[i].deadline);
+    if (!r.has_value() || *r > tasks[i].deadline) {
+      result.schedulable = false;
+      return result;
+    }
+    result.response_times.push_back(*r);
+  }
+  result.schedulable = true;
+  return result;
+}
+
+std::vector<std::size_t> deadline_monotonic_order(
+    std::span<const SporadicTask> tasks) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return tasks[a].deadline < tasks[b].deadline;
+                   });
+  return order;
+}
+
+bool dm_schedulable(std::span<const SporadicTask> tasks) {
+  std::vector<SporadicTask> ordered;
+  ordered.reserve(tasks.size());
+  for (std::size_t i : deadline_monotonic_order(tasks)) {
+    ordered.push_back(tasks[i]);
+  }
+  return fp_schedulable(ordered).schedulable;
+}
+
+}  // namespace fedcons

@@ -1,0 +1,49 @@
+// Response-time analysis (RTA) for preemptive fixed-priority uniprocessor
+// scheduling — the classic alternative to EDF on the shared pool.
+//
+// FEDCONS runs its shared processors under EDF, but the partitioned
+// fixed-priority route (deadline-monotonic priorities + RTA admission) is
+// the other canonical design and serves as an additional baseline (P-DM in
+// the experiment suite). For constrained-deadline sporadic tasks the exact
+// worst-case response time of task i under priorities hp(i) is the least
+// fixed point of
+//     R_i = C_i + Σ_{j ∈ hp(i)} ⌈R_i / T_j⌉ · C_j     (Joseph & Pandya),
+// and τ_i is schedulable iff R_i ≤ D_i. Deadline-monotonic priority order is
+// optimal for constrained-deadline synchronous task systems (Leung &
+// Whitehead).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fedcons/core/sequential_task.h"
+#include "fedcons/util/time_types.h"
+
+namespace fedcons {
+
+/// Worst-case response time of `task` with the given higher-priority tasks,
+/// or nullopt when the iteration diverges past `bound` (unschedulable for
+/// any deadline ≤ bound). Preconditions: all parameters positive.
+[[nodiscard]] std::optional<Time> response_time(
+    const SporadicTask& task, std::span<const SporadicTask> higher_priority,
+    Time bound);
+
+/// Exact fixed-priority schedulability of `tasks` IN THE GIVEN ORDER
+/// (index 0 = highest priority), constrained deadlines assumed for
+/// exactness. Returns per-task response times on success.
+struct FpResult {
+  bool schedulable = false;
+  std::vector<Time> response_times;  ///< valid entries up to the first miss
+};
+
+[[nodiscard]] FpResult fp_schedulable(std::span<const SporadicTask> tasks);
+
+/// Deadline-monotonic ordering of task indices (ties by index — stable).
+[[nodiscard]] std::vector<std::size_t> deadline_monotonic_order(
+    std::span<const SporadicTask> tasks);
+
+/// Convenience: DM-priority schedulability of an unordered set.
+[[nodiscard]] bool dm_schedulable(std::span<const SporadicTask> tasks);
+
+}  // namespace fedcons

@@ -1,0 +1,22 @@
+#include "fedcons/baselines/global_edf.h"
+
+#include <vector>
+
+#include "fedcons/analysis/density.h"
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+bool gedf_dag_density_test(const TaskSystem& system, int m) {
+  FEDCONS_EXPECTS(m >= 1);
+  if (system.empty()) return true;
+  for (const auto& t : system) {
+    if (t.len() > t.deadline()) return false;
+  }
+  std::vector<SporadicTask> seq;
+  seq.reserve(system.size());
+  for (const auto& t : system) seq.push_back(t.to_sequential());
+  return gedf_density_test(seq, m);
+}
+
+}  // namespace fedcons

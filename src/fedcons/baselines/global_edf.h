@@ -1,0 +1,30 @@
+// Global-EDF comparison baselines for sporadic DAG systems.
+//
+// FEDCONS is contrasted against the *global* approach in the paper's
+// introduction. Two acceptance indicators are provided for the E3 comparison
+// (both clearly labelled — see EXPERIMENTS.md):
+//
+//  * gedf_dag_density_test — an analytical SUFFICIENT test: every task must
+//    satisfy len_i ≤ D_i, and the sequentialized task set (C = vol) must pass
+//    the classic Goossens–Funk–Baruah density bound
+//        Σ δ_i ≤ m − (m−1)·δ_max.
+//    Sequentializing each DAG job is pessimistic but sound for global EDF
+//    (any schedule of the sequential jobs maps to one of the DAG jobs whose
+//    precedence constraints only relax the sequential order).
+//
+//  * Global-EDF *simulation* acceptance lives in sim/global_edf_sim.h: the
+//    synchronous-periodic WCET release pattern is simulated for a bounded
+//    horizon; surviving it is an OPTIMISTIC empirical indicator (synchronous
+//    arrival is not provably the worst case for global EDF on
+//    multiprocessors). It brackets the analytical test from above.
+#pragma once
+
+#include "fedcons/core/task_system.h"
+
+namespace fedcons {
+
+/// Analytical sufficient global-EDF test (see header comment).
+/// Precondition: m >= 1.
+[[nodiscard]] bool gedf_dag_density_test(const TaskSystem& system, int m);
+
+}  // namespace fedcons

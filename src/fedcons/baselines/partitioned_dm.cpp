@@ -1,0 +1,45 @@
+#include "fedcons/baselines/partitioned_dm.h"
+
+#include <vector>
+
+#include "fedcons/analysis/rta.h"
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+PartitionedDmResult partitioned_dm(const TaskSystem& system, int m) {
+  FEDCONS_EXPECTS(m >= 1);
+  FEDCONS_EXPECTS_MSG(system.deadline_class() != DeadlineClass::kArbitrary,
+                      "partitioned DM analysis assumes constrained deadlines");
+  PartitionedDmResult result;
+  result.assignment.assign(static_cast<std::size_t>(m), {});
+
+  std::vector<SporadicTask> seq;
+  seq.reserve(system.size());
+  for (const auto& t : system) seq.push_back(t.to_sequential());
+
+  // Bins hold their tasks already in DM (priority) order.
+  std::vector<std::vector<SporadicTask>> bins(static_cast<std::size_t>(m));
+  for (std::size_t i : deadline_monotonic_order(seq)) {
+    bool placed = false;
+    for (std::size_t k = 0; k < bins.size() && !placed; ++k) {
+      // Tasks arrive in globally non-decreasing deadline order, so appending
+      // preserves the bin's DM order; admission = exact RTA of the bin.
+      bins[k].push_back(seq[i]);
+      if (fp_schedulable(bins[k]).schedulable) {
+        result.assignment[k].push_back(i);
+        placed = true;
+      } else {
+        bins[k].pop_back();
+      }
+    }
+    if (!placed) {
+      result.success = false;
+      return result;
+    }
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace fedcons

@@ -1,0 +1,34 @@
+// Baseline: partitioned deadline-monotonic fixed-priority scheduling.
+//
+// The fixed-priority analogue of FEDCONS's partitioning phase, as an
+// additional comparison point (the paper contrasts federated scheduling
+// against the partitioned tradition in general, of which partitioned
+// fixed-priority is the most widely deployed member — e.g. AUTOSAR).
+// Every task is sequentialized (vol, D, T); tasks are placed first-fit in
+// deadline-monotonic order; a bin accepts a task iff exact RTA admits the
+// bin's task set under DM priorities. High-density tasks (vol > D) fit
+// nowhere, so like P-SEQ this baseline exposes the federation gap.
+#pragma once
+
+#include "fedcons/core/task_system.h"
+
+namespace fedcons {
+
+struct PartitionedDmResult {
+  bool success = false;
+  /// assignment[k] = TaskIds on processor k (DM priority order within k).
+  std::vector<std::vector<TaskId>> assignment;
+};
+
+/// Partition the whole system on m processors under per-processor DM + RTA.
+/// Precondition: m >= 1 and the system is constrained-deadline.
+[[nodiscard]] PartitionedDmResult partitioned_dm(const TaskSystem& system,
+                                                 int m);
+
+/// Convenience verdict.
+[[nodiscard]] inline bool partitioned_dm_schedulable(const TaskSystem& system,
+                                                     int m) {
+  return partitioned_dm(system, m).success;
+}
+
+}  // namespace fedcons

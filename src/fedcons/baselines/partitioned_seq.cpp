@@ -1,0 +1,18 @@
+#include "fedcons/baselines/partitioned_seq.h"
+
+#include <vector>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+bool partitioned_sequential_schedulable(const TaskSystem& system, int m,
+                                        const PartitionOptions& options) {
+  FEDCONS_EXPECTS(m >= 1);
+  std::vector<SporadicTask> seq;
+  seq.reserve(system.size());
+  for (const auto& t : system) seq.push_back(t.to_sequential());
+  return partition_tasks(seq, m, options).success;
+}
+
+}  // namespace fedcons

@@ -1,0 +1,25 @@
+// Baseline: pure partitioned scheduling with NO federation.
+//
+// The paper motivates federated scheduling by observing that restricting all
+// jobs of a task to a single processor "would hobble the expressiveness of
+// the model considerably by forbidding tasks with a (parallelizable)
+// computational demand exceeding the capacity of a single processor"
+// (Section I). This baseline makes that cost measurable: every task —
+// including high-density ones — is sequentialized to (vol, D, T) and handed
+// to the same Baruah–Fisher PARTITION machinery FEDCONS uses for its
+// low-density phase. Any task with vol_i > D_i is structurally rejected
+// (DBF*(D_i) = vol_i > D_i fits no processor), which is exactly where
+// FEDCONS's dedicated clusters win in experiment E3.
+#pragma once
+
+#include "fedcons/core/task_system.h"
+#include "fedcons/federated/partition.h"
+
+namespace fedcons {
+
+/// Partition the whole system sequentially on m processors. Precondition:
+/// m >= 1.
+[[nodiscard]] bool partitioned_sequential_schedulable(
+    const TaskSystem& system, int m, const PartitionOptions& options = {});
+
+}  // namespace fedcons

@@ -1,0 +1,56 @@
+// Text serialization of task systems — the interchange format used by the
+// fedcons_cli tool and by anyone wanting to version-control workloads.
+//
+// Format (line-oriented, '#' starts a comment, blank lines ignored):
+//
+//     # flight-control partition
+//     task flight-control-law
+//       deadline 25
+//       period 50
+//       vertex 2          # v0 — vertices are numbered in order of listing
+//       vertex 8          # v1
+//       vertex 3          # v2
+//       edge 0 1
+//       edge 1 2
+//     end
+//
+// Every keyword is mandatory except the task name (a default name is
+// generated). Parsing is strict: unknown keywords, malformed numbers,
+// missing parameters, or cyclic edges raise ParseError with the offending
+// line number.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "fedcons/core/task_system.h"
+
+namespace fedcons {
+
+/// Raised on malformed input; what() includes the 1-based line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parse a task system from a stream. Throws ParseError on malformed input.
+[[nodiscard]] TaskSystem parse_task_system(std::istream& in);
+
+/// Parse from a string (convenience for tests and embedding).
+[[nodiscard]] TaskSystem parse_task_system(const std::string& text);
+
+/// Serialize in the same format; parse(serialize(s)) reproduces s exactly
+/// (round-trip property-tested).
+void serialize_task_system(const TaskSystem& system, std::ostream& out);
+
+/// Serialize to a string.
+[[nodiscard]] std::string serialize_task_system(const TaskSystem& system);
+
+}  // namespace fedcons

@@ -1,0 +1,52 @@
+// The classic three-parameter sporadic task model (Mok, 1983).
+//
+// Used in two places:
+//  * Algorithm PARTITION treats each low-density DAG task as the sequential
+//    sporadic task (C = vol_i, D_i, T_i) — on a single processor intra-task
+//    parallelism cannot be exploited, so the DAG's internal structure is
+//    irrelevant (paper, Section IV-B).
+//  * The exact uniprocessor EDF analysis (analysis/edf_uniproc.h) and the
+//    demand bound functions (analysis/dbf.h) are defined over this model.
+#pragma once
+
+#include "fedcons/util/check.h"
+#include "fedcons/util/rational.h"
+#include "fedcons/util/time_types.h"
+
+namespace fedcons {
+
+/// A three-parameter sporadic task (C, D, T): jobs arrive at least T apart,
+/// each needs up to C units of sequential execution within D of its arrival.
+struct SporadicTask {
+  Time wcet = 0;      ///< C: worst-case execution time
+  Time deadline = 0;  ///< D: relative deadline
+  Time period = 0;    ///< T: minimum inter-arrival separation
+
+  SporadicTask() = default;
+  SporadicTask(Time c, Time d, Time t) : wcet(c), deadline(d), period(t) {
+    FEDCONS_EXPECTS_MSG(c >= 1, "WCET must be positive");
+    FEDCONS_EXPECTS_MSG(d >= 1, "deadline must be positive");
+    FEDCONS_EXPECTS_MSG(t >= 1, "period must be positive");
+  }
+
+  /// Utilization u = C/T, exactly.
+  [[nodiscard]] BigRational utilization() const {
+    return make_ratio(wcet, period);
+  }
+
+  /// Density δ = C / min(D, T), exactly.
+  [[nodiscard]] BigRational density() const {
+    return make_ratio(wcet, std::min(deadline, period));
+  }
+
+  [[nodiscard]] bool is_implicit_deadline() const noexcept {
+    return deadline == period;
+  }
+  [[nodiscard]] bool is_constrained_deadline() const noexcept {
+    return deadline <= period;
+  }
+
+  [[nodiscard]] bool operator==(const SporadicTask&) const = default;
+};
+
+}  // namespace fedcons

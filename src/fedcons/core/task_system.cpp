@@ -1,0 +1,94 @@
+#include "fedcons/core/task_system.h"
+
+#include <sstream>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+const DagTask& TaskSystem::operator[](TaskId i) const {
+  FEDCONS_EXPECTS(i < tasks_.size());
+  return tasks_[i];
+}
+
+BigRational TaskSystem::total_utilization() const {
+  BigRational sum;
+  for (const auto& t : tasks_) sum += t.utilization();
+  return sum;
+}
+
+BigRational TaskSystem::total_density() const {
+  BigRational sum;
+  for (const auto& t : tasks_) sum += t.density();
+  return sum;
+}
+
+double TaskSystem::total_utilization_approx() const {
+  double sum = 0.0;
+  for (const auto& t : tasks_) sum += t.utilization_approx();
+  return sum;
+}
+
+DeadlineClass TaskSystem::deadline_class() const noexcept {
+  bool all_implicit = true;
+  for (const auto& t : tasks_) {
+    switch (t.deadline_class()) {
+      case DeadlineClass::kImplicit:
+        break;
+      case DeadlineClass::kConstrained:
+        all_implicit = false;
+        break;
+      case DeadlineClass::kArbitrary:
+        return DeadlineClass::kArbitrary;
+    }
+  }
+  return all_implicit ? DeadlineClass::kImplicit : DeadlineClass::kConstrained;
+}
+
+std::vector<TaskId> TaskSystem::high_density_tasks() const {
+  std::vector<TaskId> out;
+  for (TaskId i = 0; i < tasks_.size(); ++i)
+    if (tasks_[i].is_high_density()) out.push_back(i);
+  return out;
+}
+
+std::vector<TaskId> TaskSystem::low_density_tasks() const {
+  std::vector<TaskId> out;
+  for (TaskId i = 0; i < tasks_.size(); ++i)
+    if (tasks_[i].is_low_density()) out.push_back(i);
+  return out;
+}
+
+bool TaskSystem::all_critical_paths_feasible() const {
+  for (const auto& t : tasks_)
+    if (!t.critical_path_feasible()) return false;
+  return true;
+}
+
+TaskSystem TaskSystem::scaled_by_speed(double s) const {
+  std::vector<DagTask> scaled;
+  scaled.reserve(tasks_.size());
+  for (const auto& t : tasks_) scaled.push_back(t.scaled_by_speed(s));
+  return TaskSystem(std::move(scaled));
+}
+
+std::string TaskSystem::summary() const {
+  std::ostringstream os;
+  os << "TaskSystem with " << tasks_.size() << " tasks ("
+     << to_string(deadline_class()) << "-deadline), U_sum = "
+     << total_utilization().to_string() << " ≈ "
+     << total_utilization_approx() << "\n";
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const auto& t = tasks_[i];
+    os << "  τ" << i + 1;
+    if (!t.name().empty()) os << " (" << t.name() << ")";
+    os << ": |V|=" << t.graph().num_vertices()
+       << " |E|=" << t.graph().num_edges() << " vol=" << t.vol()
+       << " len=" << t.len() << " D=" << t.deadline() << " T=" << t.period()
+       << " δ=" << t.density().to_string()
+       << (t.is_high_density() ? " [HIGH]" : " [low]") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fedcons

@@ -1,0 +1,71 @@
+// A system τ = {τ_1, …, τ_n} of sporadic DAG tasks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fedcons/core/dag_task.h"
+
+namespace fedcons {
+
+/// Index of a task within its TaskSystem.
+using TaskId = std::size_t;
+
+/// Value-semantic container of DagTasks with aggregate metrics.
+class TaskSystem {
+ public:
+  TaskSystem() = default;
+  explicit TaskSystem(std::vector<DagTask> tasks) : tasks_(std::move(tasks)) {}
+
+  TaskId add(DagTask task) {
+    tasks_.push_back(std::move(task));
+    return tasks_.size() - 1;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] const DagTask& operator[](TaskId i) const;
+  [[nodiscard]] std::span<const DagTask> tasks() const noexcept {
+    return tasks_;
+  }
+
+  [[nodiscard]] auto begin() const noexcept { return tasks_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return tasks_.end(); }
+
+  /// U_sum(τ) = Σ u_i, exactly.
+  [[nodiscard]] BigRational total_utilization() const;
+
+  /// Σ δ_i, exactly.
+  [[nodiscard]] BigRational total_density() const;
+
+  /// Floating-point U_sum for reporting.
+  [[nodiscard]] double total_utilization_approx() const;
+
+  /// Strictest class covering every task: implicit if all D==T, constrained
+  /// if all D<=T, otherwise arbitrary.
+  [[nodiscard]] DeadlineClass deadline_class() const noexcept;
+
+  /// Indices of the high-density tasks (δ_i ≥ 1), in system order — the
+  /// paper's τ_high.
+  [[nodiscard]] std::vector<TaskId> high_density_tasks() const;
+
+  /// Indices of the low-density tasks (δ_i < 1) — the paper's τ_low.
+  [[nodiscard]] std::vector<TaskId> low_density_tasks() const;
+
+  /// Every task's critical path fits in its deadline (len_i ≤ D_i): a
+  /// necessary condition for feasibility on any platform.
+  [[nodiscard]] bool all_critical_paths_feasible() const;
+
+  /// Copy with every task scaled to speed-s processors (WCETs ⌈e/s⌉).
+  [[nodiscard]] TaskSystem scaled_by_speed(double s) const;
+
+  /// Multi-line human-readable summary (per-task metrics + aggregates).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<DagTask> tasks_;
+};
+
+}  // namespace fedcons

@@ -1,0 +1,111 @@
+#include "fedcons/core/transform.h"
+
+#include <vector>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+namespace {
+
+/// reach[u][v] == true iff v is reachable from u by a non-empty path.
+std::vector<std::vector<bool>> reachability(const Dag& dag) {
+  const std::size_t n = dag.num_vertices();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  const auto& topo = dag.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    VertexId v = *it;
+    for (VertexId s : dag.successors(v)) {
+      reach[v][s] = true;
+      for (std::size_t w = 0; w < n; ++w) {
+        if (reach[s][w]) reach[v][w] = true;
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace
+
+Dag transitive_reduction(const Dag& dag) {
+  FEDCONS_EXPECTS(dag.is_acyclic());
+  auto reach = reachability(dag);
+  Dag out;
+  for (VertexId v = 0; v < dag.num_vertices(); ++v) out.add_vertex(dag.wcet(v));
+  for (VertexId u = 0; u < dag.num_vertices(); ++u) {
+    for (VertexId v : dag.successors(u)) {
+      // (u, v) is redundant iff some other successor of u reaches v.
+      bool redundant = false;
+      for (VertexId w : dag.successors(u)) {
+        if (w != v && reach[w][v]) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) out.add_edge(u, v);
+    }
+  }
+  return out;
+}
+
+bool is_transitively_reduced(const Dag& dag) {
+  if (!dag.is_acyclic()) return false;
+  auto reach = reachability(dag);
+  for (VertexId u = 0; u < dag.num_vertices(); ++u) {
+    for (VertexId v : dag.successors(u)) {
+      for (VertexId w : dag.successors(u)) {
+        if (w != v && reach[w][v]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Dag merge_linear_chains(const Dag& dag) {
+  FEDCONS_EXPECTS(dag.is_acyclic());
+  const std::size_t n = dag.num_vertices();
+  // A vertex v continues the chain of its predecessor p when
+  // out_degree(p) == 1 and in_degree(v) == 1: merge v into p's group.
+  std::vector<VertexId> group(n);
+  for (VertexId v : dag.topological_order()) {
+    group[v] = v;
+    if (dag.in_degree(v) == 1) {
+      VertexId p = dag.predecessors(v)[0];
+      if (dag.out_degree(p) == 1) group[v] = group[p];
+    }
+  }
+  // Build: one vertex per group head (in topo order of heads for stable,
+  // deterministic ids).
+  std::vector<Time> group_wcet(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    group_wcet[group[v]] = checked_add(group_wcet[group[v]], dag.wcet(v));
+  }
+  std::vector<VertexId> new_id(n, 0);
+  Dag out;
+  for (VertexId v : dag.topological_order()) {
+    if (group[v] == v) new_id[v] = out.add_vertex(group_wcet[v]);
+  }
+  for (VertexId v = 0; v < n; ++v) new_id[v] = new_id[group[v]];
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : dag.successors(u)) {
+      VertexId a = new_id[u];
+      VertexId b = new_id[v];
+      if (a != b && !out.has_edge(a, b)) out.add_edge(a, b);
+    }
+  }
+  return out;
+}
+
+Dag sequentialize(const Dag& dag) {
+  FEDCONS_EXPECTS(!dag.empty());
+  FEDCONS_EXPECTS(dag.is_acyclic());
+  Dag out;
+  for (VertexId v = 0; v < dag.num_vertices(); ++v) out.add_vertex(dag.wcet(v));
+  const auto& topo = dag.topological_order();
+  for (std::size_t i = 1; i < topo.size(); ++i) {
+    out.add_edge(topo[i - 1], topo[i]);
+  }
+  return out;
+}
+
+}  // namespace fedcons

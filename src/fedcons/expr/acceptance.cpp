@@ -1,0 +1,92 @@
+#include "fedcons/expr/acceptance.h"
+
+#include "fedcons/analysis/feasibility.h"
+#include "fedcons/baselines/global_edf.h"
+#include "fedcons/baselines/partitioned_dm.h"
+#include "fedcons/baselines/partitioned_seq.h"
+#include "fedcons/federated/fedcons_algorithm.h"
+#include "fedcons/federated/federated_implicit.h"
+#include "fedcons/util/check.h"
+#include "fedcons/util/rng.h"
+
+namespace fedcons {
+
+std::vector<AlgorithmSpec> standard_algorithms() {
+  std::vector<AlgorithmSpec> algos;
+  algos.push_back({"FEDCONS", [](const TaskSystem& s, int m) {
+                     return fedcons_schedulable(s, m);
+                   }});
+  algos.push_back({"FEDCONS-lit", [](const TaskSystem& s, int m) {
+                     FedconsOptions opt;
+                     opt.partition.variant = PartitionVariant::kPaperLiteral;
+                     return fedcons_schedulable(s, m, opt);
+                   }});
+  algos.push_back({"FED-LI-adapt", [](const TaskSystem& s, int m) {
+                     return li_federated_constrained_adaptation(s, m).success;
+                   }});
+  algos.push_back({"P-SEQ", [](const TaskSystem& s, int m) {
+                     return partitioned_sequential_schedulable(s, m);
+                   }});
+  algos.push_back({"P-DM", [](const TaskSystem& s, int m) {
+                     return partitioned_dm_schedulable(s, m);
+                   }});
+  algos.push_back({"GEDF-density", [](const TaskSystem& s, int m) {
+                     return gedf_dag_density_test(s, m);
+                   }});
+  return algos;
+}
+
+std::vector<AcceptancePoint> run_acceptance_sweep(
+    const SweepConfig& config, const std::vector<AlgorithmSpec>& algorithms) {
+  FEDCONS_EXPECTS(config.m >= 1);
+  FEDCONS_EXPECTS(config.trials >= 1);
+  FEDCONS_EXPECTS(!algorithms.empty());
+
+  std::vector<AcceptancePoint> points;
+  points.reserve(config.normalized_utils.size());
+  Rng master(config.seed);
+  for (double nu : config.normalized_utils) {
+    FEDCONS_EXPECTS(nu > 0.0);
+    AcceptancePoint point;
+    point.normalized_util = nu;
+    point.trials = static_cast<std::size_t>(config.trials);
+    point.accepted.assign(algorithms.size(), 0);
+    TaskSetParams params = config.base;
+    params.total_utilization = nu * static_cast<double>(config.m);
+    params.utilization_cap = static_cast<double>(config.m);
+    for (int trial = 0; trial < config.trials; ++trial) {
+      Rng rng = master.split();
+      TaskSystem sys = generate_task_system(rng, params);
+      if (passes_necessary_conditions(sys, config.m)) {
+        ++point.feasible_upper_bound;
+      }
+      for (std::size_t a = 0; a < algorithms.size(); ++a) {
+        if (algorithms[a].test(sys, config.m)) ++point.accepted[a];
+      }
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<double> weighted_schedulability(
+    const std::vector<AcceptancePoint>& points, std::size_t num_algorithms) {
+  FEDCONS_EXPECTS(!points.empty());
+  std::vector<double> weighted(num_algorithms, 0.0);
+  double weight_sum = 0.0;
+  for (const auto& p : points) {
+    FEDCONS_EXPECTS(p.accepted.size() == num_algorithms);
+    FEDCONS_EXPECTS(p.trials > 0);
+    weight_sum += p.normalized_util;
+    for (std::size_t a = 0; a < num_algorithms; ++a) {
+      weighted[a] += p.normalized_util *
+                     (static_cast<double>(p.accepted[a]) /
+                      static_cast<double>(p.trials));
+    }
+  }
+  FEDCONS_EXPECTS(weight_sum > 0.0);
+  for (double& w : weighted) w /= weight_sum;
+  return weighted;
+}
+
+}  // namespace fedcons

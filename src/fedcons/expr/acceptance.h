@@ -1,0 +1,67 @@
+// Acceptance-ratio sweeps — the paper's "schedulability experiments upon
+// randomly-generated task systems" (Section IV, concluding note), made
+// concrete and reproducible.
+//
+// For each normalized-utilization grid point U_sum/m, `trials` task systems
+// are drawn and every registered acceptance test is run on each; the sweep
+// reports per-algorithm acceptance ratios plus the fraction passing the
+// necessary-feasibility conditions (the clairvoyant-optimal proxy that upper
+// bounds every algorithm — see analysis/feasibility.h).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fedcons/core/task_system.h"
+#include "fedcons/gen/taskset_gen.h"
+
+namespace fedcons {
+
+/// A named acceptance test over (system, m).
+struct AlgorithmSpec {
+  std::string name;
+  std::function<bool(const TaskSystem&, int)> test;
+};
+
+/// The standard comparison battery used across E3/E5:
+///   FEDCONS        — the paper's algorithm (full PARTITION variant)
+///   FEDCONS-lit    — paper-literal Fig. 4 PARTITION (demand check only)
+///   FED-LI-adapt   — Li et al. closed-form federated, constrained adaptation
+///   P-SEQ          — fully-partitioned EDF, no federation (sequentialized)
+///   P-DM           — fully-partitioned deadline-monotonic FP with exact RTA
+///   GEDF-density   — analytical global-EDF density test
+[[nodiscard]] std::vector<AlgorithmSpec> standard_algorithms();
+
+struct SweepConfig {
+  int m = 8;                      ///< platform size
+  std::vector<double> normalized_utils =  ///< U_sum/m grid
+      {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  int trials = 200;               ///< task systems per grid point
+  std::uint64_t seed = 42;
+  TaskSetParams base;             ///< total_utilization is overridden per point
+};
+
+/// One grid point's outcome.
+struct AcceptancePoint {
+  double normalized_util = 0.0;
+  std::size_t trials = 0;
+  std::size_t feasible_upper_bound = 0;      ///< pass necessary conditions
+  std::vector<std::size_t> accepted;         ///< parallel to the algorithm list
+};
+
+/// Run the sweep. accepted[i][a] corresponds to algorithms[a].
+[[nodiscard]] std::vector<AcceptancePoint> run_acceptance_sweep(
+    const SweepConfig& config, const std::vector<AlgorithmSpec>& algorithms);
+
+/// Weighted schedulability (Bastoni–Brandenburg–Anderson): collapses a sweep
+/// into one scalar per algorithm by weighting each grid point's acceptance
+/// ratio with its normalized utilization,
+///     W_a = Σ_p (U_p/m)·ratio_a(p) / Σ_p (U_p/m),
+/// so hard (high-load) points count more than easy ones. The standard way to
+/// compare algorithms across a secondary parameter dimension (used by E5's
+/// summary). Returns one value per algorithm, parallel to `algorithms`.
+[[nodiscard]] std::vector<double> weighted_schedulability(
+    const std::vector<AcceptancePoint>& points, std::size_t num_algorithms);
+
+}  // namespace fedcons

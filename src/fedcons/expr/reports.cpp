@@ -1,0 +1,65 @@
+#include "fedcons/expr/reports.h"
+
+#include <ostream>
+
+#include "fedcons/federated/speedup.h"
+#include "fedcons/util/stats.h"
+
+namespace fedcons {
+
+Table acceptance_table(const std::vector<AcceptancePoint>& points,
+                       const std::vector<AlgorithmSpec>& algorithms,
+                       bool with_ci) {
+  std::vector<std::string> header{"U/m", "trials", "NEC-upper"};
+  for (const auto& a : algorithms) header.push_back(a.name);
+  Table table(std::move(header));
+  auto cell = [with_ci](std::size_t k, std::size_t n) {
+    std::string s = fmt_ratio(k, n);
+    if (with_ci && n > 0) {
+      s += "±" + fmt_double(binomial_ci95_halfwidth(k, n), 3);
+    }
+    return s;
+  };
+  for (const auto& p : points) {
+    std::vector<std::string> row;
+    row.push_back(fmt_double(p.normalized_util, 2));
+    row.push_back(fmt_int(static_cast<long long>(p.trials)));
+    row.push_back(cell(p.feasible_upper_bound, p.trials));
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      row.push_back(cell(p.accepted[a], p.trials));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table speedup_table(const SpeedupExperimentResult& result, int m) {
+  Table table({"metric", "value"});
+  table.add_row({"systems measured", fmt_int(result.measured)});
+  table.add_row({"accepted at speed 1", fmt_int(result.accepted_at_unit)});
+  table.add_row({"never accepted (<= max speed)",
+                 fmt_int(result.never_accepted)});
+  if (!result.speeds.empty()) {
+    OnlineStats stats;
+    for (double s : result.speeds) stats.add(s);
+    table.add_row({"min speed (mean)", fmt_double(stats.mean())});
+    table.add_row({"min speed (p50)", fmt_double(percentile(result.speeds, 50))});
+    table.add_row({"min speed (p95)", fmt_double(percentile(result.speeds, 95))});
+    table.add_row({"min speed (max)", fmt_double(stats.max())});
+  }
+  table.add_row({"theoretical bound 3-1/m", fmt_double(fedcons_speedup_bound(m))});
+  return table;
+}
+
+void print_report(std::ostream& os, const std::string& caption,
+                  const Table& table, bool also_csv) {
+  os << "== " << caption << "\n";
+  table.print(os);
+  if (also_csv) {
+    os << "-- csv --\n";
+    table.print_csv(os);
+  }
+  os << "\n";
+}
+
+}  // namespace fedcons

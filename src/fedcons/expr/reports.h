@@ -1,0 +1,31 @@
+// Table rendering shared by the bench binaries.
+#pragma once
+
+#include <iosfwd>
+
+#include "fedcons/expr/acceptance.h"
+#include "fedcons/expr/speedup_experiment.h"
+#include "fedcons/util/table.h"
+
+namespace fedcons {
+
+/// Acceptance sweep → table with one row per U_sum/m point and one column
+/// per algorithm (plus the necessary-condition upper bound). With `with_ci`
+/// each ratio is annotated with its 95% binomial confidence half-width
+/// ("0.620±0.078") so readers can judge which separations are significant
+/// at the configured trial count.
+[[nodiscard]] Table acceptance_table(
+    const std::vector<AcceptancePoint>& points,
+    const std::vector<AlgorithmSpec>& algorithms, bool with_ci = false);
+
+/// Speedup experiment → distribution summary rows (mean/percentiles/max vs
+/// the theoretical 3 − 1/m bound).
+[[nodiscard]] Table speedup_table(const SpeedupExperimentResult& result,
+                                  int m);
+
+/// Print a table with a caption; adds a CSV block when `also_csv` is set
+/// (used by bench binaries under --csv).
+void print_report(std::ostream& os, const std::string& caption,
+                  const Table& table, bool also_csv = false);
+
+}  // namespace fedcons

@@ -1,0 +1,49 @@
+#include "fedcons/expr/speedup_experiment.h"
+
+#include "fedcons/analysis/feasibility.h"
+#include "fedcons/federated/fedcons_algorithm.h"
+#include "fedcons/federated/speedup.h"
+#include "fedcons/util/check.h"
+#include "fedcons/util/rng.h"
+
+namespace fedcons {
+
+SpeedupExperimentResult run_speedup_experiment(
+    const SpeedupExperimentConfig& config) {
+  FEDCONS_EXPECTS(config.m >= 1);
+  FEDCONS_EXPECTS(config.samples >= 1);
+  FEDCONS_EXPECTS(config.normalized_util > 0.0);
+
+  SpeedupExperimentResult result;
+  Rng master(config.seed);
+  TaskSetParams params = config.base;
+  params.total_utilization =
+      config.normalized_util * static_cast<double>(config.m);
+  params.utilization_cap = static_cast<double>(config.m);
+
+  const AcceptanceTest fedcons_test = [](const TaskSystem& s, int m) {
+    return fedcons_schedulable(s, m);
+  };
+
+  int attempts = 0;
+  while (result.measured < config.samples && attempts < config.max_attempts) {
+    ++attempts;
+    Rng rng = master.split();
+    TaskSystem sys = generate_task_system(rng, params);
+    if (!passes_necessary_conditions(sys, config.m)) continue;
+
+    auto speed = min_speed(sys, config.m, fedcons_test, config.max_speed,
+                           config.resolution);
+    if (!speed.has_value()) {
+      ++result.never_accepted;
+      ++result.measured;
+      continue;
+    }
+    if (*speed <= 1.0) ++result.accepted_at_unit;
+    result.speeds.push_back(*speed);
+    ++result.measured;
+  }
+  return result;
+}
+
+}  // namespace fedcons

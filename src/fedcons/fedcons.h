@@ -1,0 +1,76 @@
+// Umbrella header: the whole fedcons public API in one include.
+//
+//   #include "fedcons/fedcons.h"
+//
+// Fine-grained headers remain available (and are preferred in translation
+// units that only need one subsystem — Core Guidelines SF.10).
+#pragma once
+
+#include "fedcons/version.h"
+
+// Foundations
+#include "fedcons/util/check.h"
+#include "fedcons/util/flags.h"
+#include "fedcons/util/log.h"
+#include "fedcons/util/rational.h"
+#include "fedcons/util/rng.h"
+#include "fedcons/util/stats.h"
+#include "fedcons/util/table.h"
+#include "fedcons/util/time_types.h"
+
+// Task model
+#include "fedcons/core/builders.h"
+#include "fedcons/core/dag.h"
+#include "fedcons/core/dag_task.h"
+#include "fedcons/core/io.h"
+#include "fedcons/core/sequential_task.h"
+#include "fedcons/core/task_system.h"
+#include "fedcons/core/transform.h"
+
+// List scheduling
+#include "fedcons/listsched/anomaly.h"
+#include "fedcons/listsched/list_scheduler.h"
+#include "fedcons/listsched/optimal_makespan.h"
+#include "fedcons/listsched/schedule.h"
+
+// Schedulability analysis
+#include "fedcons/analysis/dbf.h"
+#include "fedcons/analysis/density.h"
+#include "fedcons/analysis/edf_uniproc.h"
+#include "fedcons/analysis/feasibility.h"
+#include "fedcons/analysis/rta.h"
+
+// Federated scheduling (the paper's contribution + extensions)
+#include "fedcons/federated/arbitrary.h"
+#include "fedcons/federated/fedcons_algorithm.h"
+#include "fedcons/federated/federated_implicit.h"
+#include "fedcons/federated/minprocs.h"
+#include "fedcons/federated/partition.h"
+#include "fedcons/federated/sensitivity.h"
+#include "fedcons/federated/speedup.h"
+
+// Baselines
+#include "fedcons/baselines/global_edf.h"
+#include "fedcons/baselines/partitioned_dm.h"
+#include "fedcons/baselines/partitioned_seq.h"
+
+// Workload generation
+#include "fedcons/gen/dag_gen.h"
+#include "fedcons/gen/presets.h"
+#include "fedcons/gen/taskset_gen.h"
+#include "fedcons/gen/uunifast.h"
+
+// Run-time simulation
+#include "fedcons/sim/cluster_sim.h"
+#include "fedcons/sim/edf_sim.h"
+#include "fedcons/sim/gantt.h"
+#include "fedcons/sim/global_edf_sim.h"
+#include "fedcons/sim/release_generator.h"
+#include "fedcons/sim/sim_config.h"
+#include "fedcons/sim/system_sim.h"
+#include "fedcons/sim/trace.h"
+
+// Experiment harness
+#include "fedcons/expr/acceptance.h"
+#include "fedcons/expr/reports.h"
+#include "fedcons/expr/speedup_experiment.h"

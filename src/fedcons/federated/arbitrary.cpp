@@ -1,0 +1,165 @@
+#include "fedcons/federated/arbitrary.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "fedcons/federated/minprocs.h"
+#include "fedcons/federated/partition.h"
+#include "fedcons/listsched/list_scheduler.h"
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+const char* to_string(ArbitraryStrategy s) noexcept {
+  switch (s) {
+    case ArbitraryStrategy::kClampToPeriod: return "clamp-to-period";
+    case ArbitraryStrategy::kPipelined: return "pipelined";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Clamp every task's deadline to min(D, T) and run plain FEDCONS.
+ArbitraryFederatedResult run_clamped(const TaskSystem& system, int m,
+                                     const FedconsOptions& options) {
+  std::vector<DagTask> clamped;
+  clamped.reserve(system.size());
+  for (const auto& t : system) {
+    Dag g = t.graph();  // copy; DagTask is immutable by design
+    clamped.emplace_back(std::move(g), std::min(t.deadline(), t.period()),
+                         t.period(), t.name());
+  }
+  FedconsResult inner = fedcons_schedule(TaskSystem(std::move(clamped)), m,
+                                         options);
+  ArbitraryFederatedResult result;
+  result.strategy = ArbitraryStrategy::kClampToPeriod;
+  result.success = inner.success;
+  result.failed_task = inner.failed_task;
+  for (auto& c : inner.clusters) {
+    result.clusters.push_back(PipelinedCluster{
+        c.task, c.first_processor, c.num_processors, 1, std::move(c.sigma)});
+  }
+  result.shared_processors = inner.shared_processors;
+  result.first_shared_processor = inner.first_shared_processor;
+  result.shared_assignment = std::move(inner.shared_assignment);
+  return result;
+}
+
+/// Cheapest pipelined configuration for one high-density task within a
+/// processor budget: minimize k(μ)·μ, tie-break on smaller makespan.
+std::optional<PipelinedCluster> best_pipelined(const DagTask& task,
+                                               int budget,
+                                               ListPolicy policy) {
+  if (task.len() > task.deadline()) return std::nullopt;
+  std::optional<PipelinedCluster> best;
+  Time best_makespan = 0;
+  for (int mu = 1; mu <= budget; ++mu) {
+    TemplateSchedule sigma = list_schedule(task.graph(), mu, policy);
+    const Time makespan = sigma.makespan();
+    if (makespan > task.deadline()) continue;
+    const int k = static_cast<int>(ceil_div(makespan, task.period()));
+    const int cost = k * mu;
+    if (cost > budget) continue;
+    if (!best || cost < best->total_processors() ||
+        (cost == best->total_processors() && makespan < best_makespan)) {
+      PipelinedCluster c;
+      c.processors_per_instance = mu;
+      c.instances = k;
+      c.sigma = std::move(sigma);
+      best_makespan = makespan;
+      best = std::move(c);
+    }
+    // μ beyond vol's parallelism cannot improve further once makespan == len.
+    if (makespan == task.len() && best) break;
+  }
+  return best;
+}
+
+ArbitraryFederatedResult run_pipelined(const TaskSystem& system, int m,
+                                       const FedconsOptions& options) {
+  ArbitraryFederatedResult result;
+  result.strategy = ArbitraryStrategy::kPipelined;
+  int m_r = m;
+  int next_proc = 0;
+
+  for (TaskId i : system.high_density_tasks()) {
+    auto best = best_pipelined(system[i], m_r, options.list_policy);
+    if (!best.has_value()) {
+      result.success = false;
+      result.failed_task = i;
+      return result;
+    }
+    best->task = i;
+    best->first_processor = next_proc;
+    next_proc += best->total_processors();
+    m_r -= best->total_processors();
+    result.clusters.push_back(std::move(*best));
+  }
+
+  // Low-density tasks: PARTITION, forced to the full (arbitrary-deadline
+  // sound) predicate regardless of the caller's variant choice.
+  const auto low = system.low_density_tasks();
+  std::vector<SporadicTask> seq;
+  seq.reserve(low.size());
+  for (TaskId i : low) seq.push_back(system[i].to_sequential());
+  PartitionOptions popt = options.partition;
+  popt.variant = PartitionVariant::kFull;
+  PartitionResult part = partition_tasks(seq, m_r, popt);
+  if (!part.success) {
+    result.success = false;
+    if (part.failed_task < low.size()) {
+      result.failed_task = low[part.failed_task];
+    }
+    return result;
+  }
+  result.success = true;
+  result.shared_processors = m_r;
+  result.first_shared_processor = next_proc;
+  result.shared_assignment.resize(part.assignment.size());
+  for (std::size_t k = 0; k < part.assignment.size(); ++k) {
+    for (std::size_t idx : part.assignment[k]) {
+      result.shared_assignment[k].push_back(low[idx]);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ArbitraryFederatedResult arbitrary_federated_schedule(
+    const TaskSystem& system, int m, ArbitraryStrategy strategy,
+    const FedconsOptions& options) {
+  FEDCONS_EXPECTS(m >= 1);
+  switch (strategy) {
+    case ArbitraryStrategy::kClampToPeriod:
+      return run_clamped(system, m, options);
+    case ArbitraryStrategy::kPipelined:
+      return run_pipelined(system, m, options);
+  }
+  FEDCONS_ASSERT(false);
+  return {};
+}
+
+std::string ArbitraryFederatedResult::describe(
+    const TaskSystem& system) const {
+  std::ostringstream os;
+  os << "ARBFED[" << to_string(strategy) << "]: "
+     << (success ? "SUCCESS" : "FAILURE");
+  if (!success && failed_task.has_value()) {
+    os << " (task τ" << *failed_task + 1 << ")";
+  }
+  os << "\n";
+  if (!success) return os.str();
+  for (const auto& c : clusters) {
+    os << "  τ" << c.task + 1 << ": " << c.instances << " instance(s) × "
+       << c.processors_per_instance << " proc(s) = " << c.total_processors()
+       << " processors starting at " << c.first_processor << ", σ makespan "
+       << c.sigma.makespan() << " (D=" << system[c.task].deadline()
+       << ", T=" << system[c.task].period() << ")\n";
+  }
+  os << "  shared pool: " << shared_processors << " processor(s)\n";
+  return os.str();
+}
+
+}  // namespace fedcons

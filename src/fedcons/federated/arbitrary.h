@@ -1,0 +1,87 @@
+// Federated scheduling of ARBITRARY-deadline sporadic DAG systems — the
+// extension the paper names as future work (§V: "quite a bit more
+// challenging … a straightforward application of List Scheduling can no
+// longer be used", because with D > T consecutive dag-jobs of one task can
+// be live simultaneously).
+//
+// Two sound strategies are implemented (this is an extension beyond the
+// paper; both are proved sound in the comments below and validated by the
+// integration tests and experiment E9):
+//
+//  * kClampToPeriod — analyze every task with D' = min(D, T) and run plain
+//    FEDCONS. Sound: meeting the tighter deadline implies meeting the
+//    original. Simple but pessimistic — it ignores exactly the slack that
+//    arbitrary deadlines add.
+//
+//  * kPipelined — for each high-density task, build an LS template σ on μ
+//    processors with makespan L ≤ D, then dedicate k = ⌈L / T⌉ IDENTICAL
+//    cluster instances (k·μ processors total) used round-robin: dag-job j
+//    replays σ on instance (j mod k).
+//    Soundness: an instance is busy for at most L after a dag-job starts,
+//    and consecutive dag-jobs routed to the same instance are released at
+//    least k·T ≥ L apart — so every dag-job starts replaying σ immediately
+//    at its release and completes within L ≤ D. The processor count per
+//    task is minimized by scanning μ and picking the (k(μ)·μ)-cheapest
+//    configuration.
+//    Low-density tasks go through PARTITION with the FULL Baruah–Fisher
+//    predicate, which remains sound for arbitrary deadlines: DBF* ≥ DBF for
+//    every deadline model, Σ DBF* is piecewise linear with breakpoints at
+//    task deadlines, and the utilization check caps its slope at 1, so
+//    checking every breakpoint certifies Σ DBF(t) ≤ t for all t.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fedcons/core/task_system.h"
+#include "fedcons/federated/fedcons_algorithm.h"
+
+namespace fedcons {
+
+enum class ArbitraryStrategy { kClampToPeriod, kPipelined };
+
+[[nodiscard]] const char* to_string(ArbitraryStrategy s) noexcept;
+
+/// A replicated ("pipelined") cluster serving one high-density task.
+struct PipelinedCluster {
+  TaskId task = 0;
+  int first_processor = 0;        ///< global index of the block's start
+  int processors_per_instance = 0;  ///< μ
+  int instances = 0;              ///< k = ⌈makespan / T⌉
+  TemplateSchedule sigma;         ///< replayed on every instance
+  [[nodiscard]] int total_processors() const noexcept {
+    return processors_per_instance * instances;
+  }
+};
+
+/// Result of arbitrary-deadline federated scheduling.
+struct ArbitraryFederatedResult {
+  bool success = false;
+  ArbitraryStrategy strategy = ArbitraryStrategy::kPipelined;
+  std::optional<TaskId> failed_task;
+
+  std::vector<PipelinedCluster> clusters;  ///< one per high-density task
+  int shared_processors = 0;
+  int first_shared_processor = 0;
+  std::vector<std::vector<TaskId>> shared_assignment;
+
+  [[nodiscard]] std::string describe(const TaskSystem& system) const;
+};
+
+/// Schedule an arbitrary-deadline system on m processors. Also accepts
+/// constrained/implicit systems (where kPipelined degenerates to FEDCONS:
+/// every k == 1). Preconditions: m >= 1.
+[[nodiscard]] ArbitraryFederatedResult arbitrary_federated_schedule(
+    const TaskSystem& system, int m,
+    ArbitraryStrategy strategy = ArbitraryStrategy::kPipelined,
+    const FedconsOptions& options = {});
+
+/// Convenience verdict.
+[[nodiscard]] inline bool arbitrary_federated_schedulable(
+    const TaskSystem& system, int m,
+    ArbitraryStrategy strategy = ArbitraryStrategy::kPipelined) {
+  return arbitrary_federated_schedule(system, m, strategy).success;
+}
+
+}  // namespace fedcons

@@ -1,0 +1,107 @@
+#include "fedcons/federated/federated_implicit.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+const char* to_string(BaselineFailure f) noexcept {
+  switch (f) {
+    case BaselineFailure::kNone: return "accepted";
+    case BaselineFailure::kDedicatedPhase: return "dedicated-phase";
+    case BaselineFailure::kSharedPhase: return "shared-phase";
+  }
+  return "?";
+}
+
+int closed_form_processor_count(const DagTask& task, Time window) {
+  const Time len = task.len();
+  const Time vol = task.vol();
+  if (len > window) return -1;
+  if (len == window) return (vol == len) ? 1 : -1;
+  // ⌈(vol − len)/(window − len)⌉, at least 1.
+  const Time n = ceil_div(vol - len, window - len);
+  return static_cast<int>(std::max<Time>(1, n));
+}
+
+namespace {
+
+/// Generic two-phase driver: closed-form dedicated counts for the tasks in
+/// `high`, then first-fit of the `low` tasks subject to an additive
+/// per-processor budget (utilization or density), each capped at 1.
+FederatedBaselineResult run_baseline(const TaskSystem& system, int m,
+                                     const std::vector<TaskId>& high,
+                                     const std::vector<TaskId>& low,
+                                     bool use_density) {
+  FederatedBaselineResult result;
+  int m_r = m;
+  for (TaskId i : high) {
+    const auto& t = system[i];
+    const Time window = std::min(t.deadline(), t.period());
+    int n = closed_form_processor_count(t, window);
+    if (n < 0 || n > m_r) {
+      result.failure = BaselineFailure::kDedicatedPhase;
+      return result;  // success == false
+    }
+    result.dedicated_processors += n;
+    m_r -= n;
+  }
+  // First-fit decreasing (by the budget metric) over the shared pool.
+  std::vector<TaskId> order = low;
+  std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    const auto ka = use_density ? system[a].density() : system[a].utilization();
+    const auto kb = use_density ? system[b].density() : system[b].utilization();
+    return kb < ka;
+  });
+  std::vector<BigRational> load(static_cast<std::size_t>(std::max(m_r, 0)));
+  for (TaskId i : order) {
+    const BigRational need =
+        use_density ? system[i].density() : system[i].utilization();
+    bool placed = false;
+    for (auto& l : load) {
+      if (l + need <= BigRational(1)) {
+        l += need;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      result.failure = BaselineFailure::kSharedPhase;
+      return result;  // success == false
+    }
+  }
+  result.shared_processors = m_r;
+  result.success = true;
+  return result;
+}
+
+}  // namespace
+
+FederatedBaselineResult li_federated_implicit(const TaskSystem& system,
+                                              int m) {
+  FEDCONS_EXPECTS(m >= 1);
+  FEDCONS_EXPECTS_MSG(system.deadline_class() == DeadlineClass::kImplicit,
+                      "li_federated_implicit requires implicit deadlines");
+  std::vector<TaskId> high, low;
+  for (TaskId i = 0; i < system.size(); ++i) {
+    (system[i].is_high_utilization() ? high : low).push_back(i);
+  }
+  return run_baseline(system, m, high, low, /*use_density=*/false);
+}
+
+FederatedBaselineResult li_federated_constrained_adaptation(
+    const TaskSystem& system, int m) {
+  FEDCONS_EXPECTS(m >= 1);
+  FEDCONS_EXPECTS_MSG(system.deadline_class() != DeadlineClass::kArbitrary,
+                      "constrained-deadline adaptation requires D <= T");
+  std::vector<TaskId> high, low;
+  for (TaskId i = 0; i < system.size(); ++i) {
+    (system[i].is_high_density() ? high : low).push_back(i);
+  }
+  return run_baseline(system, m, high, low, /*use_density=*/true);
+}
+
+}  // namespace fedcons

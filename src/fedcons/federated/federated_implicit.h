@@ -1,0 +1,63 @@
+// Baseline: federated scheduling of IMPLICIT-deadline systems (Li et al.,
+// ECRTS 2014) and its natural constrained-deadline adaptation.
+//
+// Li et al. assign each high-utilization task (u_i ≥ 1) the closed-form
+// processor count
+//     n_i = ⌈(vol_i − len_i) / (T_i − len_i)⌉
+// (valid because any work-conserving schedule on n processors finishes one
+// dag-job within len + (vol − len)/n ≤ T), and partition the low-utilization
+// tasks as sequential tasks. The algorithm's capacity augmentation bound is
+// 2, hence speedup bound 2 (paper, Section III).
+//
+// Two variants are provided:
+//  * li_federated_implicit — the original algorithm; defined only for
+//    implicit-deadline systems (precondition-checked). Low tasks are placed
+//    first-fit with per-processor utilization ≤ 1 (exact for EDF with
+//    implicit deadlines).
+//  * li_federated_constrained_adaptation — the textbook adaptation used as a
+//    comparison baseline in E3/E8: D_i replaces T_i in the processor-count
+//    formula (sound: Graham's bound gives makespan ≤ len + (vol−len)/n_i ≤
+//    D_i), and low-density tasks are placed first-fit with per-processor
+//    total DENSITY ≤ 1 (a sufficient uniprocessor EDF condition for
+//    constrained deadlines). Strictly more pessimistic than FEDCONS's
+//    DBF*-based partitioning — exactly the gap E3 visualizes.
+#pragma once
+
+#include "fedcons/core/task_system.h"
+
+namespace fedcons {
+
+/// Which phase rejected (mirrors FedconsFailure for the closed-form
+/// baselines; used by experiment E12's bottleneck attribution).
+enum class BaselineFailure {
+  kNone,            ///< accepted
+  kDedicatedPhase,  ///< closed-form processor counts exhausted the platform
+  kSharedPhase,     ///< the low tasks did not pack on the remainder
+};
+
+[[nodiscard]] const char* to_string(BaselineFailure f) noexcept;
+
+/// Outcome of a closed-form federated baseline.
+struct FederatedBaselineResult {
+  bool success = false;
+  BaselineFailure failure = BaselineFailure::kNone;
+  int dedicated_processors = 0;  ///< Σ n_i over high tasks
+  int shared_processors = 0;     ///< remainder used for the low tasks
+};
+
+/// Li et al. (ECRTS'14) federated scheduling. Precondition: m >= 1 and the
+/// system is implicit-deadline.
+[[nodiscard]] FederatedBaselineResult li_federated_implicit(
+    const TaskSystem& system, int m);
+
+/// Constrained-deadline adaptation (see header comment). Precondition:
+/// m >= 1 and the system is constrained-deadline.
+[[nodiscard]] FederatedBaselineResult li_federated_constrained_adaptation(
+    const TaskSystem& system, int m);
+
+/// The closed-form dedicated-processor count for one task within window w:
+/// ⌈(vol − len)/(w − len)⌉ (1 when vol == len; kTimeInfinity-like failure is
+/// signalled by returning -1 when len > w, or len == w with vol > len).
+[[nodiscard]] int closed_form_processor_count(const DagTask& task, Time window);
+
+}  // namespace fedcons

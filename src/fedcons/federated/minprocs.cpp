@@ -1,0 +1,30 @@
+#include "fedcons/federated/minprocs.h"
+
+#include <algorithm>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+int minprocs_lower_bound(const DagTask& task) {
+  const Time window = std::min(task.deadline(), task.period());
+  const Time lb = ceil_div(task.vol(), window);
+  return static_cast<int>(std::max<Time>(1, lb));
+}
+
+std::optional<MinprocsResult> minprocs(const DagTask& task,
+                                       int max_processors,
+                                       ListPolicy policy) {
+  FEDCONS_EXPECTS(max_processors >= 0);
+  // No processor count can beat the critical path.
+  if (task.len() > task.deadline()) return std::nullopt;
+  for (int mu = minprocs_lower_bound(task); mu <= max_processors; ++mu) {
+    TemplateSchedule sigma = list_schedule(task.graph(), mu, policy);
+    if (sigma.makespan() <= task.deadline()) {
+      return MinprocsResult{mu, std::move(sigma)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fedcons

@@ -1,0 +1,47 @@
+// Procedure MINPROCS (paper, Figure 3).
+//
+//   MINPROCS(τ_i, m_r):
+//     for μ ← ⌈δ_i⌉ to m_r do
+//       apply List Scheduling to construct a schedule for G_i on μ processors
+//       if this schedule has makespan ≤ D_i: return μ
+//     return ∞
+//
+// Determines the minimum number of dedicated processors on which Graham LS
+// schedules one dag-job of τ_i within its relative deadline, and keeps the
+// resulting template schedule σ_i for run-time replay. The scan is linear —
+// NOT a binary search — because LS makespan is not guaranteed monotone in the
+// processor count (another face of Graham's anomalies), a fact covered by a
+// regression test.
+//
+// Lemma 1 (paper): if τ_i is schedulable by an optimal scheduler on m_i
+// unit-speed processors, LS schedules it on m_i processors of speed 2 − 1/m_i
+// — inherited from Graham's (2 − 1/m) makespan bound.
+#pragma once
+
+#include <optional>
+
+#include "fedcons/core/dag_task.h"
+#include "fedcons/listsched/list_scheduler.h"
+#include "fedcons/listsched/schedule.h"
+
+namespace fedcons {
+
+/// Successful MINPROCS outcome: a processor count and the template schedule.
+struct MinprocsResult {
+  int processors = 0;
+  TemplateSchedule sigma;
+};
+
+/// Run MINPROCS for τ_i with at most max_processors available. Returns
+/// nullopt when no μ ≤ max_processors yields makespan ≤ D_i (the paper's
+/// "∞"), including the trivially hopeless case len_i > D_i.
+/// Preconditions: max_processors >= 0 (0 always yields nullopt).
+[[nodiscard]] std::optional<MinprocsResult> minprocs(
+    const DagTask& task, int max_processors,
+    ListPolicy policy = ListPolicy::kVertexOrder);
+
+/// The scan's lower starting point ⌈δ_i⌉ = ⌈vol_i / min(D_i, T_i)⌉, in exact
+/// integer arithmetic. Exposed for tests and the E7 efficiency experiment.
+[[nodiscard]] int minprocs_lower_bound(const DagTask& task);
+
+}  // namespace fedcons

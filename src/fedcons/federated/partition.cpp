@@ -1,0 +1,193 @@
+#include "fedcons/federated/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "fedcons/analysis/dbf.h"
+#include "fedcons/analysis/edf_uniproc.h"
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+const char* to_string(PartitionVariant v) noexcept {
+  switch (v) {
+    case PartitionVariant::kFull: return "full";
+    case PartitionVariant::kPaperLiteral: return "paper-literal";
+    case PartitionVariant::kExactEdf: return "exact-edf";
+  }
+  return "?";
+}
+
+const char* to_string(FitStrategy f) noexcept {
+  switch (f) {
+    case FitStrategy::kFirstFit: return "first-fit";
+    case FitStrategy::kBestFit: return "best-fit";
+    case FitStrategy::kWorstFit: return "worst-fit";
+  }
+  return "?";
+}
+
+const char* to_string(PartitionOrder o) noexcept {
+  switch (o) {
+    case PartitionOrder::kDeadlineMonotonic: return "deadline-monotonic";
+    case PartitionOrder::kDensityDescending: return "density-desc";
+    case PartitionOrder::kUtilizationDescending: return "utilization-desc";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-processor bookkeeping during partitioning.
+struct Bin {
+  std::vector<std::size_t> tasks;    // indices into the input span
+  BigRational utilization;           // Σ u_j, exact
+};
+
+/// The acceptance probe for placing `cand` on `bin`.
+bool fits(std::span<const SporadicTask> all, const Bin& bin,
+          std::size_t cand, const PartitionOptions& options) {
+  const SporadicTask& t = all[cand];
+
+  if (options.variant == PartitionVariant::kExactEdf) {
+    std::vector<SporadicTask> trial;
+    trial.reserve(bin.tasks.size() + 1);
+    for (std::size_t j : bin.tasks) trial.push_back(all[j]);
+    trial.push_back(t);
+    return edf_schedulable(trial);
+  }
+
+  if (options.variant == PartitionVariant::kPaperLiteral) {
+    // The paper's Fig. 4 line 3, verbatim:
+    //   Σ_j DBF*(τ_j, D_i) + vol_i ≤ D_i.
+    BigRational sum(t.wcet);
+    for (std::size_t j : bin.tasks) sum += dbf_approx(all[j], t.deadline);
+    return sum <= BigRational(t.deadline);
+  }
+
+  // kFull — Baruah–Fisher with a k-point demand approximation:
+  // long-run capacity first…
+  if (bin.utilization + t.utilization() > BigRational(1)) return false;
+  // …then the demand condition at every slope breakpoint of the summed
+  // k-point approximation over bin ∪ {candidate}. Between breakpoints the
+  // sum is linear with slope ≤ Σu ≤ 1 (checked above), so breakpoint
+  // verification certifies all t. Breakpoints strictly below the candidate's
+  // deadline are unchanged by the placement (the candidate contributes 0
+  // there) and were certified when their tasks were admitted.
+  const int points = std::max(1, options.dbf_points);
+  std::vector<SporadicTask> members;
+  members.reserve(bin.tasks.size() + 1);
+  for (std::size_t j : bin.tasks) members.push_back(all[j]);
+  members.push_back(t);
+  Time horizon = 0;
+  for (const auto& task : members) {
+    horizon = std::max(
+        horizon, checked_add(task.deadline,
+                             checked_mul(static_cast<Time>(points - 1),
+                                         task.period)));
+  }
+  for (Time bp : dbf_approx_breakpoints(members, points, horizon)) {
+    if (bp < t.deadline) continue;
+    BigRational sum;
+    for (const auto& task : members) sum += dbf_approx_k(task, bp, points);
+    if (sum > BigRational(bp)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PartitionResult partition_tasks(std::span<const SporadicTask> tasks,
+                                int num_processors,
+                                const PartitionOptions& options) {
+  FEDCONS_EXPECTS(num_processors >= 0);
+  PartitionResult result;
+  if (tasks.empty()) {
+    result.success = true;
+    result.assignment.assign(static_cast<std::size_t>(num_processors), {});
+    return result;
+  }
+  if (num_processors == 0) {
+    result.success = false;
+    result.failed_task = 0;
+    return result;
+  }
+
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  switch (options.order) {
+    case PartitionOrder::kDeadlineMonotonic:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return tasks[a].deadline < tasks[b].deadline;
+                       });
+      break;
+    case PartitionOrder::kDensityDescending:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return tasks[b].density() < tasks[a].density();
+                       });
+      break;
+    case PartitionOrder::kUtilizationDescending:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return tasks[b].utilization() < tasks[a].utilization();
+                       });
+      break;
+  }
+
+  std::vector<Bin> bins(static_cast<std::size_t>(num_processors));
+  for (std::size_t i : order) {
+    int chosen = -1;
+    for (int k = 0; k < num_processors; ++k) {
+      const Bin& bin = bins[static_cast<std::size_t>(k)];
+      if (!fits(tasks, bin, i, options)) continue;
+      if (options.fit == FitStrategy::kFirstFit) {
+        chosen = k;
+        break;
+      }
+      if (chosen < 0) {
+        chosen = k;
+        continue;
+      }
+      const Bin& best = bins[static_cast<std::size_t>(chosen)];
+      if (options.fit == FitStrategy::kBestFit &&
+          best.utilization < bin.utilization) {
+        chosen = k;
+      } else if (options.fit == FitStrategy::kWorstFit &&
+                 bin.utilization < best.utilization) {
+        chosen = k;
+      }
+    }
+    if (chosen < 0) {
+      result.success = false;
+      result.failed_task = i;
+      return result;
+    }
+    Bin& bin = bins[static_cast<std::size_t>(chosen)];
+    bin.tasks.push_back(i);
+    bin.utilization += tasks[i].utilization();
+  }
+
+  result.success = true;
+  result.assignment.reserve(bins.size());
+  for (auto& bin : bins) result.assignment.push_back(std::move(bin.tasks));
+  return result;
+}
+
+bool partition_is_edf_schedulable(std::span<const SporadicTask> tasks,
+                                  const PartitionResult& result) {
+  FEDCONS_EXPECTS(result.success);
+  for (const auto& proc : result.assignment) {
+    std::vector<SporadicTask> assigned;
+    assigned.reserve(proc.size());
+    for (std::size_t i : proc) {
+      FEDCONS_EXPECTS(i < tasks.size());
+      assigned.push_back(tasks[i]);
+    }
+    if (!edf_schedulable(assigned)) return false;
+  }
+  return true;
+}
+
+}  // namespace fedcons

@@ -1,0 +1,57 @@
+// WCET sensitivity analysis — "how much slack does this design have?"
+//
+// Practitioners rarely trust point WCET estimates; the standard engineering
+// question after a schedulability verdict is the *margin*: by what factor
+// can execution budgets grow before the verdict flips (Bini/Di Natale/
+// Buttazzo-style sensitivity analysis, here instantiated for FEDCONS).
+//
+// Two margins are computed against any acceptance test:
+//  * per-task margin  — scale ONLY τ_i's vertex WCETs by α (⌈α·e_v⌉) and
+//    find the largest accepted α: identifies which task constrains the
+//    design;
+//  * system margin    — scale EVERY task simultaneously (equivalently: the
+//    reciprocal of the minimum platform speed; a system margin of 1.6 means
+//    the platform could be ~1.6× slower).
+//
+// Like speedup.h, the searches bisect and then verify downward on the grid:
+// the returned margin is always an ACCEPTED scale, and the next grid point
+// above it was checked to be rejected (LS-makespan non-monotonicities make
+// a pure bisection technically unsafe).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fedcons/core/task_system.h"
+
+namespace fedcons {
+
+/// Acceptance predicate over (system, m) — same shape as speedup.h's.
+using SensitivityTest = std::function<bool(const TaskSystem&, int)>;
+
+/// Copy of `system` with task `target`'s vertex WCETs scaled to ⌈α·e_v⌉
+/// (others untouched). Preconditions: valid target, α > 0.
+[[nodiscard]] TaskSystem scale_task_wcets(const TaskSystem& system,
+                                          TaskId target, double alpha);
+
+struct TaskMargin {
+  TaskId task = 0;
+  /// Largest accepted scale in [1, max_scale] to grid `resolution`;
+  /// < 1 (0.0) when even α = 1 is rejected (system not schedulable as-is).
+  double margin = 0.0;
+};
+
+/// Per-task WCET margins under `test` on m processors.
+/// Preconditions: m >= 1, max_scale >= 1, resolution > 0.
+[[nodiscard]] std::vector<TaskMargin> wcet_sensitivity(
+    const TaskSystem& system, int m, const SensitivityTest& test,
+    double max_scale = 8.0, double resolution = 1.0 / 64.0);
+
+/// System-wide margin: largest uniform scale applied to every task that
+/// `test` still accepts (0.0 when α = 1 is already rejected).
+[[nodiscard]] double system_wcet_margin(const TaskSystem& system, int m,
+                                        const SensitivityTest& test,
+                                        double max_scale = 8.0,
+                                        double resolution = 1.0 / 64.0);
+
+}  // namespace fedcons

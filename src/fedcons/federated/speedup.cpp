@@ -1,0 +1,42 @@
+#include "fedcons/federated/speedup.h"
+
+#include <cmath>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+std::optional<double> min_speed(const TaskSystem& system, int m,
+                                const AcceptanceTest& test, double max_speed,
+                                double resolution) {
+  FEDCONS_EXPECTS(m >= 1);
+  FEDCONS_EXPECTS(max_speed >= 1.0);
+  FEDCONS_EXPECTS(resolution > 0.0);
+
+  auto accepts = [&](double s) { return test(system.scaled_by_speed(s), m); };
+
+  if (!accepts(max_speed)) return std::nullopt;
+  if (accepts(1.0)) return 1.0;
+
+  // Bisect on the (near-)monotone acceptance boundary.
+  double lo = 1.0;         // rejected
+  double hi = max_speed;   // accepted
+  while (hi - lo > resolution) {
+    double mid = 0.5 * (lo + hi);
+    if (accepts(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  // Guard against non-monotonicity: walk down the grid from hi while still
+  // accepted (never returns a speed that is not accepted).
+  double best = hi;
+  for (double s = hi - resolution; s >= 1.0; s -= resolution) {
+    if (!accepts(s)) break;
+    best = s;
+  }
+  return best;
+}
+
+}  // namespace fedcons

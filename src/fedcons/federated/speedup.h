@@ -1,0 +1,46 @@
+// Empirical speedup measurement (experiments E2 and E4).
+//
+// Speedup bounds (paper, Definition 1) compare an algorithm on speed-b
+// processors against an optimal clairvoyant scheduler on unit-speed
+// processors. Empirically we measure, per task system, the minimum processor
+// speed s at which a given acceptance test admits the system; normalized
+// against the necessary-condition feasibility proxy this estimates how
+// conservative the 3 − 1/m worst-case bound is in practice.
+//
+// Speed-s processors are modelled by scaling every WCET to ⌈e_v/s⌉
+// (DagTask::scaled_by_speed) — conservative: the scaled system is never
+// easier than the ideal fractional scaling, so measured speedups are upper
+// bounds on the true ones.
+//
+// Acceptance in s is *typically* monotone but not provably so for
+// LS-makespan-based tests (Graham anomalies with respect to execution-time
+// scaling). min_speed therefore bisects to a candidate and then walks the
+// grid downward to the lowest accepted point, guaranteeing the returned
+// speed is accepted and that no smaller grid point below it is.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "fedcons/core/task_system.h"
+
+namespace fedcons {
+
+/// An acceptance test: does `system` pass on m unit-speed processors?
+using AcceptanceTest = std::function<bool(const TaskSystem&, int m)>;
+
+/// Minimum speed s in [1, max_speed] (to within `resolution`) at which
+/// `test` accepts the system on m speed-s processors, or nullopt when even
+/// max_speed is rejected. Preconditions: m >= 1, max_speed >= 1,
+/// resolution > 0.
+[[nodiscard]] std::optional<double> min_speed(const TaskSystem& system, int m,
+                                              const AcceptanceTest& test,
+                                              double max_speed = 8.0,
+                                              double resolution = 1.0 / 64.0);
+
+/// The paper's Theorem 1 worst-case bound for FEDCONS on m processors.
+[[nodiscard]] inline double fedcons_speedup_bound(int m) {
+  return 3.0 - 1.0 / static_cast<double>(m);
+}
+
+}  // namespace fedcons

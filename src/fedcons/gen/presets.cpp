@@ -1,0 +1,108 @@
+#include "fedcons/gen/presets.h"
+
+#include <sstream>
+
+namespace fedcons {
+
+const std::vector<WorkloadPreset>& workload_presets() {
+  static const std::vector<WorkloadPreset> presets = [] {
+    std::vector<WorkloadPreset> out;
+
+    {
+      WorkloadPreset p;
+      p.name = "avionics";
+      p.description =
+          "few tasks, short harmonic-ish periods, tight deadlines, shallow "
+          "fork-join graphs (flight-control style)";
+      p.params.num_tasks = 6;
+      p.params.total_utilization = 2.0;
+      p.params.utilization_cap = 2.5;
+      p.params.period_min = 250;    // 25 ms at 100 µs ticks
+      p.params.period_max = 10000;  // 1 s
+      p.params.deadline_ratio_min = 0.4;
+      p.params.deadline_ratio_max = 0.8;
+      p.params.topology = DagTopology::kForkJoin;
+      p.params.fork_join.max_depth = 2;
+      p.params.fork_join.min_branches = 2;
+      p.params.fork_join.max_branches = 4;
+      p.params.fork_join.max_wcet = 60;
+      out.push_back(std::move(p));
+    }
+    {
+      WorkloadPreset p;
+      p.name = "automotive";
+      p.description =
+          "many small tasks, wide period spread, mostly sequential with "
+          "occasional parallel sections (AUTOSAR-runnable style)";
+      p.params.num_tasks = 24;
+      p.params.total_utilization = 3.0;
+      p.params.utilization_cap = 1.5;
+      p.params.period_min = 100;      // 1 ms ticks: 1 ms
+      p.params.period_max = 100000;   // 1 s
+      p.params.deadline_ratio_min = 0.6;
+      p.params.deadline_ratio_max = 1.0;
+      p.params.topology = DagTopology::kLayered;
+      p.params.layered.min_layers = 1;
+      p.params.layered.max_layers = 3;
+      p.params.layered.min_width = 1;
+      p.params.layered.max_width = 2;
+      p.params.layered.max_wcet = 40;
+      out.push_back(std::move(p));
+    }
+    {
+      WorkloadPreset p;
+      p.name = "vision";
+      p.description =
+          "heavy wide layered DAGs (frame pipelines), deadlines near "
+          "periods, high per-task utilization — high-density tasks common";
+      p.params.num_tasks = 4;
+      p.params.total_utilization = 6.0;
+      p.params.utilization_cap = 4.0;
+      p.params.period_min = 1000;   // e.g. 33 ms frames at 33 µs ticks
+      p.params.period_max = 4000;
+      p.params.deadline_ratio_min = 0.8;
+      p.params.deadline_ratio_max = 1.0;
+      p.params.topology = DagTopology::kLayered;
+      p.params.layered.min_layers = 4;
+      p.params.layered.max_layers = 8;
+      p.params.layered.min_width = 3;
+      p.params.layered.max_width = 8;
+      p.params.layered.edge_probability = 0.5;
+      p.params.layered.max_wcet = 200;
+      out.push_back(std::move(p));
+    }
+    {
+      WorkloadPreset p;
+      p.name = "mixed";
+      p.description =
+          "the E3 experiment configuration: mixed topologies, log-uniform "
+          "periods over two-plus decades, D/T in [0.5, 1]";
+      p.params.num_tasks = 16;
+      p.params.total_utilization = 4.0;
+      p.params.utilization_cap = 8.0;
+      p.params.period_min = 100;
+      p.params.period_max = 50000;
+      p.params.topology = DagTopology::kMixed;
+      out.push_back(std::move(p));
+    }
+    return out;
+  }();
+  return presets;
+}
+
+std::optional<WorkloadPreset> find_preset(const std::string& name) {
+  for (const auto& p : workload_presets()) {
+    if (p.name == name) return p;
+  }
+  return std::nullopt;
+}
+
+std::string describe_presets() {
+  std::ostringstream os;
+  for (const auto& p : workload_presets()) {
+    os << "  " << p.name << " — " << p.description << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fedcons

@@ -1,0 +1,39 @@
+// Named workload presets — reproducible generator configurations for the
+// domains the paper's model targets. Used by examples, the fedcons_gen tool,
+// and anyone wanting a realistic starting point without hand-tuning eight
+// generator knobs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fedcons/gen/taskset_gen.h"
+
+namespace fedcons {
+
+/// A named, documented generator configuration.
+struct WorkloadPreset {
+  std::string name;
+  std::string description;
+  TaskSetParams params;
+};
+
+/// The built-in presets:
+///   avionics   — few tasks, harmonic-ish short periods, tight deadlines,
+///                shallow fork–join graphs (flight-control style);
+///   automotive — many small tasks, broad period spread (1–1000 ms style),
+///                mostly sequential with occasional parallel sections;
+///   vision     — heavy wide layered DAGs (frame pipelines), deadlines
+///                close to periods, high per-task utilization;
+///   mixed      — the E3 experiment configuration (general-purpose).
+[[nodiscard]] const std::vector<WorkloadPreset>& workload_presets();
+
+/// Look up a preset by name; nullopt if unknown.
+[[nodiscard]] std::optional<WorkloadPreset> find_preset(
+    const std::string& name);
+
+/// One-line-per-preset listing for --help style output.
+[[nodiscard]] std::string describe_presets();
+
+}  // namespace fedcons

@@ -1,0 +1,44 @@
+// Graham's timing anomaly — the reason FEDCONS replays template schedules.
+//
+// Paper, footnote 2: "it is not safe to simply re-run LS during run-time —
+// it was shown [Graham 1966] that LS exhibits anomalous behavior in the
+// sense that reducing the execution-times of jobs may increase the schedule
+// length." This header packages Graham's classic 9-job instance so tests,
+// the anomaly example application, and experiment E6 can all demonstrate the
+// phenomenon concretely.
+#pragma once
+
+#include <vector>
+
+#include "fedcons/core/dag.h"
+#include "fedcons/util/time_types.h"
+
+namespace fedcons {
+
+/// A concrete anomaly witness: a DAG, a processor count, and per-vertex
+/// actual execution times (each ≤ WCET) such that list-scheduling with the
+/// *reduced* times yields a LONGER makespan than with the full WCETs.
+struct AnomalyInstance {
+  Dag dag;
+  int processors = 0;
+  std::vector<Time> reduced_exec_times;
+  Time wcet_makespan = 0;    ///< LS makespan with full WCETs
+  Time reduced_makespan = 0; ///< LS makespan with reduced times (> wcet_makespan)
+};
+
+/// Graham's classic instance (SIAM J. Appl. Math. 17, 1969): nine jobs with
+/// WCETs (3,2,2,2,4,4,4,4,9), precedence v0→v8 and v3→{v4,v5,v6,v7}, on
+/// m = 3 processors. LS (vertex order) yields makespan 12 with full WCETs
+/// but 13 when every execution time shrinks by one unit.
+[[nodiscard]] AnomalyInstance make_graham_anomaly_instance();
+
+/// Search for an anomaly on the given DAG/processor count by sampling random
+/// execution-time reductions with the given RNG seed. Returns the first
+/// witness found within `attempts` samples, or an empty optional-like flag
+/// via AnomalyInstance with processors == 0. Used by the experiment suite to
+/// show anomalies are not rare curiosities.
+[[nodiscard]] AnomalyInstance find_anomaly(const Dag& dag, int processors,
+                                           std::uint64_t seed,
+                                           int attempts = 1000);
+
+}  // namespace fedcons

@@ -1,0 +1,141 @@
+#include "fedcons/listsched/list_scheduler.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+const char* to_string(ListPolicy p) noexcept {
+  switch (p) {
+    case ListPolicy::kVertexOrder: return "vertex-order";
+    case ListPolicy::kCriticalPath: return "critical-path";
+    case ListPolicy::kLongestWcet: return "longest-wcet";
+  }
+  return "?";
+}
+
+namespace {
+
+// Priority key: smaller sorts first in the ready queue.
+struct ReadyKey {
+  Time primary;    // policy-dependent (negated for "largest first")
+  VertexId vertex;  // deterministic tie-break
+
+  bool operator>(const ReadyKey& rhs) const noexcept {
+    if (primary != rhs.primary) return primary > rhs.primary;
+    return vertex > rhs.vertex;
+  }
+};
+
+TemplateSchedule run_ls(const Dag& dag, int num_processors,
+                        std::span<const Time> exec_times, ListPolicy policy) {
+  FEDCONS_EXPECTS(!dag.empty());
+  FEDCONS_EXPECTS(num_processors >= 1);
+  FEDCONS_EXPECTS(exec_times.size() == dag.num_vertices());
+  for (std::size_t v = 0; v < dag.num_vertices(); ++v) {
+    FEDCONS_EXPECTS_MSG(exec_times[v] >= 1 &&
+                            exec_times[v] <= dag.wcet(static_cast<VertexId>(v)),
+                        "actual execution time must be in [1, WCET]");
+  }
+
+  const std::size_t n = dag.num_vertices();
+  auto key_of = [&](VertexId v) -> ReadyKey {
+    switch (policy) {
+      case ListPolicy::kVertexOrder:
+        return {0, v};
+      case ListPolicy::kCriticalPath:
+        return {-dag.bottom_level(v), v};
+      case ListPolicy::kLongestWcet:
+        return {-dag.wcet(v), v};
+    }
+    return {0, v};
+  };
+
+  std::vector<std::size_t> remaining_preds(n);
+  std::priority_queue<ReadyKey, std::vector<ReadyKey>, std::greater<>> ready;
+  for (std::size_t v = 0; v < n; ++v) {
+    remaining_preds[v] = dag.in_degree(static_cast<VertexId>(v));
+    if (remaining_preds[v] == 0) ready.push(key_of(static_cast<VertexId>(v)));
+  }
+
+  struct Running {
+    Time finish;
+    int proc;
+    VertexId vertex;
+    bool operator>(const Running& rhs) const noexcept {
+      if (finish != rhs.finish) return finish > rhs.finish;
+      if (vertex != rhs.vertex) return vertex > rhs.vertex;
+      return proc > rhs.proc;
+    }
+  };
+  std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
+  std::priority_queue<int, std::vector<int>, std::greater<>> free_procs;
+  for (int p = 0; p < num_processors; ++p) free_procs.push(p);
+
+  std::vector<ScheduledJob> out;
+  out.reserve(n);
+  Time now = 0;
+  std::size_t scheduled = 0;
+  while (scheduled < n) {
+    // Dispatch: work-conserving — any available job onto any idle processor.
+    while (!free_procs.empty() && !ready.empty()) {
+      ReadyKey k = ready.top();
+      ready.pop();
+      int proc = free_procs.top();
+      free_procs.pop();
+      Time exec = exec_times[k.vertex];
+      Time finish = checked_add(now, exec);
+      out.push_back(ScheduledJob{k.vertex, proc, now, finish});
+      running.push(Running{finish, proc, k.vertex});
+      ++scheduled;
+    }
+    if (scheduled == n) break;
+    FEDCONS_ASSERT(!running.empty());  // else: cycle (excluded by contract)
+    // Advance to the next completion; release successors & processors.
+    now = running.top().finish;
+    while (!running.empty() && running.top().finish == now) {
+      Running r = running.top();
+      running.pop();
+      free_procs.push(r.proc);
+      for (VertexId s : dag.successors(r.vertex)) {
+        if (--remaining_preds[s] == 0) ready.push(key_of(s));
+      }
+    }
+  }
+  return TemplateSchedule(num_processors, std::move(out));
+}
+
+}  // namespace
+
+TemplateSchedule list_schedule(const Dag& dag, int num_processors,
+                               ListPolicy policy) {
+  std::vector<Time> wcets(dag.num_vertices());
+  for (std::size_t v = 0; v < dag.num_vertices(); ++v)
+    wcets[v] = dag.wcet(static_cast<VertexId>(v));
+  return run_ls(dag, num_processors, wcets, policy);
+}
+
+TemplateSchedule list_schedule_with_exec_times(const Dag& dag,
+                                               int num_processors,
+                                               std::span<const Time> exec_times,
+                                               ListPolicy policy) {
+  return run_ls(dag, num_processors, exec_times, policy);
+}
+
+Time makespan_lower_bound(const Dag& dag, int num_processors) {
+  FEDCONS_EXPECTS(num_processors >= 1);
+  return std::max(dag.len(), ceil_div(dag.vol(), num_processors));
+}
+
+Time graham_bound(const Dag& dag, int num_processors) {
+  FEDCONS_EXPECTS(num_processors >= 1);
+  // T_LS ≤ len + (vol − len)/m, i.e. m·T_LS ≤ vol + (m−1)·len. The makespan
+  // is integral, so floor of the real bound is a valid upper bound.
+  Time m = num_processors;
+  return floor_div(checked_add(dag.vol(), checked_mul(m - 1, dag.len())), m);
+}
+
+}  // namespace fedcons

@@ -1,0 +1,40 @@
+// Exact optimal non-preemptive makespan for small DAGs (branch and bound).
+//
+// Purpose: measure how far Graham's List Scheduling — and therefore MINPROCS
+// — actually sits from optimal. Lemma 1 bounds LS at (2 − 1/m) times the
+// *preemptive* optimum; since the non-preemptive optimum dominates the
+// preemptive one, the measured ratio LS/OPT_np is a conservative sample of
+// the same quantity, and experiment E11 reports its distribution.
+//
+// Algorithm: depth-first branch and bound over dispatch decisions. A state
+// schedules ready jobs onto the earliest-free processor; pruning uses the
+// standard lower bound max(len remainder, ⌈remaining work / m⌉) plus the
+// incumbent. Exponential in the worst case — intended for |V| ≲ 14 and
+// small m (contract-checked); the experiment keeps instances in that range.
+#pragma once
+
+#include <cstdint>
+
+#include "fedcons/core/dag.h"
+#include "fedcons/util/time_types.h"
+
+namespace fedcons {
+
+/// Result of the exact search.
+struct OptimalMakespanResult {
+  Time makespan = 0;          ///< optimal non-preemptive makespan
+  std::uint64_t nodes = 0;    ///< B&B nodes explored (diagnostics)
+  bool exact = true;          ///< false iff the node budget was exhausted —
+                              ///< then `makespan` is the best incumbent
+};
+
+/// Compute the optimal non-preemptive makespan of one dag-job of `dag` on
+/// `num_processors` identical processors. `node_budget` caps the search
+/// (default generous for |V| ≤ 14). Preconditions: non-empty acyclic dag,
+/// num_processors >= 1, |V| <= 20 (hard cap — the state encoding and the
+/// search are sized for small instances).
+[[nodiscard]] OptimalMakespanResult optimal_makespan(
+    const Dag& dag, int num_processors,
+    std::uint64_t node_budget = 20'000'000);
+
+}  // namespace fedcons

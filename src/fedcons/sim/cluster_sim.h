@@ -1,0 +1,58 @@
+// Dedicated-cluster run-time simulation for high-density tasks.
+//
+// Two dispatch modes, matching the paper's Section IV-A discussion:
+//  * kTemplateReplay — the algorithm's actual run-time rule: the job of
+//    vertex v starts at (release + σ.start(v)) on processor σ.proc(v) and the
+//    slot idles if the job completes early. Anomaly-safe: the dag-job always
+//    completes by release + σ.makespan ≤ release + D.
+//  * kOnlineRerun — the behaviour footnote 2 warns against: LS is re-run at
+//    each release with the ACTUAL execution times. Graham's anomaly means
+//    this can exceed σ's makespan and miss deadlines even though every job
+//    ran no longer than its WCET.
+#pragma once
+
+#include "fedcons/core/dag_task.h"
+#include "fedcons/listsched/list_scheduler.h"
+#include "fedcons/listsched/schedule.h"
+#include "fedcons/sim/release_generator.h"
+#include "fedcons/sim/sim_config.h"
+#include "fedcons/sim/trace.h"
+
+namespace fedcons {
+
+enum class ClusterDispatch { kTemplateReplay, kOnlineRerun };
+
+[[nodiscard]] const char* to_string(ClusterDispatch d) noexcept;
+
+/// Simulate every release of `task` on its dedicated cluster.
+/// Preconditions: sigma validates against task.graph(); releases were
+/// generated for this task (vertex-count match).
+///
+/// Constrained deadlines (D ≤ T) guarantee dag-jobs of the same task never
+/// overlap when the analysis accepted the task (makespan ≤ D ≤ T), so
+/// releases are processed independently; for kOnlineRerun a dag-job is
+/// STILL started at its release (the overrun manifests purely as lateness),
+/// which is the standard miss-accounting convention.
+/// `trace`, when non-null, records every executed segment (job_uid =
+/// release_index · |V| + vertex) for post-hoc validation (sim/trace.h).
+[[nodiscard]] SimStats simulate_cluster(const DagTask& task,
+                                        const TemplateSchedule& sigma,
+                                        std::span<const DagJobRelease> releases,
+                                        const SimConfig& config,
+                                        ClusterDispatch dispatch,
+                                        ListPolicy policy = ListPolicy::kVertexOrder,
+                                        ExecutionTrace* trace = nullptr);
+
+/// Simulate a PIPELINED cluster (arbitrary-deadline extension, see
+/// federated/arbitrary.h): dag-job j replays `sigma` on instance
+/// (j mod instances), each instance owning its own sigma.num_processors()
+/// processors. In addition to miss statistics this validates the soundness
+/// argument operationally: it THROWS (ContractViolation) if two jobs ever
+/// overlap on the same processor — which the k = ⌈makespan/T⌉ choice is
+/// proved to prevent. Preconditions: instances >= 1; sigma matches the task.
+[[nodiscard]] SimStats simulate_pipelined_cluster(
+    const DagTask& task, const TemplateSchedule& sigma, int instances,
+    std::span<const DagJobRelease> releases, const SimConfig& config,
+    ExecutionTrace* trace = nullptr);
+
+}  // namespace fedcons

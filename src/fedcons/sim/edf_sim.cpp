@@ -1,0 +1,145 @@
+#include "fedcons/sim/edf_sim.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+namespace {
+
+struct PendingJob {
+  Time key;  // EDF: absolute deadline; FP: stream index (priority)
+  std::size_t stream;
+  Time release;
+  Time abs_deadline;
+  Time remaining;
+  std::uint64_t uid;  // (stream << 32) | per-stream release index
+
+  // Min-heap by (key, stream, release) — deterministic for both policies.
+  bool operator>(const PendingJob& rhs) const noexcept {
+    if (key != rhs.key) return key > rhs.key;
+    if (stream != rhs.stream) return stream > rhs.stream;
+    return release > rhs.release;
+  }
+};
+
+struct FutureRelease {
+  Time release;
+  std::size_t stream;
+  std::size_t index;
+  bool operator>(const FutureRelease& rhs) const noexcept {
+    if (release != rhs.release) return release > rhs.release;
+    return stream > rhs.stream;
+  }
+};
+
+enum class Policy { kEdf, kFixedPriority };
+
+FpSimReport run_uniproc(std::span<const EdfTaskStream> streams,
+                        const SimConfig& config, Policy policy,
+                        ExecutionTrace* trace) {
+  FpSimReport report;
+  report.max_response_per_stream.assign(streams.size(), 0);
+  SimStats& stats = report.stats;
+
+  std::priority_queue<FutureRelease, std::vector<FutureRelease>,
+                      std::greater<>>
+      future;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    if (!streams[s].jobs.empty()) {
+      future.push({streams[s].jobs.front().release, s, 0});
+    }
+  }
+  std::priority_queue<PendingJob, std::vector<PendingJob>, std::greater<>>
+      pending;
+  Time now = 0;
+  Time executed = 0;
+
+  auto admit_due = [&](Time t) {
+    while (!future.empty() && future.top().release <= t) {
+      auto [rel, s, idx] = future.top();
+      future.pop();
+      const JobRelease& j = streams[s].jobs[idx];
+      const Time key = (policy == Policy::kEdf) ? j.abs_deadline
+                                                : static_cast<Time>(s);
+      const std::uint64_t uid =
+          (static_cast<std::uint64_t>(s) << 32) | static_cast<std::uint64_t>(idx);
+      pending.push({key, s, j.release, j.abs_deadline, j.exec_time, uid});
+      ++stats.jobs_released;
+      if (idx + 1 < streams[s].jobs.size()) {
+        future.push({streams[s].jobs[idx + 1].release, s, idx + 1});
+      }
+    }
+  };
+
+  auto complete = [&](const PendingJob& job, Time at) {
+    if (at > job.abs_deadline) {
+      ++stats.deadline_misses;
+      stats.max_lateness = std::max(stats.max_lateness, at - job.abs_deadline);
+    }
+    const Time response = at - job.release;
+    stats.max_response_time = std::max(stats.max_response_time, response);
+    report.max_response_per_stream[job.stream] =
+        std::max(report.max_response_per_stream[job.stream], response);
+  };
+
+  admit_due(now);
+  while (!pending.empty() || !future.empty()) {
+    if (pending.empty()) {
+      now = std::max(now, future.top().release);
+      admit_due(now);
+      continue;
+    }
+    PendingJob job = pending.top();
+    pending.pop();
+    const Time finish_if_undisturbed = checked_add(now, job.remaining);
+    const Time next_release =
+        future.empty() ? kTimeInfinity : future.top().release;
+    if (finish_if_undisturbed <= next_release) {
+      executed = checked_add(executed, job.remaining);
+      if (trace != nullptr) {
+        trace->add(0, job.uid, now, finish_if_undisturbed);
+      }
+      now = finish_if_undisturbed;
+      complete(job, now);
+      admit_due(now);
+    } else {
+      const Time ran = next_release - now;
+      executed = checked_add(executed, ran);
+      if (trace != nullptr && ran > 0) {
+        trace->add(0, job.uid, now, next_release);
+      }
+      job.remaining -= ran;
+      now = next_release;
+      admit_due(now);
+      pending.push(job);  // may be preempted by a newly released job
+    }
+  }
+  const Time span = std::max(config.horizon, now);
+  stats.busy_fraction =
+      static_cast<double>(executed) / static_cast<double>(span);
+  return report;
+}
+
+}  // namespace
+
+SimStats simulate_edf_uniproc(std::span<const EdfTaskStream> streams,
+                              const SimConfig& config,
+                              ExecutionTrace* trace) {
+  return run_uniproc(streams, config, Policy::kEdf, trace).stats;
+}
+
+SimStats simulate_fp_uniproc(std::span<const EdfTaskStream> streams,
+                             const SimConfig& config, ExecutionTrace* trace) {
+  return run_uniproc(streams, config, Policy::kFixedPriority, trace).stats;
+}
+
+FpSimReport simulate_fp_uniproc_detailed(
+    std::span<const EdfTaskStream> streams, const SimConfig& config,
+    ExecutionTrace* trace) {
+  return run_uniproc(streams, config, Policy::kFixedPriority, trace);
+}
+
+}  // namespace fedcons

@@ -1,0 +1,54 @@
+// Preemptive uniprocessor EDF simulation for the shared-processor pool.
+//
+// Each shared processor produced by PARTITION runs preemptive EDF over the
+// sequential views of its assigned low-density tasks (paper, Section IV).
+// The simulator is event-driven over integer time: between consecutive
+// events (job releases / completions) the pending job with the earliest
+// absolute deadline executes; ties break deterministically by task index
+// then release time. Jobs past their deadlines keep executing (lateness is
+// recorded) — the standard accounting for miss statistics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fedcons/sim/release_generator.h"
+#include "fedcons/sim/sim_config.h"
+#include "fedcons/sim/trace.h"
+
+namespace fedcons {
+
+/// One task's stream of jobs for the EDF simulator.
+struct EdfTaskStream {
+  std::vector<JobRelease> jobs;  ///< sorted by release (generator order)
+};
+
+/// Simulate preemptive EDF of the given streams on one processor until all
+/// released jobs complete (or horizon work is exhausted).
+/// `trace`, when non-null, records every executed run-chunk on processor 0
+/// (job_uid = (stream << 32) | release-index) for post-hoc validation.
+[[nodiscard]] SimStats simulate_edf_uniproc(
+    std::span<const EdfTaskStream> streams, const SimConfig& config,
+    ExecutionTrace* trace = nullptr);
+
+/// Simulate preemptive FIXED-PRIORITY scheduling on one processor: stream
+/// index IS the priority (0 = highest). Used to validate the RTA analysis
+/// (analysis/rta.h) and the partitioned-DM baseline: under synchronous
+/// periodic WCET releases the observed worst response of each task equals
+/// its RTA fixed point (the critical-instant argument).
+[[nodiscard]] SimStats simulate_fp_uniproc(
+    std::span<const EdfTaskStream> streams, const SimConfig& config,
+    ExecutionTrace* trace = nullptr);
+
+/// Per-stream maximum observed response times from an FP simulation run
+/// (same semantics as simulate_fp_uniproc, richer output).
+struct FpSimReport {
+  SimStats stats;
+  std::vector<Time> max_response_per_stream;
+};
+
+[[nodiscard]] FpSimReport simulate_fp_uniproc_detailed(
+    std::span<const EdfTaskStream> streams, const SimConfig& config,
+    ExecutionTrace* trace = nullptr);
+
+}  // namespace fedcons

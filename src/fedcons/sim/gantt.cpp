@@ -1,0 +1,96 @@
+#include "fedcons/sim/gantt.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+namespace {
+
+char glyph_for(std::uint64_t id) {
+  constexpr const char* kGlyphs = "0123456789abcdefghijklmnopqrstuvwxyz";
+  return kGlyphs[id % 36];
+}
+
+/// Shared renderer over (processor, id, start, end) tuples.
+struct Cell {
+  int processor;
+  std::uint64_t id;
+  Time start;
+  Time end;
+};
+
+std::string render_cells(const std::vector<Cell>& cells, int num_processors,
+                         GanttOptions options) {
+  if (cells.empty() && num_processors <= 0) return "(empty schedule)\n";
+  Time window_end = options.end;
+  int max_proc = num_processors - 1;
+  for (const auto& c : cells) {
+    if (options.end < 0) window_end = std::max(window_end, c.end);
+    max_proc = std::max(max_proc, c.processor);
+  }
+  if (window_end <= options.start) window_end = options.start + 1;
+  FEDCONS_EXPECTS(options.max_width >= 10);
+
+  const Time span = window_end - options.start;
+  const Time ticks_per_char =
+      std::max<Time>(1, ceil_div(span, options.max_width));
+  const int cols = static_cast<int>(ceil_div(span, ticks_per_char));
+
+  // For each cell pick the job owning the majority of it.
+  std::ostringstream os;
+  for (int p = 0; p <= max_proc; ++p) {
+    os << "P" << p << (p < 10 ? " " : "") << "|";
+    for (int col = 0; col < cols; ++col) {
+      const Time c0 = options.start + col * ticks_per_char;
+      const Time c1 = std::min<Time>(c0 + ticks_per_char, window_end);
+      Time best_cover = 0;
+      std::uint64_t best_id = 0;
+      for (const auto& c : cells) {
+        if (c.processor != p) continue;
+        const Time overlap =
+            std::min(c.end, c1) - std::max(c.start, c0);
+        if (overlap > best_cover) {
+          best_cover = overlap;
+          best_id = c.id;
+        }
+      }
+      os << (best_cover > 0 ? glyph_for(best_id) : '-');
+    }
+    os << "|\n";
+  }
+  os << "   t=" << options.start << ".." << window_end << " ("
+     << ticks_per_char << " tick" << (ticks_per_char == 1 ? "" : "s")
+     << "/char; glyphs are job ids mod 36)\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_gantt(const TemplateSchedule& schedule,
+                         const GanttOptions& options) {
+  std::vector<Cell> cells;
+  cells.reserve(schedule.num_jobs());
+  for (const auto& slot : schedule.jobs()) {
+    cells.push_back(Cell{slot.processor, slot.vertex, slot.start,
+                         slot.finish});
+  }
+  GanttOptions opt = options;
+  if (opt.end < 0) opt.end = schedule.makespan();
+  return render_cells(cells, schedule.num_processors(), opt);
+}
+
+std::string render_gantt(const ExecutionTrace& trace, int num_processors,
+                         const GanttOptions& options) {
+  std::vector<Cell> cells;
+  cells.reserve(trace.size());
+  for (const auto& s : trace.segments()) {
+    cells.push_back(Cell{s.processor, s.job_uid, s.start, s.end});
+  }
+  return render_cells(cells, num_processors, options);
+}
+
+}  // namespace fedcons

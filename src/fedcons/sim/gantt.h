@@ -1,0 +1,42 @@
+// ASCII Gantt rendering of template schedules and execution traces.
+//
+// Used by the anomaly demo, the CLI (--gantt), and debugging sessions: a
+// schedule you can *see* is a schedule you can review. Rendering is pure
+// formatting — no scheduling logic lives here. (The header lives in sim/
+// because it renders both listsched's TemplateSchedule and sim's
+// ExecutionTrace; sim already depends on listsched.)
+//
+// Example (paper Figure-1 task on two processors):
+//
+//   P0 |01333-|
+//   P1 |-22-4-|
+//      t=0..6 (1 tick/char)
+#pragma once
+
+#include <string>
+
+#include "fedcons/listsched/schedule.h"
+#include "fedcons/sim/trace.h"
+
+namespace fedcons {
+
+struct GanttOptions {
+  Time start = 0;       ///< left edge of the rendered window
+  Time end = -1;        ///< right edge (exclusive); -1 = makespan / last end
+  int max_width = 100;  ///< columns; longer windows are scaled down
+};
+
+/// Render a template schedule: one row per processor, one character per
+/// `ticks_per_char` time units, job ids mod 36 rendered as 0-9a-z, idle as
+/// '-' (a scaled cell shows the job occupying most of it). Ends with a
+/// window legend.
+[[nodiscard]] std::string render_gantt(const TemplateSchedule& schedule,
+                                       const GanttOptions& options = {});
+
+/// Render an execution trace (same conventions; job_uid mod 36 as glyph).
+/// `num_processors` pads empty trailing rows (0 = infer from the trace).
+[[nodiscard]] std::string render_gantt(const ExecutionTrace& trace,
+                                       int num_processors = 0,
+                                       const GanttOptions& options = {});
+
+}  // namespace fedcons

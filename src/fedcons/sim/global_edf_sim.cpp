@@ -1,0 +1,171 @@
+#include "fedcons/sim/global_edf_sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+namespace {
+
+/// One vertex of one released dag-job.
+struct VertexInstance {
+  Time remaining = 0;
+  Time abs_deadline = 0;
+  std::size_t dagjob = 0;        // index into the dag-job bookkeeping array
+  std::size_t task = 0;
+  VertexId vertex = 0;
+  std::size_t preds_remaining = 0;
+};
+
+/// Bookkeeping per released dag-job.
+struct DagJobState {
+  std::size_t task = 0;
+  Time release = 0;
+  Time abs_deadline = 0;
+  std::size_t vertices_left = 0;
+  std::size_t first_instance = 0;  // contiguous block in the instance array
+};
+
+struct ReleaseEvent {
+  Time time;
+  std::size_t task;
+  std::size_t index;
+  bool operator>(const ReleaseEvent& rhs) const noexcept {
+    if (time != rhs.time) return time > rhs.time;
+    return task > rhs.task;
+  }
+};
+
+/// Ready-set ordering: EDF with deterministic tie-breaks.
+struct ReadyKey {
+  Time abs_deadline;
+  std::size_t instance;
+  bool operator<(const ReadyKey& rhs) const noexcept {
+    if (abs_deadline != rhs.abs_deadline)
+      return abs_deadline < rhs.abs_deadline;
+    return instance < rhs.instance;
+  }
+};
+
+}  // namespace
+
+SimStats simulate_global_edf(
+    const TaskSystem& system,
+    std::span<const std::vector<DagJobRelease>> releases, int m,
+    const SimConfig& config, ExecutionTrace* trace) {
+  FEDCONS_EXPECTS(m >= 1);
+  FEDCONS_EXPECTS(releases.size() == system.size());
+
+  SimStats stats;
+  std::priority_queue<ReleaseEvent, std::vector<ReleaseEvent>, std::greater<>>
+      future;
+  for (std::size_t t = 0; t < releases.size(); ++t) {
+    if (!releases[t].empty()) future.push({releases[t][0].release, t, 0});
+  }
+
+  std::vector<VertexInstance> instances;
+  std::vector<DagJobState> dagjobs;
+  std::set<ReadyKey> ready;
+  Time now = 0;
+  Time executed = 0;
+
+  auto complete_vertex = [&](std::size_t id, Time at) {
+    VertexInstance& vi = instances[id];
+    const Dag& g = system[vi.task].graph();
+    DagJobState& dj = dagjobs[vi.dagjob];
+    for (VertexId s : g.successors(vi.vertex)) {
+      std::size_t sid = dj.first_instance + s;
+      if (--instances[sid].preds_remaining == 0) {
+        ready.insert({instances[sid].abs_deadline, sid});
+      }
+    }
+    if (--dj.vertices_left == 0) {
+      if (at > dj.abs_deadline) {
+        ++stats.deadline_misses;
+        stats.max_lateness = std::max(stats.max_lateness, at - dj.abs_deadline);
+      }
+      stats.max_response_time =
+          std::max(stats.max_response_time, at - dj.release);
+    }
+  };
+
+  auto admit_due = [&](Time t) {
+    while (!future.empty() && future.top().time <= t) {
+      auto [rel, task, index] = future.top();
+      future.pop();
+      const DagJobRelease& job = releases[task][index];
+      const Dag& g = system[task].graph();
+      const std::size_t dj_id = dagjobs.size();
+      const std::size_t base = instances.size();
+      dagjobs.push_back({task, job.release,
+                         checked_add(job.release, system[task].deadline()),
+                         g.num_vertices(), base});
+      ++stats.jobs_released;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        VertexInstance vi;
+        vi.remaining = job.exec_times[v];
+        vi.abs_deadline = dagjobs[dj_id].abs_deadline;
+        vi.dagjob = dj_id;
+        vi.task = task;
+        vi.vertex = v;
+        vi.preds_remaining = g.in_degree(v);
+        instances.push_back(vi);
+        if (vi.preds_remaining == 0) {
+          ready.insert({vi.abs_deadline, base + v});
+        }
+      }
+      if (index + 1 < releases[task].size()) {
+        future.push({releases[task][index + 1].release, task, index + 1});
+      }
+    }
+  };
+
+  admit_due(now);
+  while (!ready.empty() || !future.empty()) {
+    if (ready.empty()) {
+      now = std::max(now, future.top().time);
+      admit_due(now);
+      continue;
+    }
+    // Select the m earliest-deadline ready vertices.
+    std::vector<std::size_t> running;
+    running.reserve(static_cast<std::size_t>(m));
+    for (auto it = ready.begin();
+         it != ready.end() && running.size() < static_cast<std::size_t>(m);
+         ++it) {
+      running.push_back(it->instance);
+    }
+    // Advance to the next event: earliest completion or next release.
+    Time min_remaining = kTimeInfinity;
+    for (std::size_t id : running)
+      min_remaining = std::min(min_remaining, instances[id].remaining);
+    Time next_evt = checked_add(now, min_remaining);
+    if (!future.empty()) next_evt = std::min(next_evt, future.top().time);
+    const Time delta = next_evt - now;
+    FEDCONS_ASSERT(delta >= 0);
+    for (std::size_t slot = 0; slot < running.size(); ++slot) {
+      const std::size_t id = running[slot];
+      instances[id].remaining -= delta;
+      executed = checked_add(executed, delta);
+      if (trace != nullptr && delta > 0) {
+        trace->add(static_cast<int>(slot), id, now, next_evt);
+      }
+      if (instances[id].remaining == 0) {
+        ready.erase({instances[id].abs_deadline, id});
+        complete_vertex(id, next_evt);
+      }
+    }
+    now = next_evt;
+    admit_due(now);
+  }
+
+  const Time span = std::max(config.horizon, now);
+  stats.busy_fraction = static_cast<double>(executed) /
+                        (static_cast<double>(m) * static_cast<double>(span));
+  return stats;
+}
+
+}  // namespace fedcons

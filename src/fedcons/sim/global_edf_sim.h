@@ -1,0 +1,35 @@
+// Global preemptive EDF simulation of DAG jobs on m identical processors.
+//
+// The empirical side of the global-approach baseline (see
+// baselines/global_edf.h): vertices of released dag-jobs become ready when
+// their predecessors complete; at every event the m earliest-deadline ready
+// vertices execute (full migration + preemption — the canonical global EDF
+// for DAG tasks). A vertex inherits the absolute deadline of its dag-job.
+//
+// Surviving a simulated pattern is NOT a schedulability proof (synchronous
+// periodic arrival is not necessarily the worst case for global
+// multiprocessor scheduling) — this simulator provides the optimistic
+// bracket in experiment E3 and the demand-stress validation in E6.
+#pragma once
+
+#include <vector>
+
+#include "fedcons/core/task_system.h"
+#include "fedcons/sim/release_generator.h"
+#include "fedcons/sim/sim_config.h"
+#include "fedcons/sim/trace.h"
+
+namespace fedcons {
+
+/// Simulate global EDF of all tasks' releases on m processors.
+/// releases[i] are the dag-job releases of system task i (size must match).
+/// Precondition: m >= 1.
+/// `trace`, when non-null, records every run-chunk (job_uid = global vertex-
+/// instance index; processor = slot position in the dispatched set — valid
+/// because global EDF permits free migration).
+[[nodiscard]] SimStats simulate_global_edf(
+    const TaskSystem& system,
+    std::span<const std::vector<DagJobRelease>> releases, int m,
+    const SimConfig& config, ExecutionTrace* trace = nullptr);
+
+}  // namespace fedcons

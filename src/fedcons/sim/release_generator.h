@@ -1,0 +1,38 @@
+// Release-time and execution-time sequence generation for simulations.
+#pragma once
+
+#include <vector>
+
+#include "fedcons/core/dag_task.h"
+#include "fedcons/sim/sim_config.h"
+#include "fedcons/util/rng.h"
+
+namespace fedcons {
+
+/// One dag-job instance: a release instant plus the actual execution time of
+/// every vertex (indexed by VertexId).
+struct DagJobRelease {
+  Time release = 0;
+  std::vector<Time> exec_times;
+};
+
+/// Generate all dag-job releases of `task` whose absolute deadline falls at
+/// or before config.horizon, honoring the configured release and execution
+/// models. The first release is at time 0 (the synchronous pattern — the
+/// natural stress case). Deterministic in (task, config, rng state).
+[[nodiscard]] std::vector<DagJobRelease> generate_releases(
+    const DagTask& task, const SimConfig& config, Rng& rng);
+
+/// Sequential-job flavour used by the EDF simulator: one execution time per
+/// release (the task's whole volume when simulating partitioned tasks).
+struct JobRelease {
+  Time release = 0;
+  Time exec_time = 0;
+  Time abs_deadline = 0;
+};
+
+/// Generate sequential-job releases for a (C, D, T) view of a task.
+[[nodiscard]] std::vector<JobRelease> generate_sequential_releases(
+    Time wcet, Time deadline, Time period, const SimConfig& config, Rng& rng);
+
+}  // namespace fedcons

@@ -1,0 +1,60 @@
+// Shared configuration for the run-time simulators (experiment E6).
+//
+// The simulators exist to *validate* the analysis empirically: a system
+// accepted by FEDCONS must exhibit zero deadline misses under any legal
+// sporadic release pattern and any actual execution times ≤ WCET. They also
+// demonstrate the one behaviour the paper singles out as unsafe — re-running
+// LS online (Graham's anomaly, footnote 2).
+#pragma once
+
+#include <cstdint>
+
+#include "fedcons/util/time_types.h"
+
+namespace fedcons {
+
+/// How dag-job releases are spaced.
+enum class ReleaseModel {
+  kPeriodic,  ///< strictly every T (the synchronous-periodic pattern)
+  kSporadic,  ///< inter-arrival T + uniform extra delay up to jitter_frac·T
+};
+
+/// How actual execution times relate to WCETs.
+enum class ExecModel {
+  kAlwaysWcet,  ///< every job runs exactly its WCET
+  kUniform,     ///< uniform integer in [max(1, ⌈exec_lo·e_v⌉), e_v]
+};
+
+struct SimConfig {
+  Time horizon = 100000;  ///< simulate releases with deadline before horizon
+  ReleaseModel release = ReleaseModel::kPeriodic;
+  double jitter_frac = 0.5;  ///< sporadic extra-delay cap, fraction of T
+  ExecModel exec = ExecModel::kAlwaysWcet;
+  double exec_lo = 0.5;      ///< lower bound fraction for kUniform
+  std::uint64_t seed = 1;    ///< drives releases and execution times
+};
+
+/// Aggregated outcome of a simulation run.
+struct SimStats {
+  std::uint64_t jobs_released = 0;   ///< dag-jobs (or sequential jobs)
+  std::uint64_t deadline_misses = 0;
+  Time max_lateness = 0;        ///< max(finish − deadline, 0) over jobs
+  Time max_response_time = 0;   ///< max(finish − release) over jobs
+  /// Executed work / (processors × simulated span), where the span is the
+  /// horizon extended to the last completion (late jobs run past the
+  /// horizon, so overloaded runs stay ≤ 1 rather than exceeding it).
+  double busy_fraction = 0.0;
+
+  void merge(const SimStats& other) noexcept {
+    jobs_released += other.jobs_released;
+    deadline_misses += other.deadline_misses;
+    if (other.max_lateness > max_lateness) max_lateness = other.max_lateness;
+    if (other.max_response_time > max_response_time)
+      max_response_time = other.max_response_time;
+    // busy_fraction must be re-derived by the caller when merging pools of
+    // different sizes; merge keeps the maximum as a conservative summary.
+    if (other.busy_fraction > busy_fraction) busy_fraction = other.busy_fraction;
+  }
+};
+
+}  // namespace fedcons

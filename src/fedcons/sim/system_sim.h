@@ -1,0 +1,42 @@
+// Whole-platform simulation of a FEDCONS allocation (experiment E6).
+//
+// Composes the per-subsystem simulators according to the allocation FEDCONS
+// produced: every dedicated cluster replays its template schedule σ_i (or,
+// for the anomaly demonstration, re-runs LS online), and every shared
+// processor runs preemptive EDF over its partitioned low-density tasks.
+// Because federated scheduling grants clusters exclusive processors and
+// pins partitioned tasks, the subsystems are independent by construction —
+// the composition is exact, not an approximation.
+#pragma once
+
+#include "fedcons/core/task_system.h"
+#include "fedcons/federated/arbitrary.h"
+#include "fedcons/federated/fedcons_algorithm.h"
+#include "fedcons/sim/cluster_sim.h"
+#include "fedcons/sim/edf_sim.h"
+
+namespace fedcons {
+
+/// Per-subsystem breakdown of a full-system run.
+struct SystemSimReport {
+  SimStats total;                        ///< aggregated over all subsystems
+  std::vector<SimStats> cluster_stats;   ///< one per dedicated cluster
+  std::vector<SimStats> shared_stats;    ///< one per shared processor
+};
+
+/// Simulate the whole platform for the given accepted allocation.
+/// Precondition: result.success.
+[[nodiscard]] SystemSimReport simulate_system(
+    const TaskSystem& system, const FedconsResult& result,
+    const SimConfig& config,
+    ClusterDispatch dispatch = ClusterDispatch::kTemplateReplay);
+
+/// Simulate an accepted ARBITRARY-deadline allocation (federated/arbitrary.h):
+/// pipelined clusters replay σ round-robin across their instances (with
+/// processor-overlap validation), shared processors run preemptive EDF.
+/// Precondition: result.success.
+[[nodiscard]] SystemSimReport simulate_arbitrary_system(
+    const TaskSystem& system, const ArbitraryFederatedResult& result,
+    const SimConfig& config);
+
+}  // namespace fedcons

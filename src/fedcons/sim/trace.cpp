@@ -1,0 +1,80 @@
+#include "fedcons/sim/trace.h"
+
+#include <algorithm>
+#include <map>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+void ExecutionTrace::add(int processor, std::uint64_t job_uid, Time start,
+                         Time end) {
+  FEDCONS_EXPECTS(processor >= 0);
+  FEDCONS_EXPECTS_MSG(end > start, "empty or inverted trace segment");
+  segments_.push_back(TraceSegment{processor, job_uid, start, end});
+}
+
+Time ExecutionTrace::total_busy() const {
+  Time sum = 0;
+  for (const auto& s : segments_) sum = checked_add(sum, s.end - s.start);
+  return sum;
+}
+
+Time ExecutionTrace::busy_on(int processor) const {
+  Time sum = 0;
+  for (const auto& s : segments_) {
+    if (s.processor == processor) sum = checked_add(sum, s.end - s.start);
+  }
+  return sum;
+}
+
+std::optional<std::string> ExecutionTrace::validate() const {
+  // Group by processor, sort by start, scan for overlap.
+  std::map<int, std::vector<const TraceSegment*>> by_proc;
+  for (const auto& s : segments_) by_proc[s.processor].push_back(&s);
+  for (auto& [proc, segs] : by_proc) {
+    std::sort(segs.begin(), segs.end(),
+              [](const TraceSegment* a, const TraceSegment* b) {
+                if (a->start != b->start) return a->start < b->start;
+                return a->end < b->end;
+              });
+    for (std::size_t i = 1; i < segs.size(); ++i) {
+      if (segs[i - 1]->end > segs[i]->start) {
+        return "processor " + std::to_string(proc) + ": job " +
+               std::to_string(segs[i - 1]->job_uid) + " [" +
+               std::to_string(segs[i - 1]->start) + ", " +
+               std::to_string(segs[i - 1]->end) + ") overlaps job " +
+               std::to_string(segs[i]->job_uid) + " [" +
+               std::to_string(segs[i]->start) + ", " +
+               std::to_string(segs[i]->end) + ")";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Time ExecutionTrace::first_start(std::uint64_t job_uid) const {
+  Time best = kTimeInfinity;
+  for (const auto& s : segments_) {
+    if (s.job_uid == job_uid) best = std::min(best, s.start);
+  }
+  return best;
+}
+
+Time ExecutionTrace::last_end(std::uint64_t job_uid) const {
+  Time best = 0;
+  for (const auto& s : segments_) {
+    if (s.job_uid == job_uid) best = std::max(best, s.end);
+  }
+  return best;
+}
+
+Time ExecutionTrace::executed(std::uint64_t job_uid) const {
+  Time sum = 0;
+  for (const auto& s : segments_) {
+    if (s.job_uid == job_uid) sum = checked_add(sum, s.end - s.start);
+  }
+  return sum;
+}
+
+}  // namespace fedcons

@@ -1,0 +1,67 @@
+// Execution traces and structural validation for the simulators.
+//
+// Every simulator can optionally record the exact processor-time segments it
+// executes. The validator then checks the two invariants any legal
+// multiprocessor schedule must satisfy — no two segments overlap on one
+// processor, and no job runs before its release — turning "the simulator
+// says zero misses" into an auditable claim about a concrete schedule
+// rather than trust in the simulator's bookkeeping. Integration tests run
+// every engine under validation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fedcons/util/time_types.h"
+
+namespace fedcons {
+
+/// One contiguous execution of (part of) a job on one processor.
+struct TraceSegment {
+  int processor = 0;
+  std::uint64_t job_uid = 0;  ///< caller-chosen job identity
+  Time start = 0;
+  Time end = 0;  ///< exclusive; end > start
+};
+
+/// Append-only trace with post-hoc validation.
+class ExecutionTrace {
+ public:
+  /// Record a segment. Precondition: end > start, processor >= 0.
+  void add(int processor, std::uint64_t job_uid, Time start, Time end);
+
+  [[nodiscard]] const std::vector<TraceSegment>& segments() const noexcept {
+    return segments_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return segments_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return segments_.empty(); }
+
+  /// Total executed processor·time.
+  [[nodiscard]] Time total_busy() const;
+
+  /// Busy time of one processor.
+  [[nodiscard]] Time busy_on(int processor) const;
+
+  /// First violation found, or nullopt when the trace is a legal schedule:
+  ///  * no two segments overlap on the same processor;
+  ///  * (optional) with `releases` given per job_uid, no segment starts
+  ///    before its job's release.
+  [[nodiscard]] std::optional<std::string> validate() const;
+
+  /// Earliest start time of the given job's segments (kTimeInfinity if the
+  /// job never ran).
+  [[nodiscard]] Time first_start(std::uint64_t job_uid) const;
+
+  /// Latest end time of the given job's segments (0 if never ran).
+  [[nodiscard]] Time last_end(std::uint64_t job_uid) const;
+
+  /// Total execution received by a job.
+  [[nodiscard]] Time executed(std::uint64_t job_uid) const;
+
+ private:
+  std::vector<TraceSegment> segments_;
+};
+
+}  // namespace fedcons

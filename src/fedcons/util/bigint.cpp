@@ -1,0 +1,203 @@
+#include "fedcons/util/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedcons {
+
+namespace {
+constexpr std::uint64_t kBase = std::uint64_t{1} << 32;
+}
+
+BigInt::BigInt(std::int64_t v) {
+  negative_ = v < 0;
+  // Convert through uint64 to handle INT64_MIN without overflow.
+  std::uint64_t mag =
+      negative_ ? ~static_cast<std::uint64_t>(v) + 1 : static_cast<std::uint64_t>(v);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffu));
+    mag >>= 32;
+  }
+  canonicalize();
+}
+
+int BigInt::sign() const noexcept {
+  if (limbs_.empty()) return 0;
+  return negative_ ? -1 : 1;
+}
+
+bool BigInt::fits_int64() const noexcept {
+  if (limbs_.size() > 2) return false;
+  std::uint64_t mag = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i)
+    mag |= static_cast<std::uint64_t>(limbs_[i]) << (32 * i);
+  if (negative_) return mag <= (std::uint64_t{1} << 63);
+  return mag < (std::uint64_t{1} << 63);
+}
+
+std::int64_t BigInt::to_int64() const {
+  FEDCONS_EXPECTS(fits_int64());
+  std::uint64_t mag = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i)
+    mag |= static_cast<std::uint64_t>(limbs_[i]) << (32 * i);
+  return negative_ ? -static_cast<std::int64_t>(mag)
+                   : static_cast<std::int64_t>(mag);
+}
+
+double BigInt::to_double() const noexcept {
+  double r = 0.0;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it)
+    r = r * static_cast<double>(kBase) + static_cast<double>(*it);
+  return negative_ ? -r : r;
+}
+
+void BigInt::trim(std::vector<std::uint32_t>& v) noexcept {
+  while (!v.empty() && v.back() == 0) v.pop_back();
+}
+
+void BigInt::canonicalize() noexcept {
+  trim(limbs_);
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::cmp_mag(const std::vector<std::uint32_t>& a,
+                    const std::vector<std::uint32_t>& b) noexcept {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> BigInt::add_mag(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  const auto& big = a.size() >= b.size() ? a : b;
+  const auto& small = a.size() >= b.size() ? b : a;
+  std::vector<std::uint32_t> r;
+  r.reserve(big.size() + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    std::uint64_t s = carry + big[i] + (i < small.size() ? small[i] : 0u);
+    r.push_back(static_cast<std::uint32_t>(s & 0xffffffffu));
+    carry = s >> 32;
+  }
+  if (carry != 0) r.push_back(static_cast<std::uint32_t>(carry));
+  return r;
+}
+
+std::vector<std::uint32_t> BigInt::sub_mag(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  FEDCONS_ASSERT(cmp_mag(a, b) >= 0);
+  std::vector<std::uint32_t> r;
+  r.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t d = static_cast<std::int64_t>(a[i]) - borrow -
+                     (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (d < 0) {
+      d += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    r.push_back(static_cast<std::uint32_t>(d));
+  }
+  trim(r);
+  return r;
+}
+
+std::vector<std::uint32_t> BigInt::mul_mag(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint32_t> r(a.size() + b.size(), 0u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = static_cast<std::uint64_t>(a[i]) * b[j] + r[i + j] +
+                          carry;
+      r[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      std::uint64_t cur = r[k] + carry;
+      r[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  trim(r);
+  return r;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.limbs_.empty()) r.negative_ = !r.negative_;
+  return r;
+}
+
+BigInt BigInt::operator+(const BigInt& rhs) const {
+  BigInt r;
+  if (negative_ == rhs.negative_) {
+    r.limbs_ = add_mag(limbs_, rhs.limbs_);
+    r.negative_ = negative_;
+  } else {
+    int c = cmp_mag(limbs_, rhs.limbs_);
+    if (c >= 0) {
+      r.limbs_ = sub_mag(limbs_, rhs.limbs_);
+      r.negative_ = negative_;
+    } else {
+      r.limbs_ = sub_mag(rhs.limbs_, limbs_);
+      r.negative_ = rhs.negative_;
+    }
+  }
+  r.canonicalize();
+  return r;
+}
+
+BigInt BigInt::operator-(const BigInt& rhs) const { return *this + (-rhs); }
+
+BigInt BigInt::operator*(const BigInt& rhs) const {
+  BigInt r;
+  r.limbs_ = mul_mag(limbs_, rhs.limbs_);
+  r.negative_ = !r.limbs_.empty() && (negative_ != rhs.negative_);
+  return r;
+}
+
+bool BigInt::operator==(const BigInt& rhs) const noexcept {
+  return negative_ == rhs.negative_ && limbs_ == rhs.limbs_;
+}
+
+bool BigInt::operator<(const BigInt& rhs) const noexcept {
+  if (negative_ != rhs.negative_) return negative_;
+  int c = cmp_mag(limbs_, rhs.limbs_);
+  return negative_ ? c > 0 : c < 0;
+}
+
+std::string BigInt::to_string() const {
+  if (limbs_.empty()) return "0";
+  // Repeated division of the magnitude by 10^9.
+  std::vector<std::uint32_t> mag = limbs_;
+  std::string out;
+  constexpr std::uint64_t kChunk = 1000000000ull;
+  std::vector<std::uint64_t> chunks;
+  while (!mag.empty()) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = mag.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | mag[i];
+      mag[i] = static_cast<std::uint32_t>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    trim(mag);
+    chunks.push_back(rem);
+  }
+  out = std::to_string(chunks.back());
+  for (std::size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    out += std::string(9 - part.size(), '0') + part;
+  }
+  if (negative_) out.insert(out.begin(), '-');
+  return out;
+}
+
+}  // namespace fedcons

@@ -1,0 +1,104 @@
+// Arbitrary-precision signed integers.
+//
+// The partitioning condition of Algorithm PARTITION (paper Fig. 4) compares
+// sums of exact rationals vol_j·(t − D_j)/T_j against integer instants. With
+// many tasks per processor the common denominator can exceed any fixed-width
+// integer type, so exact comparison needs arbitrary precision. BigInt provides
+// just the operations BigRational (rational.h) requires: add, subtract,
+// multiply, compare, and small-divisor division for printing — deliberately
+// *not* a general bignum library (no full division, no bit operations), per
+// Core Guidelines P.1/P.9: express intent, don't build what you don't need.
+//
+// Representation: sign + magnitude in base 2^32 limbs, least-significant limb
+// first, with no trailing zero limbs (canonical form; zero is an empty limb
+// vector with non-negative sign).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+/// Arbitrary-precision signed integer (value type, totally ordered).
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// Conversion from a native signed integer.
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor): numeric type
+
+  /// Signum: -1, 0, or +1.
+  [[nodiscard]] int sign() const noexcept;
+
+  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+  [[nodiscard]] bool is_negative() const noexcept { return negative_; }
+
+  /// True iff the value fits in std::int64_t.
+  [[nodiscard]] bool fits_int64() const noexcept;
+
+  /// Conversion back to int64. Precondition: fits_int64().
+  [[nodiscard]] std::int64_t to_int64() const;
+
+  /// Approximate conversion to double (may lose precision, never traps).
+  [[nodiscard]] double to_double() const noexcept;
+
+  [[nodiscard]] BigInt operator-() const;
+  [[nodiscard]] BigInt operator+(const BigInt& rhs) const;
+  [[nodiscard]] BigInt operator-(const BigInt& rhs) const;
+  [[nodiscard]] BigInt operator*(const BigInt& rhs) const;
+
+  BigInt& operator+=(const BigInt& rhs) { return *this = *this + rhs; }
+  BigInt& operator-=(const BigInt& rhs) { return *this = *this - rhs; }
+  BigInt& operator*=(const BigInt& rhs) { return *this = *this * rhs; }
+
+  [[nodiscard]] bool operator==(const BigInt& rhs) const noexcept;
+  [[nodiscard]] bool operator<(const BigInt& rhs) const noexcept;
+  [[nodiscard]] bool operator!=(const BigInt& rhs) const noexcept {
+    return !(*this == rhs);
+  }
+  [[nodiscard]] bool operator>(const BigInt& rhs) const noexcept {
+    return rhs < *this;
+  }
+  [[nodiscard]] bool operator<=(const BigInt& rhs) const noexcept {
+    return !(rhs < *this);
+  }
+  [[nodiscard]] bool operator>=(const BigInt& rhs) const noexcept {
+    return !(*this < rhs);
+  }
+
+  /// Decimal string rendering (for diagnostics and golden tests).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Number of base-2^32 limbs in the magnitude (0 for zero). Exposed for
+  /// tests asserting canonical form.
+  [[nodiscard]] std::size_t limb_count() const noexcept {
+    return limbs_.size();
+  }
+
+ private:
+  // Magnitude comparison: -1, 0, +1 for |a| vs |b|.
+  static int cmp_mag(const std::vector<std::uint32_t>& a,
+                     const std::vector<std::uint32_t>& b) noexcept;
+  static std::vector<std::uint32_t> add_mag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  // Precondition: |a| >= |b|.
+  static std::vector<std::uint32_t> sub_mag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> mul_mag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  static void trim(std::vector<std::uint32_t>& v) noexcept;
+
+  void canonicalize() noexcept;
+
+  std::vector<std::uint32_t> limbs_;  // base 2^32, LSB first, no trailing 0s
+  bool negative_ = false;             // never true when limbs_ is empty
+};
+
+}  // namespace fedcons

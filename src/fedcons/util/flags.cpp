@@ -1,0 +1,73 @@
+#include "fedcons/util/flags.h"
+
+#include <stdexcept>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    FEDCONS_EXPECTS_MSG(!body.empty(), "bare '--' argument");
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Flags::get_string(const std::string& key,
+                              const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& key, std::int64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    FEDCONS_EXPECTS_MSG(false, "flag --" + key + " is not an integer: " +
+                                   it->second);
+  }
+  return def;  // unreachable
+}
+
+double Flags::get_double(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    FEDCONS_EXPECTS_MSG(false,
+                        "flag --" + key + " is not a number: " + it->second);
+  }
+  return def;  // unreachable
+}
+
+bool Flags::get_bool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  FEDCONS_EXPECTS_MSG(false, "flag --" + key + " is not a boolean: " + v);
+  return def;  // unreachable
+}
+
+}  // namespace fedcons

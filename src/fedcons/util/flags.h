@@ -1,0 +1,41 @@
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Syntax: --key=value or --key value; bare --key is a boolean true.
+// Unknown positional arguments are collected for the caller.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fedcons {
+
+/// Parsed command-line flags with typed, defaulted getters.
+class Flags {
+ public:
+  Flags() = default;
+
+  /// Parse argv (skips argv[0]). Throws ContractViolation on malformed input
+  /// such as "--" with no key.
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fedcons

@@ -1,0 +1,38 @@
+// Leveled diagnostic logging to stderr.
+//
+// The analysis library itself never logs (pure functions); logging is used by
+// the experiment harness and examples for progress reporting. The level is a
+// process-wide setting (single-threaded harness).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fedcons {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace fedcons
+
+#define FEDCONS_LOG(level, expr)                                          \
+  do {                                                                    \
+    if (static_cast<int>(level) >=                                        \
+        static_cast<int>(::fedcons::log_level())) {                       \
+      std::ostringstream fedcons_log_ss;                                  \
+      fedcons_log_ss << expr;                                             \
+      ::fedcons::detail::log_emit(level, fedcons_log_ss.str());           \
+    }                                                                     \
+  } while (0)
+
+#define LOG_DEBUG(expr) FEDCONS_LOG(::fedcons::LogLevel::kDebug, expr)
+#define LOG_INFO(expr) FEDCONS_LOG(::fedcons::LogLevel::kInfo, expr)
+#define LOG_WARN(expr) FEDCONS_LOG(::fedcons::LogLevel::kWarn, expr)
+#define LOG_ERROR(expr) FEDCONS_LOG(::fedcons::LogLevel::kError, expr)

@@ -1,0 +1,116 @@
+#include "fedcons/util/rational.h"
+
+#include <utility>
+
+namespace fedcons {
+
+BigRational::BigRational(std::int64_t num, std::int64_t den) {
+  FEDCONS_EXPECTS_MSG(den != 0, "rational with zero denominator");
+  Time g = gcd_time(num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  num_ = BigInt(num);
+  den_ = BigInt(den);
+}
+
+BigRational::BigRational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  FEDCONS_EXPECTS_MSG(!den_.is_zero(), "rational with zero denominator");
+  normalize_sign();
+  reduce_fast();
+}
+
+void BigRational::normalize_sign() {
+  if (den_.is_negative()) {
+    den_ = -den_;
+    num_ = -num_;
+  }
+}
+
+void BigRational::reduce_fast() {
+  if (num_.fits_int64() && den_.fits_int64()) {
+    std::int64_t n = num_.to_int64();
+    std::int64_t d = den_.to_int64();
+    Time g = gcd_time(n, d);
+    if (g > 1) {
+      num_ = BigInt(n / g);
+      den_ = BigInt(d / g);
+    }
+  }
+}
+
+bool BigRational::is_integer() const {
+  if (num_.is_zero()) return true;
+  // value is integer iff floor(value)*den == num; compute via floor().
+  BigRational f(BigInt(floor()), BigInt(1));
+  return f == *this;
+}
+
+std::int64_t BigRational::floor() const {
+  // Find q = floor(num/den) by scanning candidate via double estimate then
+  // exact correction. den_ > 0.
+  double est = to_double();
+  // Clamp the estimate into a representable starting point; the exact
+  // correction loop below establishes q*den <= num < (q+1)*den regardless.
+  constexpr double kLim = 9.0e18;
+  if (!(est > -kLim)) est = -kLim;
+  if (!(est < kLim)) est = kLim;
+  auto q = static_cast<std::int64_t>(est);
+  // Correct q so that q*den <= num < (q+1)*den, stepping at most a few times
+  // (double estimate of a quantity built from int64 components is close).
+  auto le = [&](std::int64_t k) { return BigInt(k) * den_ <= num_; };
+  while (!le(q)) --q;
+  while (le(q + 1)) ++q;
+  return q;
+}
+
+std::int64_t BigRational::ceil() const {
+  std::int64_t f = floor();
+  BigRational ff(BigInt(f), BigInt(1));
+  return (ff == *this) ? f : f + 1;
+}
+
+BigRational BigRational::operator-() const {
+  BigRational r = *this;
+  r.num_ = -r.num_;
+  return r;
+}
+
+BigRational BigRational::operator+(const BigRational& rhs) const {
+  return BigRational(num_ * rhs.den_ + rhs.num_ * den_, den_ * rhs.den_);
+}
+
+BigRational BigRational::operator-(const BigRational& rhs) const {
+  return BigRational(num_ * rhs.den_ - rhs.num_ * den_, den_ * rhs.den_);
+}
+
+BigRational BigRational::operator*(const BigRational& rhs) const {
+  return BigRational(num_ * rhs.num_, den_ * rhs.den_);
+}
+
+BigRational BigRational::operator/(const BigRational& rhs) const {
+  FEDCONS_EXPECTS_MSG(!rhs.is_zero(), "rational division by zero");
+  return BigRational(num_ * rhs.den_, den_ * rhs.num_);
+}
+
+bool BigRational::operator==(const BigRational& rhs) const {
+  return num_ * rhs.den_ == rhs.num_ * den_;
+}
+
+bool BigRational::operator<(const BigRational& rhs) const {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return num_ * rhs.den_ < rhs.num_ * den_;
+}
+
+std::string BigRational::to_string() const {
+  if (den_ == BigInt(1)) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+}  // namespace fedcons

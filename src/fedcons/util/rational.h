@@ -1,0 +1,109 @@
+// Exact rational arithmetic over BigInt.
+//
+// Used wherever a schedulability decision involves non-integer quantities:
+// the DBF* partitioning condition (sums of vol_j·(t − D_j)/T_j), task
+// densities/utilizations compared exactly, and the L* testing-interval bound
+// of the exact uniprocessor EDF test.
+//
+// Design notes:
+//  * Denominators are kept positive; the zero value is 0/1.
+//  * Fractions are reduced only with the cheap int64 gcd fast path (full
+//    BigInt gcd would require BigInt division, which bigint.h deliberately
+//    omits). Unreduced fractions are harmless: in this library rationals live
+//    for the duration of one bounded-length sum and one comparison, so limb
+//    growth is bounded by the number of terms (tens), never iterated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fedcons/util/bigint.h"
+#include "fedcons/util/check.h"
+#include "fedcons/util/time_types.h"
+
+namespace fedcons {
+
+/// Exact rational number (value type, totally ordered).
+class BigRational {
+ public:
+  /// Zero.
+  BigRational() : num_(0), den_(1) {}
+
+  /// From an integer.
+  BigRational(std::int64_t v) : num_(v), den_(1) {}  // NOLINT: numeric type
+
+  /// From an int64 fraction num/den. Precondition: den != 0.
+  BigRational(std::int64_t num, std::int64_t den);
+
+  /// From an already-formed BigInt fraction. Precondition: den != 0.
+  BigRational(BigInt num, BigInt den);
+
+  [[nodiscard]] const BigInt& num() const noexcept { return num_; }
+  [[nodiscard]] const BigInt& den() const noexcept { return den_; }
+
+  [[nodiscard]] int sign() const noexcept { return num_.sign(); }
+  [[nodiscard]] bool is_zero() const noexcept { return num_.is_zero(); }
+
+  /// True iff the value is an integer that fits in int64 (after exact check
+  /// num % den == 0 via cross multiplication with floor()).
+  [[nodiscard]] bool is_integer() const;
+
+  /// Largest integer <= value. Precondition: result fits in int64.
+  [[nodiscard]] std::int64_t floor() const;
+
+  /// Smallest integer >= value. Precondition: result fits in int64.
+  [[nodiscard]] std::int64_t ceil() const;
+
+  [[nodiscard]] double to_double() const noexcept {
+    return num_.to_double() / den_.to_double();
+  }
+
+  [[nodiscard]] BigRational operator-() const;
+  [[nodiscard]] BigRational operator+(const BigRational& rhs) const;
+  [[nodiscard]] BigRational operator-(const BigRational& rhs) const;
+  [[nodiscard]] BigRational operator*(const BigRational& rhs) const;
+  /// Division. Precondition: rhs != 0.
+  [[nodiscard]] BigRational operator/(const BigRational& rhs) const;
+
+  BigRational& operator+=(const BigRational& rhs) {
+    return *this = *this + rhs;
+  }
+  BigRational& operator-=(const BigRational& rhs) {
+    return *this = *this - rhs;
+  }
+  BigRational& operator*=(const BigRational& rhs) {
+    return *this = *this * rhs;
+  }
+
+  [[nodiscard]] bool operator==(const BigRational& rhs) const;
+  [[nodiscard]] bool operator<(const BigRational& rhs) const;
+  [[nodiscard]] bool operator!=(const BigRational& rhs) const {
+    return !(*this == rhs);
+  }
+  [[nodiscard]] bool operator>(const BigRational& rhs) const {
+    return rhs < *this;
+  }
+  [[nodiscard]] bool operator<=(const BigRational& rhs) const {
+    return !(rhs < *this);
+  }
+  [[nodiscard]] bool operator>=(const BigRational& rhs) const {
+    return !(*this < rhs);
+  }
+
+  /// "num/den" rendering (unreduced form; for diagnostics).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void normalize_sign();
+  void reduce_fast();  // int64-gcd fast path only
+
+  BigInt num_;
+  BigInt den_;  // always > 0
+};
+
+/// Convenience: exact utilization/density vol/t as a rational.
+[[nodiscard]] inline BigRational make_ratio(Time num, Time den) {
+  return BigRational(num, den);
+}
+
+}  // namespace fedcons

@@ -1,0 +1,81 @@
+#include "fedcons/util/rng.h"
+
+#include <cmath>
+
+namespace fedcons {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // Guard against the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FEDCONS_EXPECTS(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi) -
+                              static_cast<std::uint64_t>(lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling on the top of the range to eliminate modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+  std::uint64_t draw;
+  do {
+    draw = next_u64();
+  } while (draw >= limit);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   draw % range);
+}
+
+double Rng::uniform01() {
+  // 53 uniform mantissa bits → [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  FEDCONS_EXPECTS(lo < hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::log_uniform_real(double lo, double hi) {
+  FEDCONS_EXPECTS(0 < lo && lo < hi);
+  return std::exp(uniform_real(std::log(lo), std::log(hi)));
+}
+
+bool Rng::bernoulli(double p) {
+  FEDCONS_EXPECTS(p >= 0.0 && p <= 1.0);
+  return uniform01() < p;
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xd2b74407b1ce6e93ull); }
+
+}  // namespace fedcons

@@ -1,0 +1,94 @@
+#include "fedcons/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedcons {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> samples, double p) {
+  FEDCONS_EXPECTS(!samples.empty());
+  FEDCONS_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  auto hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  FEDCONS_EXPECTS(lo < hi);
+  FEDCONS_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  double pos = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  auto bin = pos <= 0.0 ? std::size_t{0}
+                        : std::min(static_cast<std::size_t>(pos),
+                                   counts_.size() - 1);
+  ++counts_[bin];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  FEDCONS_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  FEDCONS_EXPECTS(bin < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  FEDCONS_EXPECTS(bin < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+double binomial_ci95_halfwidth(std::size_t k, std::size_t n) {
+  if (n == 0) return 0.0;
+  double p = static_cast<double>(k) / static_cast<double>(n);
+  return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+}
+
+}  // namespace fedcons

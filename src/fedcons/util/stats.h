@@ -1,0 +1,67 @@
+// Streaming and batch statistics for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+/// Numerically stable streaming moments (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merge another accumulator (parallel-reduction friendly).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (p in [0,100]) by linear interpolation between closest
+/// ranks. Copies and sorts the input; intended for end-of-run reporting.
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+/// Fixed-width histogram over [lo, hi) with the given number of bins;
+/// out-of-range samples are clamped into the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Two-sided 95% normal-approximation confidence half-width for a binomial
+/// proportion estimated from k successes out of n trials (Wald interval; fine
+/// for the hundreds of trials per point used in the experiment sweeps).
+[[nodiscard]] double binomial_ci95_halfwidth(std::size_t k, std::size_t n);
+
+}  // namespace fedcons

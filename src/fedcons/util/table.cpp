@@ -1,0 +1,104 @@
+#include "fedcons/util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i >= s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i])) && s[i] != '.' &&
+        s[i] != 'e' && s[i] != 'E' && s[i] != '-' && s[i] != '+' &&
+        s[i] != '%' && s[i] != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  FEDCONS_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  FEDCONS_EXPECTS(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::size_t pad = width[c] - row[c].size();
+      bool right = looks_numeric(row[c]);
+      if (c) os << "  ";
+      if (right) os << std::string(pad, ' ') << row[c];
+      else os << row[c] << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(precision);
+  ss << v;
+  return ss.str();
+}
+
+std::string fmt_int(long long v) { return std::to_string(v); }
+
+std::string fmt_ratio(std::size_t k, std::size_t n, int precision) {
+  if (n == 0) return "n/a";
+  return fmt_double(static_cast<double>(k) / static_cast<double>(n),
+                    precision);
+}
+
+}  // namespace fedcons

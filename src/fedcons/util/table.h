@@ -1,0 +1,50 @@
+// Console table and CSV rendering for experiment reports.
+//
+// Every bench binary prints the rows it regenerates both as an aligned
+// console table (human inspection, EXPERIMENTS.md) and optionally as CSV
+// (machine post-processing / plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fedcons {
+
+/// Column-aligned text table. Cells are strings; numeric formatting is the
+/// caller's responsibility (see fmt_* helpers below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row. Precondition: row.size() == header.size().
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept {
+    return header_.size();
+  }
+
+  /// Render with padded columns, a header underline, and right-aligned
+  /// numeric-looking cells.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal rendering (no locale surprises).
+[[nodiscard]] std::string fmt_double(double v, int precision = 3);
+
+/// Integer with no grouping.
+[[nodiscard]] std::string fmt_int(long long v);
+
+/// Ratio k/n rendered as "0.842" (or "n/a" when n == 0).
+[[nodiscard]] std::string fmt_ratio(std::size_t k, std::size_t n,
+                                    int precision = 3);
+
+}  // namespace fedcons

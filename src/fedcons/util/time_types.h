@@ -1,0 +1,74 @@
+// Integer time arithmetic for real-time schedulability analysis.
+//
+// All temporal quantities in the library — worst-case execution times (WCETs),
+// relative deadlines, periods, absolute instants in schedules and simulations —
+// are expressed in integral "ticks" (the paper's model has e_v ∈ ℕ; rational
+// parameters can always be scaled to integers). Keeping time integral makes
+// every schedulability *decision* exact: there are no floating-point acceptance
+// flips at test boundaries.
+//
+// The checked_* helpers detect signed overflow (which would otherwise be UB)
+// and throw, so pathological generator parameters fail loudly instead of
+// producing silently wrong analysis results.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+/// Integral time in ticks. Non-negative for durations; instants may use the
+/// full signed range in intermediate expressions.
+using Time = std::int64_t;
+
+/// Sentinel for "unbounded / no such instant" (e.g. MINPROCS returning ∞).
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
+
+/// Overflow-checked addition. Throws ContractViolation on signed overflow.
+[[nodiscard]] inline Time checked_add(Time a, Time b) {
+  Time r{};
+  FEDCONS_EXPECTS_MSG(!__builtin_add_overflow(a, b, &r),
+                      "Time addition overflow");
+  return r;
+}
+
+/// Overflow-checked multiplication. Throws ContractViolation on overflow.
+[[nodiscard]] inline Time checked_mul(Time a, Time b) {
+  Time r{};
+  FEDCONS_EXPECTS_MSG(!__builtin_mul_overflow(a, b, &r),
+                      "Time multiplication overflow");
+  return r;
+}
+
+/// Floor division for non-negative numerator and positive denominator.
+[[nodiscard]] constexpr Time floor_div(Time a, Time b) {
+  return (a >= 0) ? a / b : -((-a + b - 1) / b);
+}
+
+/// Ceiling division for positive denominator.
+[[nodiscard]] constexpr Time ceil_div(Time a, Time b) {
+  return (a >= 0) ? (a + b - 1) / b : -((-a) / b);
+}
+
+/// Greatest common divisor (non-negative result; gcd(0, 0) == 0).
+[[nodiscard]] constexpr Time gcd_time(Time a, Time b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    Time t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Least common multiple with overflow checking.
+[[nodiscard]] inline Time checked_lcm(Time a, Time b) {
+  if (a == 0 || b == 0) return 0;
+  Time g = gcd_time(a, b);
+  return checked_mul(a / g, b);
+}
+
+}  // namespace fedcons

@@ -1,0 +1,13 @@
+// Library version, kept in sync with the CMake project version.
+#pragma once
+
+namespace fedcons {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+/// "major.minor.patch" string for banners and --version outputs.
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace fedcons

@@ -1,0 +1,176 @@
+// Tests for the experiment harness (acceptance sweeps, speedup experiment,
+// report tables).
+#include "fedcons/expr/acceptance.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fedcons/expr/reports.h"
+#include "fedcons/expr/speedup_experiment.h"
+#include "fedcons/federated/speedup.h"
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+namespace {
+
+SweepConfig small_sweep() {
+  SweepConfig cfg;
+  cfg.m = 4;
+  cfg.normalized_utils = {0.1, 0.5, 0.9};
+  cfg.trials = 30;
+  cfg.seed = 2024;
+  cfg.base.num_tasks = 5;
+  cfg.base.period_min = 50;
+  cfg.base.period_max = 5000;
+  return cfg;
+}
+
+TEST(AcceptanceSweepTest, ShapesAndCounts) {
+  auto algos = standard_algorithms();
+  ASSERT_EQ(algos.size(), 6u);
+  auto points = run_acceptance_sweep(small_sweep(), algos);
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.trials, 30u);
+    ASSERT_EQ(p.accepted.size(), algos.size());
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      EXPECT_LE(p.accepted[a], p.trials);
+    }
+    EXPECT_LE(p.feasible_upper_bound, p.trials);
+  }
+}
+
+TEST(AcceptanceSweepTest, FedconsDegradesWithLoad) {
+  auto algos = standard_algorithms();
+  auto points = run_acceptance_sweep(small_sweep(), algos);
+  // FEDCONS is algorithm 0; acceptance at U/m = 0.1 must dominate U/m = 0.9.
+  EXPECT_GE(points.front().accepted[0], points.back().accepted[0]);
+  // At U/m = 0.1 essentially everything is schedulable.
+  EXPECT_GE(points.front().accepted[0], points.front().trials - 3);
+}
+
+TEST(AcceptanceSweepTest, NoAlgorithmBeatsNecessaryConditions) {
+  auto algos = standard_algorithms();
+  auto points = run_acceptance_sweep(small_sweep(), algos);
+  // FEDCONS (a sound algorithm) never accepts a system failing the
+  // necessary conditions, so its count is bounded by the proxy's.
+  for (const auto& p : points) {
+    EXPECT_LE(p.accepted[0], p.feasible_upper_bound);
+  }
+}
+
+TEST(AcceptanceSweepTest, DeterministicAcrossRuns) {
+  auto algos = standard_algorithms();
+  auto a = run_acceptance_sweep(small_sweep(), algos);
+  auto b = run_acceptance_sweep(small_sweep(), algos);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].accepted, b[i].accepted);
+    EXPECT_EQ(a[i].feasible_upper_bound, b[i].feasible_upper_bound);
+  }
+}
+
+TEST(AcceptanceSweepTest, ValidatesConfig) {
+  auto algos = standard_algorithms();
+  SweepConfig bad = small_sweep();
+  bad.m = 0;
+  EXPECT_THROW(run_acceptance_sweep(bad, algos), ContractViolation);
+  bad = small_sweep();
+  bad.trials = 0;
+  EXPECT_THROW(run_acceptance_sweep(bad, algos), ContractViolation);
+  EXPECT_THROW(run_acceptance_sweep(small_sweep(), {}), ContractViolation);
+}
+
+TEST(SpeedupExperimentTest, ProducesSamplesBelowBound) {
+  SpeedupExperimentConfig cfg;
+  cfg.m = 4;
+  cfg.normalized_util = 0.4;
+  cfg.samples = 10;
+  cfg.max_attempts = 200;
+  cfg.base.num_tasks = 5;
+  auto r = run_speedup_experiment(cfg);
+  EXPECT_GT(r.measured, 0);
+  // Empirical speedups should sit far below 3 − 1/m at this load.
+  for (double s : r.speeds) {
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, cfg.max_speed);
+  }
+}
+
+TEST(WeightedSchedulabilityTest, HandWorkedValues) {
+  // Two points: U/m = 0.5 with ratio 1.0 and U/m = 1.0 with ratio 0.4:
+  // W = (0.5·1.0 + 1.0·0.4) / 1.5 = 0.6.
+  std::vector<AcceptancePoint> points(2);
+  points[0].normalized_util = 0.5;
+  points[0].trials = 10;
+  points[0].accepted = {10};
+  points[1].normalized_util = 1.0;
+  points[1].trials = 10;
+  points[1].accepted = {4};
+  auto w = weighted_schedulability(points, 1);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NEAR(w[0], 0.6, 1e-12);
+}
+
+TEST(WeightedSchedulabilityTest, BoundsAndOrdering) {
+  auto algos = standard_algorithms();
+  auto points = run_acceptance_sweep(small_sweep(), algos);
+  auto w = weighted_schedulability(points, algos.size());
+  ASSERT_EQ(w.size(), algos.size());
+  for (double v : w) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // FEDCONS (index 0) dominates the paper-literal variant? They coincide on
+  // constrained DM — equal is fine; it must dominate P-SEQ (index 3) and
+  // GEDF-density (index 5).
+  EXPECT_GE(w[0], w[3]);
+  EXPECT_GE(w[0], w[5]);
+}
+
+TEST(WeightedSchedulabilityTest, ValidatesInput) {
+  EXPECT_THROW(weighted_schedulability({}, 1), ContractViolation);
+  std::vector<AcceptancePoint> bad(1);
+  bad[0].normalized_util = 0.5;
+  bad[0].trials = 10;
+  bad[0].accepted = {1, 2};  // arity mismatch vs num_algorithms = 1
+  EXPECT_THROW(weighted_schedulability(bad, 1), ContractViolation);
+}
+
+TEST(ReportTest, AcceptanceTableWithConfidenceIntervals) {
+  auto algos = standard_algorithms();
+  auto points = run_acceptance_sweep(small_sweep(), algos);
+  Table t = acceptance_table(points, algos, /*with_ci=*/true);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("±"), std::string::npos);
+}
+
+TEST(ReportTest, AcceptanceTableRendering) {
+  auto algos = standard_algorithms();
+  auto points = run_acceptance_sweep(small_sweep(), algos);
+  Table t = acceptance_table(points, algos);
+  EXPECT_EQ(t.num_rows(), points.size());
+  EXPECT_EQ(t.num_cols(), 3 + algos.size());
+  std::ostringstream os;
+  print_report(os, "E3 sample", t, /*also_csv=*/true);
+  EXPECT_NE(os.str().find("E3 sample"), std::string::npos);
+  EXPECT_NE(os.str().find("FEDCONS"), std::string::npos);
+  EXPECT_NE(os.str().find("csv"), std::string::npos);
+}
+
+TEST(ReportTest, SpeedupTableRendering) {
+  SpeedupExperimentResult r;
+  r.speeds = {1.0, 1.25, 1.5};
+  r.measured = 3;
+  r.accepted_at_unit = 1;
+  Table t = speedup_table(r, 4);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("min speed (mean)"), std::string::npos);
+  EXPECT_NE(os.str().find("2.750"), std::string::npos);  // 3 − 1/4
+}
+
+}  // namespace
+}  // namespace fedcons

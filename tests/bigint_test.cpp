@@ -1,0 +1,149 @@
+// Unit and property tests for the arbitrary-precision integer substrate.
+#include "fedcons/util/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "fedcons/util/rng.h"
+
+namespace fedcons {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.limb_count(), 0u);
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                         std::int64_t{42}, std::int64_t{-99999},
+                         std::numeric_limits<std::int64_t>::max(),
+                         std::numeric_limits<std::int64_t>::min()}) {
+    BigInt b(v);
+    ASSERT_TRUE(b.fits_int64()) << v;
+    EXPECT_EQ(b.to_int64(), v);
+  }
+}
+
+TEST(BigIntTest, Int64MinDoesNotOverflow) {
+  BigInt b(std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(b.to_string(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, AdditionSmall) {
+  EXPECT_EQ((BigInt(2) + BigInt(3)).to_int64(), 5);
+  EXPECT_EQ((BigInt(-2) + BigInt(3)).to_int64(), 1);
+  EXPECT_EQ((BigInt(2) + BigInt(-3)).to_int64(), -1);
+  EXPECT_EQ((BigInt(-2) + BigInt(-3)).to_int64(), -5);
+}
+
+TEST(BigIntTest, SubtractionSmall) {
+  EXPECT_EQ((BigInt(10) - BigInt(4)).to_int64(), 6);
+  EXPECT_EQ((BigInt(4) - BigInt(10)).to_int64(), -6);
+  EXPECT_EQ((BigInt(-4) - BigInt(-10)).to_int64(), 6);
+}
+
+TEST(BigIntTest, MultiplicationSmall) {
+  EXPECT_EQ((BigInt(7) * BigInt(6)).to_int64(), 42);
+  EXPECT_EQ((BigInt(-7) * BigInt(6)).to_int64(), -42);
+  EXPECT_EQ((BigInt(-7) * BigInt(-6)).to_int64(), 42);
+  EXPECT_TRUE((BigInt(0) * BigInt(123456)).is_zero());
+}
+
+TEST(BigIntTest, MultiplicationGrowsBeyondInt64) {
+  BigInt big = BigInt(std::numeric_limits<std::int64_t>::max());
+  BigInt sq = big * big;
+  EXPECT_FALSE(sq.fits_int64());
+  // (2^63 − 1)^2 = 85070591730234615847396907784232501249
+  EXPECT_EQ(sq.to_string(), "85070591730234615847396907784232501249");
+}
+
+TEST(BigIntTest, ZeroResultIsCanonical) {
+  BigInt a(12345);
+  BigInt z = a - a;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_negative());
+  EXPECT_EQ(z.limb_count(), 0u);
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  EXPECT_LT(BigInt(-5), BigInt(-2));
+  EXPECT_LT(BigInt(-2), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(3));
+  EXPECT_LT(BigInt(3), BigInt(30));
+  EXPECT_EQ(BigInt(17), BigInt(17));
+  EXPECT_NE(BigInt(17), BigInt(-17));
+  EXPECT_GE(BigInt(5), BigInt(5));
+  EXPECT_GT(BigInt(6), BigInt(5));
+  EXPECT_LE(BigInt(5), BigInt(5));
+}
+
+TEST(BigIntTest, NegationInvolution) {
+  BigInt a(987654321);
+  EXPECT_EQ(-(-a), a);
+  EXPECT_EQ(-BigInt(0), BigInt(0));
+}
+
+TEST(BigIntTest, ToStringMultiChunk) {
+  // 10^18 * 10^18 = 10^36 exercises the base-10^9 chunking with zero pads.
+  BigInt e18(1000000000000000000LL);
+  EXPECT_EQ((e18 * e18).to_string(),
+            "1000000000000000000000000000000000000");
+}
+
+TEST(BigIntTest, ToDoubleApproximation) {
+  BigInt b(1LL << 40);
+  EXPECT_DOUBLE_EQ(b.to_double(), static_cast<double>(1LL << 40));
+  EXPECT_DOUBLE_EQ((-b).to_double(), -static_cast<double>(1LL << 40));
+}
+
+// Property: BigInt arithmetic agrees with native __int128 on random operands.
+class BigIntPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigIntPropertyTest, MatchesInt128) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t x = rng.uniform_int(-1'000'000'000LL, 1'000'000'000LL);
+    const std::int64_t y = rng.uniform_int(-1'000'000'000LL, 1'000'000'000LL);
+    BigInt bx(x), by(y);
+    EXPECT_EQ((bx + by).to_int64(), x + y);
+    EXPECT_EQ((bx - by).to_int64(), x - y);
+    __int128 prod = static_cast<__int128>(x) * y;
+    BigInt bprod = bx * by;
+    ASSERT_TRUE(bprod.fits_int64());
+    EXPECT_EQ(bprod.to_int64(), static_cast<std::int64_t>(prod));
+    EXPECT_EQ(bx < by, x < y);
+    EXPECT_EQ(bx == by, x == y);
+  }
+}
+
+TEST_P(BigIntPropertyTest, RingAxiomsOnWideOperands) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  auto draw = [&] {
+    BigInt v(rng.uniform_int(-1'000'000'000'000LL, 1'000'000'000'000LL));
+    // widen by squaring occasionally
+    if (rng.bernoulli(0.5)) v = v * v;
+    return v;
+  };
+  for (int i = 0; i < 100; ++i) {
+    BigInt a = draw(), b = draw(), c = draw();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - b, -(b - a));
+    EXPECT_EQ(a + BigInt(0), a);
+    EXPECT_EQ(a * BigInt(1), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 1234567u));
+
+}  // namespace
+}  // namespace fedcons

@@ -1,0 +1,111 @@
+// Tests for the fluent DAG builder and canned topologies.
+#include "fedcons/core/builders.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+namespace {
+
+TEST(DagBuilderTest, FluentConstruction) {
+  Dag g = DagBuilder{}
+              .vertices({1, 2, 3})
+              .edge(0, 1)
+              .edge(1, 2)
+              .build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.len(), 6);
+}
+
+TEST(DagBuilderTest, FanOutFanIn) {
+  Dag g = DagBuilder{}
+              .vertices({1, 1, 1, 1, 1})
+              .fan_out(0, {1, 2, 3})
+              .fan_in({1, 2, 3}, 4)
+              .build();
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.len(), 3);
+  EXPECT_EQ(g.width(), 3u);
+}
+
+TEST(DagBuilderTest, BuildRejectsCycle) {
+  DagBuilder b;
+  b.vertices({1, 1}).edge(0, 1).edge(1, 0);
+  EXPECT_THROW(b.build(), ContractViolation);
+}
+
+TEST(DagBuilderTest, BuildResetsBuilder) {
+  DagBuilder b;
+  b.vertex(7);
+  Dag first = b.build();
+  EXPECT_EQ(first.num_vertices(), 1u);
+  b.vertex(3);
+  Dag second = b.build();
+  EXPECT_EQ(second.num_vertices(), 1u);
+  EXPECT_EQ(second.wcet(0), 3);
+}
+
+TEST(MakeChainTest, MetricsMatch) {
+  std::array<Time, 4> w{2, 3, 4, 5};
+  Dag g = make_chain(w);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.vol(), 14);
+  EXPECT_EQ(g.len(), 14);
+  EXPECT_EQ(g.width(), 1u);
+}
+
+TEST(MakeChainTest, SingleVertex) {
+  std::array<Time, 1> w{9};
+  Dag g = make_chain(w);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.len(), 9);
+}
+
+TEST(MakeForkJoinTest, MetricsMatch) {
+  std::array<Time, 3> branches{4, 6, 2};
+  Dag g = make_fork_join(1, branches, 2);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.vol(), 15);
+  EXPECT_EQ(g.len(), 1 + 6 + 2);
+  EXPECT_EQ(g.width(), 3u);
+}
+
+TEST(MakeIndependentTest, MetricsMatch) {
+  std::array<Time, 3> w{5, 1, 3};
+  Dag g = make_independent(w);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.len(), 5);
+  EXPECT_EQ(g.vol(), 9);
+  EXPECT_EQ(g.width(), 3u);
+}
+
+TEST(PaperExampleTest, MatchesEveryStatedMetric) {
+  DagTask t = make_paper_example_task();
+  EXPECT_EQ(t.graph().num_vertices(), 5u);
+  EXPECT_EQ(t.graph().num_edges(), 5u);
+  EXPECT_EQ(t.vol(), 9);
+  EXPECT_EQ(t.len(), 6);
+  EXPECT_EQ(t.density().to_string(), "9/16");
+  EXPECT_EQ(t.utilization().to_string(), "9/20");
+}
+
+TEST(CapacityAugmentationExampleTest, FamilyShape) {
+  EXPECT_THROW(make_capacity_augmentation_counterexample(0),
+               ContractViolation);
+  for (int n : {1, 3, 10}) {
+    TaskSystem sys = make_capacity_augmentation_counterexample(n);
+    EXPECT_EQ(sys.size(), static_cast<std::size_t>(n));
+    EXPECT_EQ(sys.total_utilization(), BigRational(1));
+    EXPECT_EQ(sys.deadline_class(),
+              n == 1 ? DeadlineClass::kImplicit : DeadlineClass::kConstrained);
+  }
+}
+
+}  // namespace
+}  // namespace fedcons

@@ -1,0 +1,197 @@
+// Tests for the DAG workload structure: metrics, validation, and queries.
+#include "fedcons/core/dag.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+namespace {
+
+Dag diamond() {
+  // v0(2) → {v1(3), v2(5)} → v3(1)
+  Dag g;
+  g.add_vertex(2);
+  g.add_vertex(3);
+  g.add_vertex(5);
+  g.add_vertex(1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(DagTest, EmptyGraph) {
+  Dag g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.vol(), 0);
+  EXPECT_EQ(g.len(), 0);
+  EXPECT_EQ(g.width(), 0u);
+}
+
+TEST(DagTest, VertexWcetValidation) {
+  Dag g;
+  EXPECT_THROW(g.add_vertex(0), ContractViolation);
+  EXPECT_THROW(g.add_vertex(-5), ContractViolation);
+  EXPECT_EQ(g.add_vertex(1), 0u);
+  EXPECT_EQ(g.wcet(0), 1);
+  EXPECT_THROW(g.wcet(1), ContractViolation);
+}
+
+TEST(DagTest, EdgeValidation) {
+  Dag g;
+  g.add_vertex(1);
+  g.add_vertex(1);
+  EXPECT_THROW(g.add_edge(0, 0), ContractViolation);  // self-loop
+  EXPECT_THROW(g.add_edge(0, 5), ContractViolation);  // bad id
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), ContractViolation);  // duplicate
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DagTest, CycleDetected) {
+  Dag g;
+  g.add_vertex(1);
+  g.add_vertex(1);
+  g.add_vertex(1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_FALSE(g.is_acyclic());
+  EXPECT_THROW(g.len(), ContractViolation);
+  EXPECT_THROW(g.topological_order(), ContractViolation);
+}
+
+TEST(DagTest, DiamondMetrics) {
+  Dag g = diamond();
+  EXPECT_EQ(g.vol(), 11);
+  EXPECT_EQ(g.len(), 8);  // 2 + 5 + 1 along v0→v2→v3
+  EXPECT_EQ(g.width(), 2u);
+  EXPECT_EQ(g.in_degree(3), 2u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdgesAndIsDeterministic) {
+  Dag g = diamond();
+  const auto& topo = g.topological_order();
+  ASSERT_EQ(topo.size(), 4u);
+  auto pos = [&](VertexId v) {
+    return std::find(topo.begin(), topo.end(), v) - topo.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+  // Deterministic Kahn with min-id tie-break: 0, 1, 2, 3.
+  EXPECT_EQ(topo, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(DagTest, TopAndBottomLevels) {
+  Dag g = diamond();
+  EXPECT_EQ(g.top_level(0), 2);
+  EXPECT_EQ(g.top_level(1), 5);
+  EXPECT_EQ(g.top_level(2), 7);
+  EXPECT_EQ(g.top_level(3), 8);
+  EXPECT_EQ(g.bottom_level(0), 8);
+  EXPECT_EQ(g.bottom_level(1), 4);
+  EXPECT_EQ(g.bottom_level(2), 6);
+  EXPECT_EQ(g.bottom_level(3), 1);
+}
+
+TEST(DagTest, CriticalPath) {
+  Dag g = diamond();
+  auto path = g.critical_path();
+  EXPECT_EQ(path, (std::vector<VertexId>{0, 2, 3}));
+  Time sum = 0;
+  for (VertexId v : path) sum += g.wcet(v);
+  EXPECT_EQ(sum, g.len());
+}
+
+TEST(DagTest, CriticalPathOnChain) {
+  Dag g;
+  g.add_vertex(4);
+  g.add_vertex(5);
+  g.add_vertex(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.len(), 15);
+  EXPECT_EQ(g.vol(), 15);
+  EXPECT_EQ(g.width(), 1u);
+  EXPECT_EQ(g.critical_path(), (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(DagTest, Reachability) {
+  Dag g = diamond();
+  EXPECT_TRUE(g.reaches(0, 3));
+  EXPECT_TRUE(g.reaches(0, 1));
+  EXPECT_FALSE(g.reaches(1, 2));
+  EXPECT_FALSE(g.reaches(3, 0));
+  EXPECT_FALSE(g.reaches(0, 0));  // non-empty path required, no cycle
+}
+
+TEST(DagTest, WidthOfIndependentSet) {
+  Dag g;
+  for (int i = 0; i < 6; ++i) g.add_vertex(1);
+  EXPECT_EQ(g.width(), 6u);
+  EXPECT_EQ(g.len(), 1);
+  EXPECT_EQ(g.vol(), 6);
+}
+
+TEST(DagTest, WidthOfForkJoin) {
+  // src → 4 branches → sink: the four branches form the max antichain.
+  Dag g;
+  VertexId src = g.add_vertex(1);
+  VertexId sink = g.add_vertex(1);
+  for (int i = 0; i < 4; ++i) {
+    VertexId b = g.add_vertex(2);
+    g.add_edge(src, b);
+    g.add_edge(b, sink);
+  }
+  EXPECT_EQ(g.width(), 4u);
+  EXPECT_EQ(g.len(), 4);
+}
+
+TEST(DagTest, MutationInvalidatesCaches) {
+  Dag g;
+  g.add_vertex(3);
+  EXPECT_EQ(g.len(), 3);
+  VertexId v = g.add_vertex(4);
+  g.add_edge(0, v);
+  EXPECT_EQ(g.len(), 7);
+  EXPECT_EQ(g.vol(), 7);
+}
+
+TEST(DagTest, DotExportMentionsAllElements) {
+  Dag g = diamond();
+  std::string dot = g.to_dot("d");
+  EXPECT_NE(dot.find("digraph d"), std::string::npos);
+  EXPECT_NE(dot.find("v0"), std::string::npos);
+  EXPECT_NE(dot.find("v3"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -> v2"), std::string::npos);
+  EXPECT_NE(dot.find("e=5"), std::string::npos);
+}
+
+TEST(DagTest, LenLessOrEqualVol) {
+  Dag g = diamond();
+  EXPECT_LE(g.len(), g.vol());
+}
+
+TEST(DagTest, SpanAccessors) {
+  Dag g = diamond();
+  auto succ = g.successors(0);
+  EXPECT_EQ(succ.size(), 2u);
+  auto pred = g.predecessors(3);
+  EXPECT_EQ(pred.size(), 2u);
+  EXPECT_THROW(g.successors(9), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fedcons

@@ -1,0 +1,89 @@
+// Tests for density-based sufficient tests.
+#include "fedcons/analysis/density.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fedcons/analysis/edf_uniproc.h"
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+namespace {
+
+TEST(DensityTest, TotalsAndMax) {
+  std::vector<SporadicTask> tasks{SporadicTask(1, 2, 4),   // δ = 1/2
+                                  SporadicTask(1, 4, 4),   // δ = 1/4
+                                  SporadicTask(3, 12, 6)}; // δ = 3/6 = 1/2
+  EXPECT_EQ(total_density(tasks), BigRational(5, 4));
+  EXPECT_EQ(max_density(tasks), BigRational(1, 2));
+}
+
+TEST(DensityTest, MaxDensityRequiresNonEmpty) {
+  EXPECT_THROW(max_density({}), ContractViolation);
+}
+
+TEST(DensityTest, UniprocAcceptsAtBoundary) {
+  std::vector<SporadicTask> tasks{SporadicTask(1, 2, 4),
+                                  SporadicTask(1, 2, 4)};
+  EXPECT_TRUE(uniproc_density_test(tasks));  // Σδ = 1 exactly
+  tasks.emplace_back(1, 100, 100);
+  EXPECT_FALSE(uniproc_density_test(tasks));  // now strictly above 1
+}
+
+TEST(DensityTest, UniprocDensityImpliesExactEdf) {
+  // Density test is sufficient: whenever it accepts, the exact test must too.
+  std::vector<SporadicTask> tasks{SporadicTask(2, 5, 10),
+                                  SporadicTask(1, 4, 8),
+                                  SporadicTask(3, 10, 30)};
+  ASSERT_TRUE(uniproc_density_test(tasks));
+  EXPECT_TRUE(edf_schedulable(tasks));
+}
+
+TEST(DensityTest, UniprocDensityIsConservative) {
+  // The exact test accepts sets the density test rejects: the classic gap.
+  std::vector<SporadicTask> tasks{SporadicTask(1, 1, 3),
+                                  SporadicTask(1, 2, 3),
+                                  SporadicTask(1, 3, 3)};
+  // Σδ = 1 + 1/2 + 1/3 > 1 → density rejects…
+  EXPECT_FALSE(uniproc_density_test(tasks));
+  // …but demand never exceeds t (1,2,3 staircase) → exact accepts.
+  EXPECT_TRUE(edf_schedulable(tasks));
+}
+
+TEST(GedfDensityTest, SingleProcessorReducesToUniproc) {
+  std::vector<SporadicTask> tasks{SporadicTask(1, 2, 4),
+                                  SporadicTask(1, 2, 4)};
+  EXPECT_EQ(gedf_density_test(tasks, 1), uniproc_density_test(tasks));
+}
+
+TEST(GedfDensityTest, BoundFormula) {
+  // Two tasks with δ = 1/2 on m = 2: Σδ = 1 ≤ 2 − 1·(1/2) = 3/2: accept.
+  std::vector<SporadicTask> ok{SporadicTask(1, 2, 4), SporadicTask(1, 2, 4)};
+  EXPECT_TRUE(gedf_density_test(ok, 2));
+  // One δ = 1 task plus two δ = 3/4 tasks on m = 2:
+  // Σδ = 5/2 > 2 − 1·1 = 1: reject.
+  std::vector<SporadicTask> bad{SporadicTask(4, 4, 4), SporadicTask(3, 4, 4),
+                                SporadicTask(3, 4, 4)};
+  EXPECT_FALSE(gedf_density_test(bad, 2));
+}
+
+TEST(GedfDensityTest, EmptyAcceptsAndValidatesM) {
+  EXPECT_TRUE(gedf_density_test({}, 4));
+  EXPECT_THROW(gedf_density_test({}, 0), ContractViolation);
+}
+
+TEST(GedfDensityTest, MoreProcessorsNeverHurt) {
+  std::vector<SporadicTask> tasks{SporadicTask(2, 4, 8),
+                                  SporadicTask(3, 6, 6),
+                                  SporadicTask(1, 2, 4)};
+  bool prev = false;
+  for (int m = 1; m <= 8; ++m) {
+    bool now = gedf_density_test(tasks, m);
+    EXPECT_TRUE(!prev || now) << "acceptance must be monotone in m";
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace fedcons

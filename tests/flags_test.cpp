@@ -1,0 +1,77 @@
+// Tests for command-line flag parsing.
+#include "fedcons/util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags f = parse({"--trials=500", "--name=sweep"});
+  EXPECT_EQ(f.get_int("trials", 0), 500);
+  EXPECT_EQ(f.get_string("name", ""), "sweep");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Flags f = parse({"--trials", "250"});
+  EXPECT_EQ(f.get_int("trials", 0), 250);
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags f = parse({"--csv"});
+  EXPECT_TRUE(f.has("csv"));
+  EXPECT_TRUE(f.get_bool("csv", false));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags f = parse({});
+  EXPECT_FALSE(f.has("missing"));
+  EXPECT_EQ(f.get_int("missing", 7), 7);
+  EXPECT_EQ(f.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(f.get_string("missing", "d"), "d");
+  EXPECT_TRUE(f.get_bool("missing", true));
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  EXPECT_TRUE(parse({"--a=yes"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=1"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=on"}).get_bool("a", false));
+  EXPECT_FALSE(parse({"--a=no"}).get_bool("a", true));
+  EXPECT_FALSE(parse({"--a=0"}).get_bool("a", true));
+  EXPECT_FALSE(parse({"--a=off"}).get_bool("a", true));
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  Flags f = parse({"--ratio=0.75"});
+  EXPECT_DOUBLE_EQ(f.get_double("ratio", 0.0), 0.75);
+}
+
+TEST(FlagsTest, Positional) {
+  Flags f = parse({"input.txt", "--k=1", "more"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "more");
+}
+
+TEST(FlagsTest, MalformedValuesThrow) {
+  EXPECT_THROW(parse({"--n=abc"}).get_int("n", 0), ContractViolation);
+  EXPECT_THROW(parse({"--x=abc"}).get_double("x", 0), ContractViolation);
+  EXPECT_THROW(parse({"--b=maybe"}).get_bool("b", false), ContractViolation);
+  EXPECT_THROW(parse({"--"}), ContractViolation);
+}
+
+TEST(FlagsTest, LaterOccurrenceWins) {
+  Flags f = parse({"--k=1", "--k=2"});
+  EXPECT_EQ(f.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace fedcons

@@ -1,0 +1,146 @@
+// Tests for the fixed-priority uniprocessor simulator and its agreement
+// with response-time analysis.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fedcons/analysis/rta.h"
+#include "fedcons/sim/edf_sim.h"
+#include "fedcons/sim/release_generator.h"
+#include "fedcons/util/rng.h"
+
+namespace fedcons {
+namespace {
+
+EdfTaskStream periodic_stream(const SporadicTask& t, const SimConfig& cfg,
+                              Rng& rng) {
+  return EdfTaskStream{generate_sequential_releases(t.wcet, t.deadline,
+                                                    t.period, cfg, rng)};
+}
+
+TEST(FpSimTest, HighestPriorityRunsFirst) {
+  SimConfig cfg;
+  cfg.horizon = 100;
+  // Stream 0 (highest) and stream 1 released together.
+  std::vector<EdfTaskStream> streams{
+      EdfTaskStream{{{0, 3, 50}}},
+      EdfTaskStream{{{0, 4, 8}}},
+  };
+  // Under FP, stream 0 runs first despite the later deadline; stream 1 ends
+  // at 7.
+  auto rep = simulate_fp_uniproc_detailed(streams, cfg);
+  EXPECT_EQ(rep.max_response_per_stream[0], 3);
+  EXPECT_EQ(rep.max_response_per_stream[1], 7);
+  EXPECT_EQ(rep.stats.deadline_misses, 0u);
+  // EDF would instead run stream 1 first.
+  SimStats edf = simulate_edf_uniproc(streams, cfg);
+  EXPECT_EQ(edf.max_response_time, 7);  // stream 0 ends at 7 under EDF
+}
+
+TEST(FpSimTest, PreemptionByHigherPriority) {
+  SimConfig cfg;
+  cfg.horizon = 200;
+  // Low-priority long job at 0; high-priority job arrives at 2.
+  std::vector<EdfTaskStream> streams{
+      EdfTaskStream{{{2, 3, 20}}},   // stream 0: higher priority
+      EdfTaskStream{{{0, 10, 100}}}  // stream 1: lower priority
+  };
+  auto rep = simulate_fp_uniproc_detailed(streams, cfg);
+  EXPECT_EQ(rep.max_response_per_stream[0], 3);   // 2→5
+  EXPECT_EQ(rep.max_response_per_stream[1], 13);  // 0→13 (3 stolen)
+}
+
+TEST(FpSimTest, MissDetected) {
+  SimConfig cfg;
+  cfg.horizon = 100;
+  std::vector<EdfTaskStream> streams{
+      EdfTaskStream{{{0, 5, 100}}},
+      EdfTaskStream{{{0, 3, 6}}},  // lower priority, deadline 6: ends at 8
+  };
+  SimStats s = simulate_fp_uniproc(streams, cfg);
+  EXPECT_EQ(s.deadline_misses, 1u);
+  EXPECT_EQ(s.max_lateness, 2);
+}
+
+// The agreement theorem: under synchronous periodic WCET releases the
+// observed worst-case response of every task equals its RTA fixed point
+// (critical-instant argument, constrained deadlines, schedulable sets).
+class FpRtaAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FpRtaAgreementTest, ObservedResponseEqualsRta) {
+  Rng rng(GetParam());
+  SimConfig cfg;
+  cfg.horizon = 20000;
+  int checked = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<SporadicTask> tasks;
+    int n = static_cast<int>(rng.uniform_int(1, 5));
+    for (int j = 0; j < n; ++j) {
+      Time period = rng.uniform_int(5, 50);
+      Time deadline = rng.uniform_int(2, period);
+      Time wcet = rng.uniform_int(1, std::max<Time>(1, deadline / 2));
+      tasks.emplace_back(wcet, deadline, period);
+    }
+    // DM order; skip unschedulable sets (responses unbounded there).
+    std::vector<SporadicTask> ordered;
+    for (std::size_t i : deadline_monotonic_order(tasks)) {
+      ordered.push_back(tasks[i]);
+    }
+    auto rta = fp_schedulable(ordered);
+    if (!rta.schedulable) continue;
+    std::vector<EdfTaskStream> streams;
+    Rng stream_rng = rng.split();
+    for (const auto& t : ordered) {
+      streams.push_back(periodic_stream(t, cfg, stream_rng));
+    }
+    auto rep = simulate_fp_uniproc_detailed(streams, cfg);
+    ASSERT_EQ(rep.stats.deadline_misses, 0u);
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      EXPECT_EQ(rep.max_response_per_stream[i], rta.response_times[i])
+          << "stream " << i << " (seed " << GetParam() << ", trial " << trial
+          << ")";
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_P(FpRtaAgreementTest, SporadicReleasesNeverExceedRta) {
+  Rng rng(GetParam() ^ 0x44);
+  SimConfig cfg;
+  cfg.horizon = 20000;
+  cfg.release = ReleaseModel::kSporadic;
+  cfg.exec = ExecModel::kUniform;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<SporadicTask> tasks;
+    int n = static_cast<int>(rng.uniform_int(1, 5));
+    for (int j = 0; j < n; ++j) {
+      Time period = rng.uniform_int(5, 50);
+      Time deadline = rng.uniform_int(2, period);
+      Time wcet = rng.uniform_int(1, std::max<Time>(1, deadline / 2));
+      tasks.emplace_back(wcet, deadline, period);
+    }
+    std::vector<SporadicTask> ordered;
+    for (std::size_t i : deadline_monotonic_order(tasks)) {
+      ordered.push_back(tasks[i]);
+    }
+    auto rta = fp_schedulable(ordered);
+    if (!rta.schedulable) continue;
+    std::vector<EdfTaskStream> streams;
+    Rng stream_rng = rng.split();
+    for (const auto& t : ordered) {
+      streams.push_back(periodic_stream(t, cfg, stream_rng));
+    }
+    auto rep = simulate_fp_uniproc_detailed(streams, cfg);
+    EXPECT_EQ(rep.stats.deadline_misses, 0u);
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      EXPECT_LE(rep.max_response_per_stream[i], rta.response_times[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FpRtaAgreementTest,
+                         ::testing::Values(111u, 222u, 333u));
+
+}  // namespace
+}  // namespace fedcons

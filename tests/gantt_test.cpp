@@ -1,0 +1,83 @@
+// Tests for ASCII Gantt rendering.
+#include "fedcons/sim/gantt.h"
+
+#include <gtest/gtest.h>
+
+#include "fedcons/core/builders.h"
+#include "fedcons/listsched/list_scheduler.h"
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+namespace {
+
+TEST(GanttTest, RendersTemplateScheduleRows) {
+  // v0(2) on P0 [0,2), v1(3) on P1 [0,3), v2(1) on P0 [3,4).
+  TemplateSchedule s(2, {{0, 0, 0, 2}, {1, 1, 0, 3}, {2, 0, 3, 4}});
+  std::string out = render_gantt(s);
+  EXPECT_NE(out.find("P0 |00-2|"), std::string::npos) << out;
+  EXPECT_NE(out.find("P1 |111-|"), std::string::npos) << out;
+  EXPECT_NE(out.find("t=0..4"), std::string::npos);
+}
+
+TEST(GanttTest, IdleProcessorsRenderAsDashes) {
+  TemplateSchedule s(3, {{0, 0, 0, 2}});
+  std::string out = render_gantt(s);
+  EXPECT_NE(out.find("P1 |--|"), std::string::npos) << out;
+  EXPECT_NE(out.find("P2 |--|"), std::string::npos) << out;
+}
+
+TEST(GanttTest, ScalesLongWindows) {
+  // 1000-tick job with max_width 10: 100 ticks per char.
+  TemplateSchedule s(1, {{0, 0, 0, 1000}});
+  GanttOptions opt;
+  opt.max_width = 10;
+  std::string out = render_gantt(s, opt);
+  EXPECT_NE(out.find("P0 |0000000000|"), std::string::npos) << out;
+  EXPECT_NE(out.find("(100 ticks/char"), std::string::npos);
+}
+
+TEST(GanttTest, GlyphsWrapAtBase36) {
+  ExecutionTrace tr;
+  tr.add(0, 10, 0, 1);   // 'a'
+  tr.add(0, 36, 1, 2);   // wraps to '0'
+  std::string out = render_gantt(tr, 1);
+  EXPECT_NE(out.find("P0 |a0|"), std::string::npos) << out;
+}
+
+TEST(GanttTest, TraceWindowOptions) {
+  ExecutionTrace tr;
+  tr.add(0, 1, 0, 4);
+  tr.add(0, 2, 10, 12);
+  GanttOptions opt;
+  opt.start = 9;
+  opt.end = 13;
+  std::string out = render_gantt(tr, 1, opt);
+  EXPECT_NE(out.find("P0 |-22-|"), std::string::npos) << out;
+}
+
+TEST(GanttTest, EmptyInputsHandled) {
+  ExecutionTrace tr;
+  EXPECT_EQ(render_gantt(tr, 0), "(empty schedule)\n");
+  std::string padded = render_gantt(tr, 2);
+  EXPECT_NE(padded.find("P0 |"), std::string::npos);
+}
+
+TEST(GanttTest, PaperExampleRendersAllJobs) {
+  DagTask t = make_paper_example_task();
+  TemplateSchedule s = list_schedule(t.graph(), 2);
+  std::string out = render_gantt(s);
+  for (char c : {'0', '1', '2', '3', '4'}) {
+    EXPECT_NE(out.find(c, out.find('|')), std::string::npos)
+        << "missing job " << c << " in:\n" << out;
+  }
+}
+
+TEST(GanttTest, RejectsDegenerateWidth) {
+  TemplateSchedule s(1, {{0, 0, 0, 5}});
+  GanttOptions opt;
+  opt.max_width = 3;
+  EXPECT_THROW(render_gantt(s, opt), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fedcons

@@ -1,0 +1,112 @@
+// Cross-module integration properties — the repository's strongest
+// correctness evidence:
+//
+//  1. ANALYSIS → RUN TIME: every random system FEDCONS accepts survives
+//     full-platform simulation (sporadic releases, varying execution times)
+//     with zero deadline misses.
+//  2. PARTITION → EXACT EDF: every shared processor of an accepted
+//     allocation passes the exact uniprocessor EDF test.
+//  3. ALGORITHM ORDERING: FEDCONS (DBF*-based) accepts at least the systems
+//     the density-based federated adaptation accepts (on low-density-only
+//     workloads where both reduce to partitioning).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fedcons/analysis/edf_uniproc.h"
+#include "fedcons/federated/federated_implicit.h"
+#include "fedcons/gen/taskset_gen.h"
+#include "fedcons/sim/system_sim.h"
+#include "fedcons/util/rng.h"
+
+namespace fedcons {
+namespace {
+
+class IntegrationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntegrationTest, AcceptedSystemsNeverMissInSimulation) {
+  Rng rng(GetParam());
+  TaskSetParams params;
+  params.num_tasks = 6;
+  params.total_utilization = 2.5;
+  params.utilization_cap = 4.0;
+  params.period_min = 20;
+  params.period_max = 2000;
+  params.topology = DagTopology::kMixed;
+  int simulated = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    Rng sys_rng = rng.split();
+    TaskSystem sys = generate_task_system(sys_rng, params);
+    auto alloc = fedcons_schedule(sys, 6);
+    if (!alloc.success) continue;
+    ++simulated;
+    for (auto release : {ReleaseModel::kPeriodic, ReleaseModel::kSporadic}) {
+      for (auto exec : {ExecModel::kAlwaysWcet, ExecModel::kUniform}) {
+        SimConfig cfg;
+        cfg.horizon = 30000;
+        cfg.release = release;
+        cfg.exec = exec;
+        cfg.seed = GetParam() * 1000 + static_cast<std::uint64_t>(trial);
+        SystemSimReport rep = simulate_system(sys, alloc, cfg);
+        EXPECT_EQ(rep.total.deadline_misses, 0u)
+            << "accepted system missed a deadline (trial " << trial
+            << ", release " << static_cast<int>(release) << ", exec "
+            << static_cast<int>(exec) << ")";
+      }
+    }
+  }
+  EXPECT_GT(simulated, 0) << "sweep produced no accepted systems to simulate";
+}
+
+TEST_P(IntegrationTest, SharedProcessorsPassExactEdf) {
+  Rng rng(GetParam() ^ 0xdead);
+  TaskSetParams params;
+  params.num_tasks = 8;
+  params.total_utilization = 3.0;
+  params.utilization_cap = 5.0;
+  int checked = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    Rng sys_rng = rng.split();
+    TaskSystem sys = generate_task_system(sys_rng, params);
+    auto alloc = fedcons_schedule(sys, 8);
+    if (!alloc.success) continue;
+    for (const auto& proc : alloc.shared_assignment) {
+      std::vector<SporadicTask> assigned;
+      for (TaskId t : proc) assigned.push_back(sys[t].to_sequential());
+      EXPECT_TRUE(edf_schedulable(assigned))
+          << "a shared processor failed the exact EDF certificate";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_P(IntegrationTest, FedconsDominatesDensityBaselineOnLowDensityLoads) {
+  Rng rng(GetParam() ^ 0xbeef);
+  TaskSetParams params;
+  params.num_tasks = 8;
+  params.total_utilization = 2.0;
+  params.utilization_cap = 0.9;  // low-density only
+  params.deadline_ratio_min = 0.6;
+  int both = 0, fedcons_only = 0, baseline_only = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    Rng sys_rng = rng.split();
+    TaskSystem sys = generate_task_system(sys_rng, params);
+    if (!sys.high_density_tasks().empty()) continue;
+    bool f = fedcons_schedulable(sys, 3);
+    bool b = li_federated_constrained_adaptation(sys, 3).success;
+    if (f && b) ++both;
+    if (f && !b) ++fedcons_only;
+    if (!f && b) ++baseline_only;
+  }
+  // DBF* partitioning is never beaten by per-processor density packing on
+  // these workloads in aggregate; individual reversals are possible because
+  // the bin-packing orders differ, but they should be rare.
+  EXPECT_GE(fedcons_only + both, baseline_only + both);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationTest,
+                         ::testing::Values(71u, 72u, 73u));
+
+}  // namespace
+}  // namespace fedcons

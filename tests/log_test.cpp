@@ -1,0 +1,58 @@
+// Tests for the leveled logger (stderr capture via gtest).
+#include "fedcons/util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace fedcons {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kInfo;
+};
+
+TEST_F(LogTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LogTest, EmitsAtOrAboveThreshold) {
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  LOG_INFO("invisible " << 1);
+  LOG_WARN("visible-warn " << 2);
+  LOG_ERROR("visible-error " << 3);
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("invisible"), std::string::npos);
+  EXPECT_NE(out.find("visible-warn 2"), std::string::npos);
+  EXPECT_NE(out.find("visible-error 3"), std::string::npos);
+  EXPECT_NE(out.find("[WARN ]"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR]"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  LOG_ERROR("should not appear");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LogTest, StreamExpressionsNotEvaluatedBelowThreshold) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  LOG_DEBUG("value " << count());
+  EXPECT_EQ(evaluations, 0) << "suppressed logs must not evaluate operands";
+  LOG_ERROR("value " << count());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace fedcons

@@ -1,0 +1,69 @@
+// Tests for workload presets.
+#include "fedcons/gen/presets.h"
+
+#include <gtest/gtest.h>
+
+#include "fedcons/util/rng.h"
+
+namespace fedcons {
+namespace {
+
+TEST(PresetsTest, AllPresetsListed) {
+  const auto& presets = workload_presets();
+  ASSERT_EQ(presets.size(), 4u);
+  for (const auto& p : presets) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_FALSE(p.description.empty());
+  }
+}
+
+TEST(PresetsTest, LookupByName) {
+  EXPECT_TRUE(find_preset("avionics").has_value());
+  EXPECT_TRUE(find_preset("automotive").has_value());
+  EXPECT_TRUE(find_preset("vision").has_value());
+  EXPECT_TRUE(find_preset("mixed").has_value());
+  EXPECT_FALSE(find_preset("nonexistent").has_value());
+}
+
+TEST(PresetsTest, EveryPresetGeneratesValidSystems) {
+  Rng rng(5);
+  for (const auto& preset : workload_presets()) {
+    for (int trial = 0; trial < 5; ++trial) {
+      TaskSystem sys = generate_task_system(rng, preset.params);
+      EXPECT_EQ(sys.size(),
+                static_cast<std::size_t>(preset.params.num_tasks))
+          << preset.name;
+      EXPECT_NE(sys.deadline_class(), DeadlineClass::kArbitrary)
+          << preset.name;
+      for (const auto& t : sys) EXPECT_LE(t.len(), t.deadline());
+    }
+  }
+}
+
+TEST(PresetsTest, VisionSkewsHighDensity) {
+  // The vision preset exists to exercise dedicated clusters: high-density
+  // tasks should be common; the automotive preset should mostly avoid them.
+  Rng rng(6);
+  int vision_high = 0, automotive_high = 0;
+  auto vision = *find_preset("vision");
+  auto automotive = *find_preset("automotive");
+  for (int trial = 0; trial < 20; ++trial) {
+    vision_high += static_cast<int>(
+        generate_task_system(rng, vision.params).high_density_tasks().size());
+    automotive_high += static_cast<int>(
+        generate_task_system(rng, automotive.params)
+            .high_density_tasks()
+            .size());
+  }
+  EXPECT_GT(vision_high, automotive_high);
+}
+
+TEST(PresetsTest, DescribeMentionsEveryName) {
+  std::string text = describe_presets();
+  for (const auto& p : workload_presets()) {
+    EXPECT_NE(text.find(p.name), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fedcons

@@ -1,0 +1,144 @@
+// Unit and property tests for exact rational arithmetic.
+#include "fedcons/util/rational.h"
+
+#include <gtest/gtest.h>
+
+#include "fedcons/util/check.h"
+#include "fedcons/util/rng.h"
+
+namespace fedcons {
+namespace {
+
+TEST(BigRationalTest, DefaultIsZero) {
+  BigRational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.sign(), 0);
+  EXPECT_TRUE(r.is_integer());
+  EXPECT_EQ(r.floor(), 0);
+}
+
+TEST(BigRationalTest, RejectsZeroDenominator) {
+  EXPECT_THROW(BigRational(1, 0), ContractViolation);
+  EXPECT_THROW(BigRational(BigInt(1), BigInt(0)), ContractViolation);
+}
+
+TEST(BigRationalTest, SignNormalization) {
+  BigRational a(1, -2);
+  EXPECT_EQ(a.sign(), -1);
+  EXPECT_EQ(a, BigRational(-1, 2));
+  BigRational b(-3, -4);
+  EXPECT_EQ(b.sign(), 1);
+  EXPECT_EQ(b, BigRational(3, 4));
+}
+
+TEST(BigRationalTest, EqualityIgnoresRepresentation) {
+  EXPECT_EQ(BigRational(1, 2), BigRational(2, 4));
+  EXPECT_EQ(BigRational(6, 3), BigRational(2));
+  EXPECT_NE(BigRational(1, 2), BigRational(1, 3));
+}
+
+TEST(BigRationalTest, ArithmeticBasics) {
+  EXPECT_EQ(BigRational(1, 2) + BigRational(1, 3), BigRational(5, 6));
+  EXPECT_EQ(BigRational(1, 2) - BigRational(1, 3), BigRational(1, 6));
+  EXPECT_EQ(BigRational(2, 3) * BigRational(3, 4), BigRational(1, 2));
+  EXPECT_EQ(BigRational(1, 2) / BigRational(1, 4), BigRational(2));
+  EXPECT_THROW(BigRational(1) / BigRational(0), ContractViolation);
+}
+
+TEST(BigRationalTest, OrderingCrossMultiplies) {
+  EXPECT_LT(BigRational(1, 3), BigRational(1, 2));
+  EXPECT_LT(BigRational(-1, 2), BigRational(-1, 3));
+  EXPECT_LE(BigRational(2, 4), BigRational(1, 2));
+  EXPECT_GT(BigRational(7, 8), BigRational(6, 7));
+}
+
+TEST(BigRationalTest, FloorAndCeil) {
+  EXPECT_EQ(BigRational(7, 2).floor(), 3);
+  EXPECT_EQ(BigRational(7, 2).ceil(), 4);
+  EXPECT_EQ(BigRational(-7, 2).floor(), -4);
+  EXPECT_EQ(BigRational(-7, 2).ceil(), -3);
+  EXPECT_EQ(BigRational(6, 2).floor(), 3);
+  EXPECT_EQ(BigRational(6, 2).ceil(), 3);
+  EXPECT_EQ(BigRational(0).floor(), 0);
+}
+
+TEST(BigRationalTest, IsInteger) {
+  EXPECT_TRUE(BigRational(4, 2).is_integer());
+  EXPECT_FALSE(BigRational(5, 2).is_integer());
+  EXPECT_TRUE(BigRational(0, 7).is_integer());
+  EXPECT_TRUE(BigRational(-9, 3).is_integer());
+}
+
+TEST(BigRationalTest, ToStringReadable) {
+  EXPECT_EQ(BigRational(3).to_string(), "3");
+  EXPECT_EQ(BigRational(1, 2).to_string(), "1/2");
+  EXPECT_EQ(BigRational(-1, 2).to_string(), "-1/2");
+}
+
+TEST(BigRationalTest, ToDoubleApproximates) {
+  EXPECT_NEAR(BigRational(1, 3).to_double(), 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(BigRational(-22, 7).to_double(), -22.0 / 7.0, 1e-15);
+}
+
+TEST(BigRationalTest, MakeRatioHelper) {
+  EXPECT_EQ(make_ratio(9, 16).to_string(), "9/16");
+  EXPECT_EQ(make_ratio(9, 20), BigRational(9, 20));
+}
+
+// Properties on random operands, cross-checked against long double.
+class RationalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RationalPropertyTest, FieldAxioms) {
+  Rng rng(GetParam());
+  auto draw = [&] {
+    return BigRational(rng.uniform_int(-1000, 1000),
+                       rng.uniform_int(1, 1000));
+  };
+  for (int i = 0; i < 300; ++i) {
+    BigRational a = draw(), b = draw(), c = draw();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, BigRational(0));
+    if (!b.is_zero()) EXPECT_EQ((a / b) * b, a);
+  }
+}
+
+TEST_P(RationalPropertyTest, OrderConsistentWithDouble) {
+  Rng rng(GetParam() ^ 0x5555);
+  for (int i = 0; i < 300; ++i) {
+    std::int64_t n1 = rng.uniform_int(-10000, 10000);
+    std::int64_t d1 = rng.uniform_int(1, 10000);
+    std::int64_t n2 = rng.uniform_int(-10000, 10000);
+    std::int64_t d2 = rng.uniform_int(1, 10000);
+    BigRational a(n1, d1), b(n2, d2);
+    // Exact cross-product comparison as the oracle.
+    __int128 lhs = static_cast<__int128>(n1) * d2;
+    __int128 rhs = static_cast<__int128>(n2) * d1;
+    EXPECT_EQ(a < b, lhs < rhs);
+    EXPECT_EQ(a == b, lhs == rhs);
+  }
+}
+
+TEST_P(RationalPropertyTest, FloorCeilInvariants) {
+  Rng rng(GetParam() ^ 0x9999);
+  for (int i = 0; i < 300; ++i) {
+    BigRational r(rng.uniform_int(-100000, 100000),
+                  rng.uniform_int(1, 1000));
+    std::int64_t f = r.floor();
+    std::int64_t c = r.ceil();
+    EXPECT_LE(BigRational(f), r);
+    EXPECT_LT(r, BigRational(f + 1));
+    EXPECT_GE(BigRational(c), r);
+    EXPECT_GT(r, BigRational(c - 1));
+    EXPECT_TRUE(c == f || c == f + 1);
+    EXPECT_EQ(c == f, r.is_integer());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
+                         ::testing::Values(11u, 22u, 33u));
+
+}  // namespace
+}  // namespace fedcons

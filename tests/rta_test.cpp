@@ -1,0 +1,117 @@
+// Tests for fixed-priority response-time analysis.
+#include "fedcons/analysis/rta.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fedcons/analysis/edf_uniproc.h"
+#include "fedcons/util/rng.h"
+
+namespace fedcons {
+namespace {
+
+TEST(ResponseTimeTest, NoInterferenceIsWcet) {
+  SporadicTask t(5, 20, 20);
+  auto r = response_time(t, {}, 100);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 5);
+}
+
+TEST(ResponseTimeTest, ClassicTextbookExample) {
+  // hp: (C=1, T=4), (C=2, T=6); task C=3.
+  // R = 3 + ⌈R/4⌉·1 + ⌈R/6⌉·2 → 3→6→8→9→10→10: fixpoint 10.
+  std::vector<SporadicTask> hp{SporadicTask(1, 4, 4), SporadicTask(2, 6, 6)};
+  SporadicTask t(3, 20, 20);
+  auto r = response_time(t, hp, 100);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 10);
+}
+
+TEST(ResponseTimeTest, DivergesBeyondBound) {
+  // Overloaded: hp utilization 1 leaves nothing for the task.
+  std::vector<SporadicTask> hp{SporadicTask(4, 4, 4)};
+  SporadicTask t(1, 50, 50);
+  EXPECT_FALSE(response_time(t, hp, 50).has_value());
+}
+
+TEST(FpSchedulableTest, AcceptsAndReportsResponses) {
+  std::vector<SporadicTask> tasks{SporadicTask(1, 4, 4),
+                                  SporadicTask(2, 6, 6),
+                                  SporadicTask(3, 20, 20)};
+  auto r = fp_schedulable(tasks);
+  ASSERT_TRUE(r.schedulable);
+  ASSERT_EQ(r.response_times.size(), 3u);
+  EXPECT_EQ(r.response_times[0], 1);
+  EXPECT_EQ(r.response_times[1], 3);
+  EXPECT_EQ(r.response_times[2], 10);
+}
+
+TEST(FpSchedulableTest, RejectsOnDeadlineOverrun) {
+  std::vector<SporadicTask> tasks{SporadicTask(3, 4, 4),
+                                  SporadicTask(3, 8, 8)};
+  // Low-priority response: 3 + ⌈R/4⌉·3 → 3→6→9 > 8.
+  EXPECT_FALSE(fp_schedulable(tasks).schedulable);
+}
+
+TEST(FpSchedulableTest, EmptySetSchedulable) {
+  EXPECT_TRUE(fp_schedulable({}).schedulable);
+}
+
+TEST(DeadlineMonotonicOrderTest, SortsByDeadlineStably) {
+  std::vector<SporadicTask> tasks{SporadicTask(1, 10, 10),
+                                  SporadicTask(1, 5, 10),
+                                  SporadicTask(1, 10, 20),
+                                  SporadicTask(1, 3, 10)};
+  auto order = deadline_monotonic_order(tasks);
+  EXPECT_EQ(order, (std::vector<std::size_t>{3, 1, 0, 2}));
+}
+
+TEST(DmSchedulableTest, PriorityOrderMatters) {
+  // Rate-monotonic-hostile pair: under the GIVEN order (long deadline
+  // first) unschedulable, under DM schedulable.
+  std::vector<SporadicTask> wrong_order{SporadicTask(4, 10, 10),
+                                        SporadicTask(2, 4, 10)};
+  EXPECT_FALSE(fp_schedulable(wrong_order).schedulable);
+  EXPECT_TRUE(dm_schedulable(wrong_order));
+}
+
+TEST(DmVsEdfTest, DmNeverBeatsExactEdf) {
+  // EDF is optimal on one processor: anything DM accepts, EDF accepts.
+  Rng rng(13);
+  int dm_accepted = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    std::vector<SporadicTask> tasks;
+    int n = static_cast<int>(rng.uniform_int(1, 6));
+    for (int j = 0; j < n; ++j) {
+      Time period = rng.uniform_int(4, 100);
+      Time deadline = rng.uniform_int(2, period);
+      Time wcet = rng.uniform_int(1, std::max<Time>(1, deadline / 2));
+      tasks.emplace_back(wcet, deadline, period);
+    }
+    if (dm_schedulable(tasks)) {
+      ++dm_accepted;
+      EXPECT_TRUE(edf_schedulable(tasks))
+          << "DM accepted a set the exact EDF test rejects (trial " << trial
+          << ")";
+    }
+  }
+  EXPECT_GT(dm_accepted, 0);
+}
+
+TEST(ResponseTimeTest, MonotoneInInterference) {
+  // Adding a higher-priority task never reduces the response time.
+  SporadicTask t(3, 50, 50);
+  std::vector<SporadicTask> hp;
+  Time prev = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto r = response_time(t, hp, 200);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_GE(*r, prev);
+    prev = *r;
+    hp.emplace_back(1, 10 + i, 10 + i);
+  }
+}
+
+}  // namespace
+}  // namespace fedcons

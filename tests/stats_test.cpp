@@ -1,0 +1,129 @@
+// Tests for streaming statistics, percentiles, and histograms.
+#include "fedcons/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fedcons/util/check.h"
+#include "fedcons/util/rng.h"
+
+namespace fedcons {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsNeutral) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleSample) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(OnlineStatsTest, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: Σ(x−5)² = 32 → 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, MergeEqualsPooled) {
+  Rng rng(3);
+  OnlineStats a, b, pooled;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform_real(-10, 10);
+    (i % 2 == 0 ? a : b).add(x);
+    pooled.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(a.max(), pooled.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats before = a;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), before.mean());
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(PercentileTest, Endpoints) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(PercentileTest, SingleSample) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+}
+
+TEST(PercentileTest, RejectsEmptyAndBadP) {
+  EXPECT_THROW(percentile({}, 50), ContractViolation);
+  EXPECT_THROW(percentile({1.0}, -1), ContractViolation);
+  EXPECT_THROW(percentile({1.0}, 101), ContractViolation);
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  h.add(-1.0);   // clamps into bin 0
+  h.add(0.0);
+  h.add(3.0);
+  h.add(9.99);
+  h.add(25.0);   // clamps into last bin
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(BinomialCiTest, Basics) {
+  EXPECT_DOUBLE_EQ(binomial_ci95_halfwidth(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_ci95_halfwidth(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_ci95_halfwidth(100, 100), 0.0);
+  // p = 0.5, n = 100: 1.96 * sqrt(0.25/100) = 0.098.
+  EXPECT_NEAR(binomial_ci95_halfwidth(50, 100), 0.098, 1e-9);
+  // Quadruple n halves the width.
+  EXPECT_NEAR(binomial_ci95_halfwidth(200, 400),
+              binomial_ci95_halfwidth(50, 100) / 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fedcons

@@ -1,0 +1,85 @@
+// Tests for table / CSV rendering.
+#include "fedcons/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+namespace {
+
+TEST(TableTest, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(TableTest, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(TableTest, PrintAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  // Header, separator, two data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TableTest, NumericCellsRightAligned) {
+  Table t({"v"});
+  t.add_row({"7"});
+  t.add_row({"1234"});
+  std::ostringstream os;
+  t.print(os);
+  // The short numeric value is padded on the left ("   7").
+  EXPECT_NE(os.str().find("   7"), std::string::npos);
+}
+
+TEST(TableTest, CsvBasics) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"text"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(FormatTest, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(fmt_double(2.0, 1), "2.0");
+  EXPECT_EQ(fmt_double(-0.5, 2), "-0.50");
+}
+
+TEST(FormatTest, FmtInt) {
+  EXPECT_EQ(fmt_int(0), "0");
+  EXPECT_EQ(fmt_int(-12345), "-12345");
+}
+
+TEST(FormatTest, FmtRatio) {
+  EXPECT_EQ(fmt_ratio(1, 2), "0.500");
+  EXPECT_EQ(fmt_ratio(0, 0), "n/a");
+  EXPECT_EQ(fmt_ratio(3, 4, 2), "0.75");
+}
+
+}  // namespace
+}  // namespace fedcons

@@ -1,0 +1,82 @@
+// Tests for checked integer time arithmetic.
+#include "fedcons/util/time_types.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace fedcons {
+namespace {
+
+TEST(TimeTypesTest, CheckedAddNormal) {
+  EXPECT_EQ(checked_add(2, 3), 5);
+  EXPECT_EQ(checked_add(-2, 3), 1);
+}
+
+TEST(TimeTypesTest, CheckedAddOverflowThrows) {
+  EXPECT_THROW(checked_add(std::numeric_limits<Time>::max(), 1),
+               ContractViolation);
+  EXPECT_THROW(checked_add(std::numeric_limits<Time>::min(), -1),
+               ContractViolation);
+}
+
+TEST(TimeTypesTest, CheckedMulNormal) {
+  EXPECT_EQ(checked_mul(6, 7), 42);
+  EXPECT_EQ(checked_mul(-6, 7), -42);
+  EXPECT_EQ(checked_mul(0, std::numeric_limits<Time>::max()), 0);
+}
+
+TEST(TimeTypesTest, CheckedMulOverflowThrows) {
+  EXPECT_THROW(checked_mul(std::numeric_limits<Time>::max(), 2),
+               ContractViolation);
+}
+
+TEST(TimeTypesTest, FloorDiv) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(6, 2), 3);
+  EXPECT_EQ(floor_div(0, 5), 0);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(-6, 2), -3);
+}
+
+TEST(TimeTypesTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(6, 2), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(1, 1000000), 1);
+}
+
+TEST(TimeTypesTest, FloorCeilConsistency) {
+  for (Time a = -20; a <= 20; ++a) {
+    for (Time b = 1; b <= 7; ++b) {
+      Time f = floor_div(a, b);
+      Time c = ceil_div(a, b);
+      EXPECT_LE(f * b, a);
+      EXPECT_GT((f + 1) * b, a);
+      EXPECT_GE(c * b, a);
+      EXPECT_LT((c - 1) * b, a);
+    }
+  }
+}
+
+TEST(TimeTypesTest, Gcd) {
+  EXPECT_EQ(gcd_time(12, 18), 6);
+  EXPECT_EQ(gcd_time(18, 12), 6);
+  EXPECT_EQ(gcd_time(-12, 18), 6);
+  EXPECT_EQ(gcd_time(0, 5), 5);
+  EXPECT_EQ(gcd_time(0, 0), 0);
+  EXPECT_EQ(gcd_time(7, 13), 1);
+}
+
+TEST(TimeTypesTest, Lcm) {
+  EXPECT_EQ(checked_lcm(4, 6), 12);
+  EXPECT_EQ(checked_lcm(1, 9), 9);
+  EXPECT_EQ(checked_lcm(0, 9), 0);
+  EXPECT_THROW(checked_lcm(std::numeric_limits<Time>::max() - 1,
+                           std::numeric_limits<Time>::max() - 2),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace fedcons

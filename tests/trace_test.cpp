@@ -1,0 +1,170 @@
+// Tests for execution traces and their validation across every simulator
+// engine — the audit trail behind "zero deadline misses".
+#include "fedcons/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "fedcons/core/builders.h"
+#include "fedcons/sim/cluster_sim.h"
+#include "fedcons/sim/edf_sim.h"
+#include "fedcons/sim/global_edf_sim.h"
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+namespace {
+
+TEST(TraceTest, BasicAccounting) {
+  ExecutionTrace tr;
+  tr.add(0, 1, 0, 5);
+  tr.add(0, 2, 5, 7);
+  tr.add(1, 1, 3, 4);
+  EXPECT_EQ(tr.size(), 3u);
+  EXPECT_EQ(tr.total_busy(), 8);
+  EXPECT_EQ(tr.busy_on(0), 7);
+  EXPECT_EQ(tr.busy_on(1), 1);
+  EXPECT_EQ(tr.first_start(1), 0);
+  EXPECT_EQ(tr.last_end(1), 5);
+  EXPECT_EQ(tr.executed(1), 6);
+  EXPECT_EQ(tr.first_start(99), kTimeInfinity);
+  EXPECT_EQ(tr.last_end(99), 0);
+}
+
+TEST(TraceTest, RejectsMalformedSegments) {
+  ExecutionTrace tr;
+  EXPECT_THROW(tr.add(0, 1, 5, 5), ContractViolation);
+  EXPECT_THROW(tr.add(0, 1, 5, 3), ContractViolation);
+  EXPECT_THROW(tr.add(-1, 1, 0, 1), ContractViolation);
+}
+
+TEST(TraceTest, ValidateAcceptsLegalSchedule) {
+  ExecutionTrace tr;
+  tr.add(0, 1, 0, 5);
+  tr.add(0, 2, 5, 9);   // back-to-back is fine (end exclusive)
+  tr.add(1, 3, 2, 8);   // different processor may overlap in time
+  EXPECT_FALSE(tr.validate().has_value());
+}
+
+TEST(TraceTest, ValidateCatchesOverlap) {
+  ExecutionTrace tr;
+  tr.add(0, 1, 0, 5);
+  tr.add(0, 2, 4, 6);
+  auto err = tr.validate();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("overlaps"), std::string::npos);
+  EXPECT_NE(err->find("processor 0"), std::string::npos);
+}
+
+TEST(TraceTest, EmptyTraceValidates) {
+  ExecutionTrace tr;
+  EXPECT_TRUE(tr.empty());
+  EXPECT_FALSE(tr.validate().has_value());
+  EXPECT_EQ(tr.total_busy(), 0);
+}
+
+TEST(TraceTest, ClusterReplayTraceIsLegal) {
+  DagTask t = make_paper_example_task();
+  TemplateSchedule sigma = list_schedule(t.graph(), 2);
+  SimConfig cfg;
+  cfg.horizon = 5000;
+  cfg.exec = ExecModel::kUniform;
+  cfg.exec_lo = 0.4;
+  Rng rng(1);
+  auto releases = generate_releases(t, cfg, rng);
+  ExecutionTrace tr;
+  SimStats s = simulate_cluster(t, sigma, releases, cfg,
+                                ClusterDispatch::kTemplateReplay,
+                                ListPolicy::kVertexOrder, &tr);
+  EXPECT_EQ(s.deadline_misses, 0u);
+  EXPECT_FALSE(tr.validate().has_value());
+  // Every executed tick is in the trace: segment total equals Σ exec times.
+  Time expected = 0;
+  for (const auto& job : releases) {
+    for (Time e : job.exec_times) expected += e;
+  }
+  EXPECT_EQ(tr.total_busy(), expected);
+}
+
+TEST(TraceTest, EdfSimTraceIsLegalAndConserving) {
+  SimConfig cfg;
+  cfg.horizon = 10000;
+  std::vector<EdfTaskStream> streams;
+  Rng rng(2);
+  streams.push_back(EdfTaskStream{
+      generate_sequential_releases(3, 10, 20, cfg, rng)});
+  streams.push_back(EdfTaskStream{
+      generate_sequential_releases(5, 15, 30, cfg, rng)});
+  ExecutionTrace tr;
+  SimStats s = simulate_edf_uniproc(streams, cfg, &tr);
+  EXPECT_EQ(s.deadline_misses, 0u);
+  EXPECT_FALSE(tr.validate().has_value());
+  // Work conservation: each job's recorded execution equals its demand.
+  for (std::size_t st = 0; st < streams.size(); ++st) {
+    for (std::size_t j = 0; j < streams[st].jobs.size(); ++j) {
+      std::uint64_t uid = (static_cast<std::uint64_t>(st) << 32) | j;
+      EXPECT_EQ(tr.executed(uid), streams[st].jobs[j].exec_time);
+      EXPECT_GE(tr.first_start(uid), streams[st].jobs[j].release);
+    }
+  }
+}
+
+TEST(TraceTest, FpSimTraceIsLegal) {
+  SimConfig cfg;
+  cfg.horizon = 5000;
+  std::vector<EdfTaskStream> streams;
+  Rng rng(3);
+  streams.push_back(EdfTaskStream{
+      generate_sequential_releases(2, 5, 10, cfg, rng)});
+  streams.push_back(EdfTaskStream{
+      generate_sequential_releases(4, 20, 25, cfg, rng)});
+  ExecutionTrace tr;
+  SimStats s = simulate_fp_uniproc(streams, cfg, &tr);
+  EXPECT_EQ(s.deadline_misses, 0u);
+  EXPECT_FALSE(tr.validate().has_value());
+}
+
+TEST(TraceTest, GlobalEdfTraceIsLegal) {
+  TaskSystem sys;
+  std::array<Time, 3> branches{4, 5, 6};
+  sys.add(DagTask(make_fork_join(1, branches, 1), 20, 40));
+  sys.add(make_paper_example_task());
+  SimConfig cfg;
+  cfg.horizon = 4000;
+  Rng rng(4);
+  std::vector<std::vector<DagJobRelease>> releases;
+  for (const auto& t : sys) {
+    Rng child = rng.split();
+    releases.push_back(generate_releases(t, cfg, child));
+  }
+  ExecutionTrace tr;
+  SimStats s = simulate_global_edf(sys, releases, 3, cfg, &tr);
+  EXPECT_EQ(s.deadline_misses, 0u);
+  EXPECT_FALSE(tr.validate().has_value());
+  EXPECT_EQ(tr.total_busy(), [&] {
+    Time sum = 0;
+    for (const auto& stream : releases) {
+      for (const auto& job : stream) {
+        for (Time e : job.exec_times) sum += e;
+      }
+    }
+    return sum;
+  }());
+}
+
+TEST(TraceTest, PipelinedClusterTraceIsLegal) {
+  std::array<Time, 3> w{4, 4, 4};
+  DagTask task(make_chain(w), 15, 5, "overlap");
+  TemplateSchedule sigma = list_schedule(task.graph(), 1);
+  SimConfig cfg;
+  cfg.horizon = 3000;
+  Rng rng(5);
+  auto releases = generate_releases(task, cfg, rng);
+  ExecutionTrace tr;
+  SimStats s = simulate_pipelined_cluster(task, sigma, 3, releases, cfg, &tr);
+  EXPECT_EQ(s.deadline_misses, 0u);
+  EXPECT_FALSE(tr.validate().has_value());
+}
+
+}  // namespace
+}  // namespace fedcons

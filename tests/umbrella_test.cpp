@@ -1,0 +1,30 @@
+// Compiles the umbrella header and exercises one cross-subsystem flow —
+// guards against the umbrella drifting out of sync with the module headers.
+#include "fedcons/fedcons.h"
+
+#include <gtest/gtest.h>
+
+namespace fedcons {
+namespace {
+
+TEST(UmbrellaTest, EndToEndThroughSingleInclude) {
+  TaskSystem sys;
+  sys.add(make_paper_example_task());
+  ASSERT_TRUE(passes_necessary_conditions(sys, 1));
+
+  FedconsResult alloc = fedcons_schedule(sys, 1);
+  ASSERT_TRUE(alloc.success);
+
+  SimConfig cfg;
+  cfg.horizon = 2000;
+  SystemSimReport rep = simulate_system(sys, alloc, cfg);
+  EXPECT_EQ(rep.total.deadline_misses, 0u);
+
+  // Round-trip through serialization for good measure.
+  TaskSystem back = parse_task_system(serialize_task_system(sys));
+  EXPECT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].vol(), 9);
+}
+
+}  // namespace
+}  // namespace fedcons
