@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e11_ls_vs_optimal"
+  "../bench/bench_e11_ls_vs_optimal.pdb"
+  "CMakeFiles/bench_e11_ls_vs_optimal.dir/bench_e11_ls_vs_optimal.cpp.o"
+  "CMakeFiles/bench_e11_ls_vs_optimal.dir/bench_e11_ls_vs_optimal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_ls_vs_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e12_implicit_bottleneck"
+  "../bench/bench_e12_implicit_bottleneck.pdb"
+  "CMakeFiles/bench_e12_implicit_bottleneck.dir/bench_e12_implicit_bottleneck.cpp.o"
+  "CMakeFiles/bench_e12_implicit_bottleneck.dir/bench_e12_implicit_bottleneck.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_implicit_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

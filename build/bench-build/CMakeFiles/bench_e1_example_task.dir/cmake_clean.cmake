@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_example_task"
+  "../bench/bench_e1_example_task.pdb"
+  "CMakeFiles/bench_e1_example_task.dir/bench_e1_example_task.cpp.o"
+  "CMakeFiles/bench_e1_example_task.dir/bench_e1_example_task.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_example_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_capacity_augmentation"
+  "../bench/bench_e2_capacity_augmentation.pdb"
+  "CMakeFiles/bench_e2_capacity_augmentation.dir/bench_e2_capacity_augmentation.cpp.o"
+  "CMakeFiles/bench_e2_capacity_augmentation.dir/bench_e2_capacity_augmentation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_capacity_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_acceptance_vs_util"
+  "../bench/bench_e3_acceptance_vs_util.pdb"
+  "CMakeFiles/bench_e3_acceptance_vs_util.dir/bench_e3_acceptance_vs_util.cpp.o"
+  "CMakeFiles/bench_e3_acceptance_vs_util.dir/bench_e3_acceptance_vs_util.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_acceptance_vs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

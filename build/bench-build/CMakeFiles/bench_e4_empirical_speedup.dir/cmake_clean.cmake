@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_empirical_speedup"
+  "../bench/bench_e4_empirical_speedup.pdb"
+  "CMakeFiles/bench_e4_empirical_speedup.dir/bench_e4_empirical_speedup.cpp.o"
+  "CMakeFiles/bench_e4_empirical_speedup.dir/bench_e4_empirical_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_empirical_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e5_sensitivity.cpp" "bench-build/CMakeFiles/bench_e5_sensitivity.dir/bench_e5_sensitivity.cpp.o" "gcc" "bench-build/CMakeFiles/bench_e5_sensitivity.dir/bench_e5_sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedcons/expr/CMakeFiles/fedcons_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/gen/CMakeFiles/fedcons_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/baselines/CMakeFiles/fedcons_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/federated/CMakeFiles/fedcons_federated.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/listsched/CMakeFiles/fedcons_listsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/analysis/CMakeFiles/fedcons_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/core/CMakeFiles/fedcons_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/util/CMakeFiles/fedcons_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

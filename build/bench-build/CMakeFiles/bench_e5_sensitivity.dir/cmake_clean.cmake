@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_sensitivity"
+  "../bench/bench_e5_sensitivity.pdb"
+  "CMakeFiles/bench_e5_sensitivity.dir/bench_e5_sensitivity.cpp.o"
+  "CMakeFiles/bench_e5_sensitivity.dir/bench_e5_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_runtime_validation"
+  "../bench/bench_e6_runtime_validation.pdb"
+  "CMakeFiles/bench_e6_runtime_validation.dir/bench_e6_runtime_validation.cpp.o"
+  "CMakeFiles/bench_e6_runtime_validation.dir/bench_e6_runtime_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_runtime_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_minprocs_efficiency"
+  "../bench/bench_e7_minprocs_efficiency.pdb"
+  "CMakeFiles/bench_e7_minprocs_efficiency.dir/bench_e7_minprocs_efficiency.cpp.o"
+  "CMakeFiles/bench_e7_minprocs_efficiency.dir/bench_e7_minprocs_efficiency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_minprocs_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

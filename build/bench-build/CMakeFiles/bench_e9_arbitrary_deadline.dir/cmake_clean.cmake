@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_arbitrary_deadline"
+  "../bench/bench_e9_arbitrary_deadline.pdb"
+  "CMakeFiles/bench_e9_arbitrary_deadline.dir/bench_e9_arbitrary_deadline.cpp.o"
+  "CMakeFiles/bench_e9_arbitrary_deadline.dir/bench_e9_arbitrary_deadline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_arbitrary_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_demo.dir/anomaly_demo.cpp.o"
+  "CMakeFiles/anomaly_demo.dir/anomaly_demo.cpp.o.d"
+  "anomaly_demo"
+  "anomaly_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

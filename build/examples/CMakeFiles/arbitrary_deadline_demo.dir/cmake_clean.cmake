@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbitrary_deadline_demo.dir/arbitrary_deadline_demo.cpp.o"
+  "CMakeFiles/arbitrary_deadline_demo.dir/arbitrary_deadline_demo.cpp.o.d"
+  "arbitrary_deadline_demo"
+  "arbitrary_deadline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbitrary_deadline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avionics_case_study.dir/avionics_case_study.cpp.o"
+  "CMakeFiles/avionics_case_study.dir/avionics_case_study.cpp.o.d"
+  "avionics_case_study"
+  "avionics_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avionics_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

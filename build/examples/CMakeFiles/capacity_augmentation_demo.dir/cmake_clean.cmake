@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_augmentation_demo.dir/capacity_augmentation_demo.cpp.o"
+  "CMakeFiles/capacity_augmentation_demo.dir/capacity_augmentation_demo.cpp.o.d"
+  "capacity_augmentation_demo"
+  "capacity_augmentation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_augmentation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

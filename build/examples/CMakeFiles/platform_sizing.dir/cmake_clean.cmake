@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_sizing.dir/platform_sizing.cpp.o"
+  "CMakeFiles/platform_sizing.dir/platform_sizing.cpp.o.d"
+  "platform_sizing"
+  "platform_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,99 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "fedcons::fedcons_util" for configuration "Release"
+set_property(TARGET fedcons::fedcons_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fedcons::fedcons_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfedcons_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets fedcons::fedcons_util )
+list(APPEND _cmake_import_check_files_for_fedcons::fedcons_util "${_IMPORT_PREFIX}/lib/libfedcons_util.a" )
+
+# Import target "fedcons::fedcons_core" for configuration "Release"
+set_property(TARGET fedcons::fedcons_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fedcons::fedcons_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfedcons_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets fedcons::fedcons_core )
+list(APPEND _cmake_import_check_files_for_fedcons::fedcons_core "${_IMPORT_PREFIX}/lib/libfedcons_core.a" )
+
+# Import target "fedcons::fedcons_listsched" for configuration "Release"
+set_property(TARGET fedcons::fedcons_listsched APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fedcons::fedcons_listsched PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfedcons_listsched.a"
+  )
+
+list(APPEND _cmake_import_check_targets fedcons::fedcons_listsched )
+list(APPEND _cmake_import_check_files_for_fedcons::fedcons_listsched "${_IMPORT_PREFIX}/lib/libfedcons_listsched.a" )
+
+# Import target "fedcons::fedcons_analysis" for configuration "Release"
+set_property(TARGET fedcons::fedcons_analysis APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fedcons::fedcons_analysis PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfedcons_analysis.a"
+  )
+
+list(APPEND _cmake_import_check_targets fedcons::fedcons_analysis )
+list(APPEND _cmake_import_check_files_for_fedcons::fedcons_analysis "${_IMPORT_PREFIX}/lib/libfedcons_analysis.a" )
+
+# Import target "fedcons::fedcons_gen" for configuration "Release"
+set_property(TARGET fedcons::fedcons_gen APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fedcons::fedcons_gen PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfedcons_gen.a"
+  )
+
+list(APPEND _cmake_import_check_targets fedcons::fedcons_gen )
+list(APPEND _cmake_import_check_files_for_fedcons::fedcons_gen "${_IMPORT_PREFIX}/lib/libfedcons_gen.a" )
+
+# Import target "fedcons::fedcons_federated" for configuration "Release"
+set_property(TARGET fedcons::fedcons_federated APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fedcons::fedcons_federated PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfedcons_federated.a"
+  )
+
+list(APPEND _cmake_import_check_targets fedcons::fedcons_federated )
+list(APPEND _cmake_import_check_files_for_fedcons::fedcons_federated "${_IMPORT_PREFIX}/lib/libfedcons_federated.a" )
+
+# Import target "fedcons::fedcons_baselines" for configuration "Release"
+set_property(TARGET fedcons::fedcons_baselines APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fedcons::fedcons_baselines PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfedcons_baselines.a"
+  )
+
+list(APPEND _cmake_import_check_targets fedcons::fedcons_baselines )
+list(APPEND _cmake_import_check_files_for_fedcons::fedcons_baselines "${_IMPORT_PREFIX}/lib/libfedcons_baselines.a" )
+
+# Import target "fedcons::fedcons_sim" for configuration "Release"
+set_property(TARGET fedcons::fedcons_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fedcons::fedcons_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfedcons_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets fedcons::fedcons_sim )
+list(APPEND _cmake_import_check_files_for_fedcons::fedcons_sim "${_IMPORT_PREFIX}/lib/libfedcons_sim.a" )
+
+# Import target "fedcons::fedcons_expr" for configuration "Release"
+set_property(TARGET fedcons::fedcons_expr APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fedcons::fedcons_expr PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfedcons_expr.a"
+  )
+
+list(APPEND _cmake_import_check_targets fedcons::fedcons_expr )
+list(APPEND _cmake_import_check_files_for_fedcons::fedcons_expr "${_IMPORT_PREFIX}/lib/libfedcons_expr.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

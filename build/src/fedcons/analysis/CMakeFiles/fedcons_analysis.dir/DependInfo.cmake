@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedcons/analysis/dbf.cpp" "src/fedcons/analysis/CMakeFiles/fedcons_analysis.dir/dbf.cpp.o" "gcc" "src/fedcons/analysis/CMakeFiles/fedcons_analysis.dir/dbf.cpp.o.d"
+  "/root/repo/src/fedcons/analysis/density.cpp" "src/fedcons/analysis/CMakeFiles/fedcons_analysis.dir/density.cpp.o" "gcc" "src/fedcons/analysis/CMakeFiles/fedcons_analysis.dir/density.cpp.o.d"
+  "/root/repo/src/fedcons/analysis/edf_uniproc.cpp" "src/fedcons/analysis/CMakeFiles/fedcons_analysis.dir/edf_uniproc.cpp.o" "gcc" "src/fedcons/analysis/CMakeFiles/fedcons_analysis.dir/edf_uniproc.cpp.o.d"
+  "/root/repo/src/fedcons/analysis/feasibility.cpp" "src/fedcons/analysis/CMakeFiles/fedcons_analysis.dir/feasibility.cpp.o" "gcc" "src/fedcons/analysis/CMakeFiles/fedcons_analysis.dir/feasibility.cpp.o.d"
+  "/root/repo/src/fedcons/analysis/rta.cpp" "src/fedcons/analysis/CMakeFiles/fedcons_analysis.dir/rta.cpp.o" "gcc" "src/fedcons/analysis/CMakeFiles/fedcons_analysis.dir/rta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedcons/core/CMakeFiles/fedcons_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/util/CMakeFiles/fedcons_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

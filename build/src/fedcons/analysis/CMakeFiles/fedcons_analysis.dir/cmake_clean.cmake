@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcons_analysis.dir/dbf.cpp.o"
+  "CMakeFiles/fedcons_analysis.dir/dbf.cpp.o.d"
+  "CMakeFiles/fedcons_analysis.dir/density.cpp.o"
+  "CMakeFiles/fedcons_analysis.dir/density.cpp.o.d"
+  "CMakeFiles/fedcons_analysis.dir/edf_uniproc.cpp.o"
+  "CMakeFiles/fedcons_analysis.dir/edf_uniproc.cpp.o.d"
+  "CMakeFiles/fedcons_analysis.dir/feasibility.cpp.o"
+  "CMakeFiles/fedcons_analysis.dir/feasibility.cpp.o.d"
+  "CMakeFiles/fedcons_analysis.dir/rta.cpp.o"
+  "CMakeFiles/fedcons_analysis.dir/rta.cpp.o.d"
+  "libfedcons_analysis.a"
+  "libfedcons_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcons_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedcons_analysis.a"
+)

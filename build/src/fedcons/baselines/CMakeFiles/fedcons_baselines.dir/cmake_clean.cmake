@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcons_baselines.dir/global_edf.cpp.o"
+  "CMakeFiles/fedcons_baselines.dir/global_edf.cpp.o.d"
+  "CMakeFiles/fedcons_baselines.dir/partitioned_dm.cpp.o"
+  "CMakeFiles/fedcons_baselines.dir/partitioned_dm.cpp.o.d"
+  "CMakeFiles/fedcons_baselines.dir/partitioned_seq.cpp.o"
+  "CMakeFiles/fedcons_baselines.dir/partitioned_seq.cpp.o.d"
+  "libfedcons_baselines.a"
+  "libfedcons_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcons_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

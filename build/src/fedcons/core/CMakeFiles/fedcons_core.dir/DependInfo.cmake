@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedcons/core/builders.cpp" "src/fedcons/core/CMakeFiles/fedcons_core.dir/builders.cpp.o" "gcc" "src/fedcons/core/CMakeFiles/fedcons_core.dir/builders.cpp.o.d"
+  "/root/repo/src/fedcons/core/dag.cpp" "src/fedcons/core/CMakeFiles/fedcons_core.dir/dag.cpp.o" "gcc" "src/fedcons/core/CMakeFiles/fedcons_core.dir/dag.cpp.o.d"
+  "/root/repo/src/fedcons/core/dag_task.cpp" "src/fedcons/core/CMakeFiles/fedcons_core.dir/dag_task.cpp.o" "gcc" "src/fedcons/core/CMakeFiles/fedcons_core.dir/dag_task.cpp.o.d"
+  "/root/repo/src/fedcons/core/io.cpp" "src/fedcons/core/CMakeFiles/fedcons_core.dir/io.cpp.o" "gcc" "src/fedcons/core/CMakeFiles/fedcons_core.dir/io.cpp.o.d"
+  "/root/repo/src/fedcons/core/task_system.cpp" "src/fedcons/core/CMakeFiles/fedcons_core.dir/task_system.cpp.o" "gcc" "src/fedcons/core/CMakeFiles/fedcons_core.dir/task_system.cpp.o.d"
+  "/root/repo/src/fedcons/core/transform.cpp" "src/fedcons/core/CMakeFiles/fedcons_core.dir/transform.cpp.o" "gcc" "src/fedcons/core/CMakeFiles/fedcons_core.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedcons/util/CMakeFiles/fedcons_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

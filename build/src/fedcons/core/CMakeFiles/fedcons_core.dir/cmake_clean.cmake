@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcons_core.dir/builders.cpp.o"
+  "CMakeFiles/fedcons_core.dir/builders.cpp.o.d"
+  "CMakeFiles/fedcons_core.dir/dag.cpp.o"
+  "CMakeFiles/fedcons_core.dir/dag.cpp.o.d"
+  "CMakeFiles/fedcons_core.dir/dag_task.cpp.o"
+  "CMakeFiles/fedcons_core.dir/dag_task.cpp.o.d"
+  "CMakeFiles/fedcons_core.dir/io.cpp.o"
+  "CMakeFiles/fedcons_core.dir/io.cpp.o.d"
+  "CMakeFiles/fedcons_core.dir/task_system.cpp.o"
+  "CMakeFiles/fedcons_core.dir/task_system.cpp.o.d"
+  "CMakeFiles/fedcons_core.dir/transform.cpp.o"
+  "CMakeFiles/fedcons_core.dir/transform.cpp.o.d"
+  "libfedcons_core.a"
+  "libfedcons_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcons_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

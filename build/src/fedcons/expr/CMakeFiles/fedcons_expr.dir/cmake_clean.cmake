@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcons_expr.dir/acceptance.cpp.o"
+  "CMakeFiles/fedcons_expr.dir/acceptance.cpp.o.d"
+  "CMakeFiles/fedcons_expr.dir/reports.cpp.o"
+  "CMakeFiles/fedcons_expr.dir/reports.cpp.o.d"
+  "CMakeFiles/fedcons_expr.dir/speedup_experiment.cpp.o"
+  "CMakeFiles/fedcons_expr.dir/speedup_experiment.cpp.o.d"
+  "libfedcons_expr.a"
+  "libfedcons_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcons_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

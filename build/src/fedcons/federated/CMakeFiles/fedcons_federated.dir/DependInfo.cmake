@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedcons/federated/arbitrary.cpp" "src/fedcons/federated/CMakeFiles/fedcons_federated.dir/arbitrary.cpp.o" "gcc" "src/fedcons/federated/CMakeFiles/fedcons_federated.dir/arbitrary.cpp.o.d"
+  "/root/repo/src/fedcons/federated/fedcons_algorithm.cpp" "src/fedcons/federated/CMakeFiles/fedcons_federated.dir/fedcons_algorithm.cpp.o" "gcc" "src/fedcons/federated/CMakeFiles/fedcons_federated.dir/fedcons_algorithm.cpp.o.d"
+  "/root/repo/src/fedcons/federated/federated_implicit.cpp" "src/fedcons/federated/CMakeFiles/fedcons_federated.dir/federated_implicit.cpp.o" "gcc" "src/fedcons/federated/CMakeFiles/fedcons_federated.dir/federated_implicit.cpp.o.d"
+  "/root/repo/src/fedcons/federated/minprocs.cpp" "src/fedcons/federated/CMakeFiles/fedcons_federated.dir/minprocs.cpp.o" "gcc" "src/fedcons/federated/CMakeFiles/fedcons_federated.dir/minprocs.cpp.o.d"
+  "/root/repo/src/fedcons/federated/partition.cpp" "src/fedcons/federated/CMakeFiles/fedcons_federated.dir/partition.cpp.o" "gcc" "src/fedcons/federated/CMakeFiles/fedcons_federated.dir/partition.cpp.o.d"
+  "/root/repo/src/fedcons/federated/sensitivity.cpp" "src/fedcons/federated/CMakeFiles/fedcons_federated.dir/sensitivity.cpp.o" "gcc" "src/fedcons/federated/CMakeFiles/fedcons_federated.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/fedcons/federated/speedup.cpp" "src/fedcons/federated/CMakeFiles/fedcons_federated.dir/speedup.cpp.o" "gcc" "src/fedcons/federated/CMakeFiles/fedcons_federated.dir/speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedcons/core/CMakeFiles/fedcons_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/listsched/CMakeFiles/fedcons_listsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/analysis/CMakeFiles/fedcons_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/util/CMakeFiles/fedcons_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcons_federated.dir/arbitrary.cpp.o"
+  "CMakeFiles/fedcons_federated.dir/arbitrary.cpp.o.d"
+  "CMakeFiles/fedcons_federated.dir/fedcons_algorithm.cpp.o"
+  "CMakeFiles/fedcons_federated.dir/fedcons_algorithm.cpp.o.d"
+  "CMakeFiles/fedcons_federated.dir/federated_implicit.cpp.o"
+  "CMakeFiles/fedcons_federated.dir/federated_implicit.cpp.o.d"
+  "CMakeFiles/fedcons_federated.dir/minprocs.cpp.o"
+  "CMakeFiles/fedcons_federated.dir/minprocs.cpp.o.d"
+  "CMakeFiles/fedcons_federated.dir/partition.cpp.o"
+  "CMakeFiles/fedcons_federated.dir/partition.cpp.o.d"
+  "CMakeFiles/fedcons_federated.dir/sensitivity.cpp.o"
+  "CMakeFiles/fedcons_federated.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/fedcons_federated.dir/speedup.cpp.o"
+  "CMakeFiles/fedcons_federated.dir/speedup.cpp.o.d"
+  "libfedcons_federated.a"
+  "libfedcons_federated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcons_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

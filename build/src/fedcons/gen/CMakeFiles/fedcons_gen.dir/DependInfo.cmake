@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedcons/gen/dag_gen.cpp" "src/fedcons/gen/CMakeFiles/fedcons_gen.dir/dag_gen.cpp.o" "gcc" "src/fedcons/gen/CMakeFiles/fedcons_gen.dir/dag_gen.cpp.o.d"
+  "/root/repo/src/fedcons/gen/presets.cpp" "src/fedcons/gen/CMakeFiles/fedcons_gen.dir/presets.cpp.o" "gcc" "src/fedcons/gen/CMakeFiles/fedcons_gen.dir/presets.cpp.o.d"
+  "/root/repo/src/fedcons/gen/taskset_gen.cpp" "src/fedcons/gen/CMakeFiles/fedcons_gen.dir/taskset_gen.cpp.o" "gcc" "src/fedcons/gen/CMakeFiles/fedcons_gen.dir/taskset_gen.cpp.o.d"
+  "/root/repo/src/fedcons/gen/uunifast.cpp" "src/fedcons/gen/CMakeFiles/fedcons_gen.dir/uunifast.cpp.o" "gcc" "src/fedcons/gen/CMakeFiles/fedcons_gen.dir/uunifast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedcons/core/CMakeFiles/fedcons_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/util/CMakeFiles/fedcons_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

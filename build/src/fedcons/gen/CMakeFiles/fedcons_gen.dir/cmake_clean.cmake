@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcons_gen.dir/dag_gen.cpp.o"
+  "CMakeFiles/fedcons_gen.dir/dag_gen.cpp.o.d"
+  "CMakeFiles/fedcons_gen.dir/presets.cpp.o"
+  "CMakeFiles/fedcons_gen.dir/presets.cpp.o.d"
+  "CMakeFiles/fedcons_gen.dir/taskset_gen.cpp.o"
+  "CMakeFiles/fedcons_gen.dir/taskset_gen.cpp.o.d"
+  "CMakeFiles/fedcons_gen.dir/uunifast.cpp.o"
+  "CMakeFiles/fedcons_gen.dir/uunifast.cpp.o.d"
+  "libfedcons_gen.a"
+  "libfedcons_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcons_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedcons/listsched/anomaly.cpp" "src/fedcons/listsched/CMakeFiles/fedcons_listsched.dir/anomaly.cpp.o" "gcc" "src/fedcons/listsched/CMakeFiles/fedcons_listsched.dir/anomaly.cpp.o.d"
+  "/root/repo/src/fedcons/listsched/list_scheduler.cpp" "src/fedcons/listsched/CMakeFiles/fedcons_listsched.dir/list_scheduler.cpp.o" "gcc" "src/fedcons/listsched/CMakeFiles/fedcons_listsched.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/fedcons/listsched/optimal_makespan.cpp" "src/fedcons/listsched/CMakeFiles/fedcons_listsched.dir/optimal_makespan.cpp.o" "gcc" "src/fedcons/listsched/CMakeFiles/fedcons_listsched.dir/optimal_makespan.cpp.o.d"
+  "/root/repo/src/fedcons/listsched/schedule.cpp" "src/fedcons/listsched/CMakeFiles/fedcons_listsched.dir/schedule.cpp.o" "gcc" "src/fedcons/listsched/CMakeFiles/fedcons_listsched.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedcons/core/CMakeFiles/fedcons_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/util/CMakeFiles/fedcons_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcons_listsched.dir/anomaly.cpp.o"
+  "CMakeFiles/fedcons_listsched.dir/anomaly.cpp.o.d"
+  "CMakeFiles/fedcons_listsched.dir/list_scheduler.cpp.o"
+  "CMakeFiles/fedcons_listsched.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/fedcons_listsched.dir/optimal_makespan.cpp.o"
+  "CMakeFiles/fedcons_listsched.dir/optimal_makespan.cpp.o.d"
+  "CMakeFiles/fedcons_listsched.dir/schedule.cpp.o"
+  "CMakeFiles/fedcons_listsched.dir/schedule.cpp.o.d"
+  "libfedcons_listsched.a"
+  "libfedcons_listsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcons_listsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

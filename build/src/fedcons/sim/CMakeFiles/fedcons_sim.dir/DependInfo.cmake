@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedcons/sim/cluster_sim.cpp" "src/fedcons/sim/CMakeFiles/fedcons_sim.dir/cluster_sim.cpp.o" "gcc" "src/fedcons/sim/CMakeFiles/fedcons_sim.dir/cluster_sim.cpp.o.d"
+  "/root/repo/src/fedcons/sim/edf_sim.cpp" "src/fedcons/sim/CMakeFiles/fedcons_sim.dir/edf_sim.cpp.o" "gcc" "src/fedcons/sim/CMakeFiles/fedcons_sim.dir/edf_sim.cpp.o.d"
+  "/root/repo/src/fedcons/sim/gantt.cpp" "src/fedcons/sim/CMakeFiles/fedcons_sim.dir/gantt.cpp.o" "gcc" "src/fedcons/sim/CMakeFiles/fedcons_sim.dir/gantt.cpp.o.d"
+  "/root/repo/src/fedcons/sim/global_edf_sim.cpp" "src/fedcons/sim/CMakeFiles/fedcons_sim.dir/global_edf_sim.cpp.o" "gcc" "src/fedcons/sim/CMakeFiles/fedcons_sim.dir/global_edf_sim.cpp.o.d"
+  "/root/repo/src/fedcons/sim/release_generator.cpp" "src/fedcons/sim/CMakeFiles/fedcons_sim.dir/release_generator.cpp.o" "gcc" "src/fedcons/sim/CMakeFiles/fedcons_sim.dir/release_generator.cpp.o.d"
+  "/root/repo/src/fedcons/sim/system_sim.cpp" "src/fedcons/sim/CMakeFiles/fedcons_sim.dir/system_sim.cpp.o" "gcc" "src/fedcons/sim/CMakeFiles/fedcons_sim.dir/system_sim.cpp.o.d"
+  "/root/repo/src/fedcons/sim/trace.cpp" "src/fedcons/sim/CMakeFiles/fedcons_sim.dir/trace.cpp.o" "gcc" "src/fedcons/sim/CMakeFiles/fedcons_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedcons/core/CMakeFiles/fedcons_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/listsched/CMakeFiles/fedcons_listsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/federated/CMakeFiles/fedcons_federated.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/analysis/CMakeFiles/fedcons_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/util/CMakeFiles/fedcons_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcons_sim.dir/cluster_sim.cpp.o"
+  "CMakeFiles/fedcons_sim.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/fedcons_sim.dir/edf_sim.cpp.o"
+  "CMakeFiles/fedcons_sim.dir/edf_sim.cpp.o.d"
+  "CMakeFiles/fedcons_sim.dir/gantt.cpp.o"
+  "CMakeFiles/fedcons_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/fedcons_sim.dir/global_edf_sim.cpp.o"
+  "CMakeFiles/fedcons_sim.dir/global_edf_sim.cpp.o.d"
+  "CMakeFiles/fedcons_sim.dir/release_generator.cpp.o"
+  "CMakeFiles/fedcons_sim.dir/release_generator.cpp.o.d"
+  "CMakeFiles/fedcons_sim.dir/system_sim.cpp.o"
+  "CMakeFiles/fedcons_sim.dir/system_sim.cpp.o.d"
+  "CMakeFiles/fedcons_sim.dir/trace.cpp.o"
+  "CMakeFiles/fedcons_sim.dir/trace.cpp.o.d"
+  "libfedcons_sim.a"
+  "libfedcons_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcons_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

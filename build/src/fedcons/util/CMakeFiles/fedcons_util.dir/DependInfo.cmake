@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedcons/util/bigint.cpp" "src/fedcons/util/CMakeFiles/fedcons_util.dir/bigint.cpp.o" "gcc" "src/fedcons/util/CMakeFiles/fedcons_util.dir/bigint.cpp.o.d"
+  "/root/repo/src/fedcons/util/flags.cpp" "src/fedcons/util/CMakeFiles/fedcons_util.dir/flags.cpp.o" "gcc" "src/fedcons/util/CMakeFiles/fedcons_util.dir/flags.cpp.o.d"
+  "/root/repo/src/fedcons/util/log.cpp" "src/fedcons/util/CMakeFiles/fedcons_util.dir/log.cpp.o" "gcc" "src/fedcons/util/CMakeFiles/fedcons_util.dir/log.cpp.o.d"
+  "/root/repo/src/fedcons/util/rational.cpp" "src/fedcons/util/CMakeFiles/fedcons_util.dir/rational.cpp.o" "gcc" "src/fedcons/util/CMakeFiles/fedcons_util.dir/rational.cpp.o.d"
+  "/root/repo/src/fedcons/util/rng.cpp" "src/fedcons/util/CMakeFiles/fedcons_util.dir/rng.cpp.o" "gcc" "src/fedcons/util/CMakeFiles/fedcons_util.dir/rng.cpp.o.d"
+  "/root/repo/src/fedcons/util/stats.cpp" "src/fedcons/util/CMakeFiles/fedcons_util.dir/stats.cpp.o" "gcc" "src/fedcons/util/CMakeFiles/fedcons_util.dir/stats.cpp.o.d"
+  "/root/repo/src/fedcons/util/table.cpp" "src/fedcons/util/CMakeFiles/fedcons_util.dir/table.cpp.o" "gcc" "src/fedcons/util/CMakeFiles/fedcons_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcons_util.dir/bigint.cpp.o"
+  "CMakeFiles/fedcons_util.dir/bigint.cpp.o.d"
+  "CMakeFiles/fedcons_util.dir/flags.cpp.o"
+  "CMakeFiles/fedcons_util.dir/flags.cpp.o.d"
+  "CMakeFiles/fedcons_util.dir/log.cpp.o"
+  "CMakeFiles/fedcons_util.dir/log.cpp.o.d"
+  "CMakeFiles/fedcons_util.dir/rational.cpp.o"
+  "CMakeFiles/fedcons_util.dir/rational.cpp.o.d"
+  "CMakeFiles/fedcons_util.dir/rng.cpp.o"
+  "CMakeFiles/fedcons_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fedcons_util.dir/stats.cpp.o"
+  "CMakeFiles/fedcons_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fedcons_util.dir/table.cpp.o"
+  "CMakeFiles/fedcons_util.dir/table.cpp.o.d"
+  "libfedcons_util.a"
+  "libfedcons_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcons_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

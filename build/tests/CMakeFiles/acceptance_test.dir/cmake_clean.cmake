@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acceptance_test.dir/acceptance_test.cpp.o"
+  "CMakeFiles/acceptance_test.dir/acceptance_test.cpp.o.d"
+  "acceptance_test"
+  "acceptance_test.pdb"
+  "acceptance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acceptance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbitrary_test.dir/arbitrary_test.cpp.o"
+  "CMakeFiles/arbitrary_test.dir/arbitrary_test.cpp.o.d"
+  "arbitrary_test"
+  "arbitrary_test.pdb"
+  "arbitrary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbitrary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

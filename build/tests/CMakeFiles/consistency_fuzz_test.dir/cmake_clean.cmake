@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_fuzz_test.dir/consistency_fuzz_test.cpp.o"
+  "CMakeFiles/consistency_fuzz_test.dir/consistency_fuzz_test.cpp.o.d"
+  "consistency_fuzz_test"
+  "consistency_fuzz_test.pdb"
+  "consistency_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_gen_test.dir/dag_gen_test.cpp.o"
+  "CMakeFiles/dag_gen_test.dir/dag_gen_test.cpp.o.d"
+  "dag_gen_test"
+  "dag_gen_test.pdb"
+  "dag_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

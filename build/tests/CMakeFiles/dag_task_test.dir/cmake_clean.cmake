@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_task_test.dir/dag_task_test.cpp.o"
+  "CMakeFiles/dag_task_test.dir/dag_task_test.cpp.o.d"
+  "dag_task_test"
+  "dag_task_test.pdb"
+  "dag_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edf_sim_test.dir/edf_sim_test.cpp.o"
+  "CMakeFiles/edf_sim_test.dir/edf_sim_test.cpp.o.d"
+  "edf_sim_test"
+  "edf_sim_test.pdb"
+  "edf_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edf_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edf_uniproc_test.dir/edf_uniproc_test.cpp.o"
+  "CMakeFiles/edf_uniproc_test.dir/edf_uniproc_test.cpp.o.d"
+  "edf_uniproc_test"
+  "edf_uniproc_test.pdb"
+  "edf_uniproc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edf_uniproc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcons_algorithm_test.dir/fedcons_algorithm_test.cpp.o"
+  "CMakeFiles/fedcons_algorithm_test.dir/fedcons_algorithm_test.cpp.o.d"
+  "fedcons_algorithm_test"
+  "fedcons_algorithm_test.pdb"
+  "fedcons_algorithm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcons_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_implicit_test.dir/federated_implicit_test.cpp.o"
+  "CMakeFiles/federated_implicit_test.dir/federated_implicit_test.cpp.o.d"
+  "federated_implicit_test"
+  "federated_implicit_test.pdb"
+  "federated_implicit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_implicit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

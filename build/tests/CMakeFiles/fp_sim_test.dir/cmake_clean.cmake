@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_sim_test.dir/fp_sim_test.cpp.o"
+  "CMakeFiles/fp_sim_test.dir/fp_sim_test.cpp.o.d"
+  "fp_sim_test"
+  "fp_sim_test.pdb"
+  "fp_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

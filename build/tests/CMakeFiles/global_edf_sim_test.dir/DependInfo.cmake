@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/global_edf_sim_test.cpp" "tests/CMakeFiles/global_edf_sim_test.dir/global_edf_sim_test.cpp.o" "gcc" "tests/CMakeFiles/global_edf_sim_test.dir/global_edf_sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedcons/sim/CMakeFiles/fedcons_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/gen/CMakeFiles/fedcons_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/federated/CMakeFiles/fedcons_federated.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/listsched/CMakeFiles/fedcons_listsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/analysis/CMakeFiles/fedcons_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/core/CMakeFiles/fedcons_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedcons/util/CMakeFiles/fedcons_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_edf_sim_test.dir/global_edf_sim_test.cpp.o"
+  "CMakeFiles/global_edf_sim_test.dir/global_edf_sim_test.cpp.o.d"
+  "global_edf_sim_test"
+  "global_edf_sim_test.pdb"
+  "global_edf_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_edf_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

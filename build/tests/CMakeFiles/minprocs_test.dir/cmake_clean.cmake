@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minprocs_test.dir/minprocs_test.cpp.o"
+  "CMakeFiles/minprocs_test.dir/minprocs_test.cpp.o.d"
+  "minprocs_test"
+  "minprocs_test.pdb"
+  "minprocs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minprocs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

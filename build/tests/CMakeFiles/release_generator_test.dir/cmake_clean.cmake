@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_generator_test.dir/release_generator_test.cpp.o"
+  "CMakeFiles/release_generator_test.dir/release_generator_test.cpp.o.d"
+  "release_generator_test"
+  "release_generator_test.pdb"
+  "release_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

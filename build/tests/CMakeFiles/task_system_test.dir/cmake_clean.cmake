@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_system_test.dir/task_system_test.cpp.o"
+  "CMakeFiles/task_system_test.dir/task_system_test.cpp.o.d"
+  "task_system_test"
+  "task_system_test.pdb"
+  "task_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskset_gen_test.dir/taskset_gen_test.cpp.o"
+  "CMakeFiles/taskset_gen_test.dir/taskset_gen_test.cpp.o.d"
+  "taskset_gen_test"
+  "taskset_gen_test.pdb"
+  "taskset_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskset_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

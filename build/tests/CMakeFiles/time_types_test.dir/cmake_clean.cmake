@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_types_test.dir/time_types_test.cpp.o"
+  "CMakeFiles/time_types_test.dir/time_types_test.cpp.o.d"
+  "time_types_test"
+  "time_types_test.pdb"
+  "time_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uunifast_test.dir/uunifast_test.cpp.o"
+  "CMakeFiles/uunifast_test.dir/uunifast_test.cpp.o.d"
+  "uunifast_test"
+  "uunifast_test.pdb"
+  "uunifast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uunifast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcons_cli.dir/fedcons_cli.cpp.o"
+  "CMakeFiles/fedcons_cli.dir/fedcons_cli.cpp.o.d"
+  "fedcons_cli"
+  "fedcons_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcons_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

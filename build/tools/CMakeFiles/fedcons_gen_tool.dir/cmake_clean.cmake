@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcons_gen_tool.dir/fedcons_gen.cpp.o"
+  "CMakeFiles/fedcons_gen_tool.dir/fedcons_gen.cpp.o.d"
+  "fedcons_gen"
+  "fedcons_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcons_gen_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
