@@ -8,8 +8,13 @@
 // far beyond the load at which a 3−1/m-speed guarantee alone would bite,
 // and dominates the non-federated baselines whenever high-density tasks are
 // present.
+//
+// Algorithms are resolved by name through the engine registry, and trials
+// run on the engine's deterministic batch runner: --threads=N parallelizes
+// the sweep while --json output stays byte-identical for every N.
 #include <iostream>
 
+#include "fedcons/engine/registry.h"
 #include "fedcons/expr/acceptance.h"
 #include "fedcons/expr/reports.h"
 #include "fedcons/sim/global_edf_sim.h"
@@ -22,23 +27,27 @@ namespace {
 /// Optimistic empirical bracket for the global approach: survive a
 /// synchronous-periodic WCET global-EDF simulation over a bounded horizon.
 /// NOT a schedulability proof (see baselines/global_edf.h) — listed last and
-/// flagged in the caption.
+/// flagged in the caption. Registered as an ad-hoc engine test (experiment
+/// binaries can extend the registry without touching the library).
 AlgorithmSpec gedf_simulation_bracket() {
-  return {"GEDF-sim*", [](const TaskSystem& s, int m) {
-            if (s.empty()) return true;
-            SimConfig cfg;
-            Time max_period = 1;
-            for (const auto& t : s) max_period = std::max(max_period, t.period());
-            cfg.horizon = checked_mul(4, max_period);
-            std::vector<std::vector<DagJobRelease>> releases;
-            Rng rng(12345);
-            for (const auto& t : s) {
-              Rng child = rng.split();
-              releases.push_back(generate_releases(t, cfg, child));
-            }
-            return simulate_global_edf(s, releases, m, cfg)
-                       .deadline_misses == 0;
-          }};
+  return make_algorithm_spec(make_function_test(
+      "GEDF-sim*",
+      "empirical survival of a synchronous-periodic global-EDF simulation "
+      "(optimistic bracket, not a proof)",
+      [](const TaskSystem& s, int m) {
+        if (s.empty()) return true;
+        SimConfig cfg;
+        Time max_period = 1;
+        for (const auto& t : s) max_period = std::max(max_period, t.period());
+        cfg.horizon = checked_mul(4, max_period);
+        std::vector<std::vector<DagJobRelease>> releases;
+        Rng rng(12345);
+        for (const auto& t : s) {
+          Rng child = rng.split();
+          releases.push_back(generate_releases(t, cfg, child));
+        }
+        return simulate_global_edf(s, releases, m, cfg).deadline_misses == 0;
+      }));
 }
 
 }  // namespace
@@ -46,29 +55,42 @@ AlgorithmSpec gedf_simulation_bracket() {
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const bool csv = flags.get_bool("csv", false);
+  const bool json = flags.get_bool("json", false);
   const int trials = static_cast<int>(flags.get_int("trials", 150));
+  const int threads = static_cast<int>(flags.get_int("threads", 0));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_int("seed", 42));
 
   auto algorithms = standard_algorithms();
   algorithms.push_back(gedf_simulation_bracket());
+  std::vector<SweepSection> sections;
   for (int m : {4, 8, 16}) {
     SweepConfig cfg;
     cfg.m = m;
     cfg.trials = trials;
     cfg.seed = seed + static_cast<std::uint64_t>(m);
+    cfg.num_threads = threads;
     cfg.normalized_utils = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
     cfg.base.num_tasks = 2 * m;  // standard n = 2m convention
     cfg.base.period_min = 100;
     cfg.base.period_max = 50000;
     cfg.base.topology = DagTopology::kMixed;
     auto points = run_acceptance_sweep(cfg, algorithms);
+    if (json) {
+      sections.push_back({"m=" + std::to_string(m), m, std::move(points)});
+      continue;
+    }
     const bool with_ci = flags.get_bool("ci", false);
     print_report(std::cout,
                  "E3: acceptance ratio vs U_sum/m  (m = " + std::to_string(m) +
                      ", n = " + std::to_string(cfg.base.num_tasks) +
                      " tasks, " + std::to_string(trials) + " systems/point)",
                  acceptance_table(points, algorithms, with_ci), csv);
+  }
+  if (json) {
+    std::cout << sweep_report_json("e3_acceptance_vs_util", seed, algorithms,
+                                   sections);
+    return 0;
   }
   std::cout << "Columns: NEC-upper = necessary-feasibility proxy (upper "
                "bounds every algorithm); GEDF-sim* = empirical survival of a "

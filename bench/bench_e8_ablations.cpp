@@ -11,8 +11,14 @@
 //  (d) Phase bottleneck: which FEDCONS phase rejects, as load grows —
 //      reproducing the paper's §III observation that the PARTITION phase is
 //      the constrained-deadline bottleneck.
+//
+// All ablation entries are engine adapters (make_fedcons_test) evaluated on
+// the deterministic batch runner; --threads=N parallelizes every section
+// without changing any count.
 #include <iostream>
 
+#include "fedcons/engine/adapters.h"
+#include "fedcons/engine/batch_runner.h"
 #include "fedcons/expr/acceptance.h"
 #include "fedcons/expr/reports.h"
 #include "fedcons/federated/fedcons_algorithm.h"
@@ -21,25 +27,17 @@
 
 using namespace fedcons;
 
-namespace {
-
-AlgorithmSpec fedcons_with(const std::string& name, FedconsOptions opt) {
-  return {name, [opt](const TaskSystem& s, int m) {
-            return fedcons_schedulable(s, m, opt);
-          }};
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const bool csv = flags.get_bool("csv", false);
   const int trials = static_cast<int>(flags.get_int("trials", 120));
+  const int threads = static_cast<int>(flags.get_int("threads", 0));
 
   SweepConfig cfg;
   cfg.m = 8;
   cfg.trials = trials;
   cfg.seed = 4242;
+  cfg.num_threads = threads;
   cfg.normalized_utils = {0.3, 0.5, 0.7, 0.9};
   cfg.base.num_tasks = 16;
   cfg.base.period_min = 100;
@@ -50,22 +48,28 @@ int main(int argc, char** argv) {
   std::vector<AlgorithmSpec> partition_ablation;
   {
     FedconsOptions base;
-    partition_ablation.push_back(fedcons_with("full/FF/DM", base));
+    partition_ablation.push_back(
+        make_algorithm_spec(make_fedcons_test("full/FF/DM", base)));
     FedconsOptions lit = base;
     lit.partition.variant = PartitionVariant::kPaperLiteral;
-    partition_ablation.push_back(fedcons_with("literal/FF/DM", lit));
+    partition_ablation.push_back(
+        make_algorithm_spec(make_fedcons_test("literal/FF/DM", lit)));
     FedconsOptions bf = base;
     bf.partition.fit = FitStrategy::kBestFit;
-    partition_ablation.push_back(fedcons_with("full/BF/DM", bf));
+    partition_ablation.push_back(
+        make_algorithm_spec(make_fedcons_test("full/BF/DM", bf)));
     FedconsOptions wf = base;
     wf.partition.fit = FitStrategy::kWorstFit;
-    partition_ablation.push_back(fedcons_with("full/WF/DM", wf));
+    partition_ablation.push_back(
+        make_algorithm_spec(make_fedcons_test("full/WF/DM", wf)));
     FedconsOptions dens = base;
     dens.partition.order = PartitionOrder::kDensityDescending;
-    partition_ablation.push_back(fedcons_with("full/FF/density", dens));
+    partition_ablation.push_back(
+        make_algorithm_spec(make_fedcons_test("full/FF/density", dens)));
     FedconsOptions util = base;
     util.partition.order = PartitionOrder::kUtilizationDescending;
-    partition_ablation.push_back(fedcons_with("full/FF/util", util));
+    partition_ablation.push_back(
+        make_algorithm_spec(make_fedcons_test("full/FF/util", util)));
   }
   print_report(std::cout,
                "E8a/b: PARTITION ablation (variant / fit / order)",
@@ -79,8 +83,8 @@ int main(int argc, char** argv) {
                       ListPolicy::kLongestWcet}) {
     FedconsOptions opt;
     opt.list_policy = policy;
-    policy_ablation.push_back(
-        fedcons_with(std::string("LS:") + to_string(policy), opt));
+    policy_ablation.push_back(make_algorithm_spec(
+        make_fedcons_test(std::string("LS:") + to_string(policy), opt)));
   }
   SweepConfig heavy = cfg;
   heavy.base.utilization_cap = 8.0;  // encourage high-density tasks
@@ -90,22 +94,28 @@ int main(int argc, char** argv) {
                                 policy_ablation),
                csv);
 
-  // (d): phase bottleneck — why does FEDCONS reject?
+  // (d): phase bottleneck — why does FEDCONS reject? Each grid point's
+  // trials run in parallel; the per-phase tallies aggregate in trial order.
   std::cout << "== E8d: rejection breakdown by FEDCONS phase\n";
   Table t({"U/m", "accepted", "rejected: high-density phase",
            "rejected: partition phase"});
-  Rng rng(999);
-  for (double nu : cfg.normalized_utils) {
+  BatchRunner runner(threads);
+  for (std::size_t pi = 0; pi < cfg.normalized_utils.size(); ++pi) {
+    const double nu = cfg.normalized_utils[pi];
     TaskSetParams params = cfg.base;
     params.total_utilization = nu * cfg.m;
     params.utilization_cap = cfg.m;
+    const std::function<FedconsFailure(std::size_t, Rng&)> trial =
+        [&](std::size_t, Rng& rng) {
+          TaskSystem sys = generate_task_system(rng, params);
+          return fedcons_schedule(sys, cfg.m).failure;
+        };
+    auto failures = runner.run_trials<FedconsFailure>(
+        static_cast<std::size_t>(trials), trial_seed(999, pi), trial);
     int acc = 0, high = 0, part = 0;
-    for (int i = 0; i < trials; ++i) {
-      Rng sys_rng = rng.split();
-      TaskSystem sys = generate_task_system(sys_rng, params);
-      auto r = fedcons_schedule(sys, cfg.m);
-      if (r.success) ++acc;
-      else if (r.failure == FedconsFailure::kHighDensityPhase) ++high;
+    for (FedconsFailure f : failures) {
+      if (f == FedconsFailure::kNone) ++acc;
+      else if (f == FedconsFailure::kHighDensityPhase) ++high;
       else ++part;
     }
     t.add_row({fmt_double(nu, 1), fmt_int(acc), fmt_int(high),

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fedcons/util/check.h"
+#include "fedcons/util/perf_counters.h"
 
 namespace fedcons {
 
@@ -13,6 +14,7 @@ Time dbf(const SporadicTask& task, Time t) {
 }
 
 BigRational dbf_approx(const SporadicTask& task, Time t) {
+  ++perf_counters().dbf_star_evaluations;
   if (t < task.deadline) return BigRational(0);
   // vol + u·(t − D) = C·(T + t − D)/T.
   BigInt num = BigInt(task.wcet) *
@@ -22,6 +24,7 @@ BigRational dbf_approx(const SporadicTask& task, Time t) {
 
 BigRational dbf_approx_k(const SporadicTask& task, Time t, int points) {
   FEDCONS_EXPECTS(points >= 1);
+  ++perf_counters().dbf_star_evaluations;
   if (t < task.deadline) return BigRational(0);
   // Last exact step instant covered by the k points.
   const Time tail_start =
@@ -81,13 +84,25 @@ bool approx_demand_fits(std::span<const SporadicTask> tasks, Time t) {
       break;
     }
   }
+  // The fast path evaluates every task's DBF* term inline, so decided
+  // returns account tasks.size() evaluations; the rational fallback is
+  // attributed through dbf_approx itself.
   if (!overflow) {
-    if (!frac_nonzero) return q_sum <= static_cast<__int128>(t);
+    if (!frac_nonzero) {
+      perf_counters().dbf_star_evaluations += tasks.size();
+      return q_sum <= static_cast<__int128>(t);
+    }
     // F ∈ (0, n); margin of one whole unit on either side of the long-double
     // estimate is far beyond its rounding error here.
     __int128 target = static_cast<__int128>(t);
-    if (q_sum + static_cast<__int128>(frac) + 2 <= target) return true;
-    if (q_sum > target) return false;
+    if (q_sum + static_cast<__int128>(frac) + 2 <= target) {
+      perf_counters().dbf_star_evaluations += tasks.size();
+      return true;
+    }
+    if (q_sum > target) {
+      perf_counters().dbf_star_evaluations += tasks.size();
+      return false;
+    }
     // Undecided band: exact evaluation below.
   }
   BigRational sum;

@@ -19,11 +19,15 @@ DagTask::DagTask(Dag graph, Time deadline, Time period, std::string name)
     : graph_(std::move(graph)),
       deadline_(deadline),
       period_(period),
+      vol_(0),
+      len_(0),
       name_(std::move(name)) {
   FEDCONS_EXPECTS_MSG(!graph_.empty(), "task graph must be non-empty");
   FEDCONS_EXPECTS_MSG(graph_.is_acyclic(), "task graph must be acyclic");
   FEDCONS_EXPECTS_MSG(deadline_ >= 1, "deadline must be positive");
   FEDCONS_EXPECTS_MSG(period_ >= 1, "period must be positive");
+  vol_ = graph_.vol();
+  len_ = graph_.len();
 }
 
 DagTask DagTask::scaled_by_speed(double s) const {

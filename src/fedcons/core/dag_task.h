@@ -40,8 +40,11 @@ class DagTask {
   [[nodiscard]] Time period() const noexcept { return period_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
-  [[nodiscard]] Time vol() const { return graph_.vol(); }
-  [[nodiscard]] Time len() const { return graph_.len(); }
+  /// vol_i and len_i are computed once at construction (the graph is
+  /// immutable from then on) so the MINPROCS scan and the classification
+  /// predicates below are branch-free O(1) lookups.
+  [[nodiscard]] Time vol() const noexcept { return vol_; }
+  [[nodiscard]] Time len() const noexcept { return len_; }
 
   /// Exact utilization u_i = vol_i / T_i.
   [[nodiscard]] BigRational utilization() const {
@@ -95,6 +98,8 @@ class DagTask {
   Dag graph_;
   Time deadline_;
   Time period_;
+  Time vol_;  ///< cached graph_.vol()
+  Time len_;  ///< cached graph_.len()
   std::string name_;
 };
 

@@ -1,0 +1,102 @@
+#include "fedcons/engine/adapters.h"
+
+#include <utility>
+
+#include "fedcons/baselines/global_edf.h"
+#include "fedcons/baselines/partitioned_dm.h"
+#include "fedcons/baselines/partitioned_seq.h"
+#include "fedcons/engine/registry.h"
+#include "fedcons/federated/federated_implicit.h"
+
+namespace fedcons {
+
+TestPtr make_fedcons_test(std::string name, const FedconsOptions& options,
+                          std::string description) {
+  if (description.empty()) {
+    description = "FEDCONS (paper Fig. 2) with " +
+                  std::string(to_string(options.partition.variant)) +
+                  " PARTITION, " + to_string(options.partition.fit) + "/" +
+                  to_string(options.partition.order) + ", LS policy " +
+                  to_string(options.list_policy);
+  }
+  return make_function_test(
+      std::move(name), std::move(description),
+      [options](const TaskSystem& s, int m) {
+        return fedcons_schedulable(s, m, options);
+      },
+      DeadlineClass::kConstrained);
+}
+
+TestPtr make_arbitrary_federated_test(std::string name,
+                                      ArbitraryStrategy strategy,
+                                      const FedconsOptions& options) {
+  return make_function_test(
+      std::move(name),
+      std::string("arbitrary-deadline federated scheduling, ") +
+          to_string(strategy) + " strategy",
+      [strategy, options](const TaskSystem& s, int m) {
+        return arbitrary_federated_schedule(s, m, strategy, options).success;
+      },
+      DeadlineClass::kArbitrary);
+}
+
+void register_builtin_tests(TestRegistry& registry) {
+  registry.add(make_fedcons_test(
+      "FEDCONS", {},
+      "the paper's algorithm: MINPROCS clusters + full Baruah-Fisher "
+      "PARTITION (constrained deadlines)"));
+
+  FedconsOptions literal;
+  literal.partition.variant = PartitionVariant::kPaperLiteral;
+  registry.add(make_fedcons_test(
+      "FEDCONS-lit", literal,
+      "FEDCONS with the paper-literal Fig. 4 PARTITION (demand check only)"));
+
+  registry.add(make_function_test(
+      "FED-LI-implicit",
+      "Li et al. (ECRTS'14) closed-form federated scheduling "
+      "(implicit deadlines only)",
+      [](const TaskSystem& s, int m) {
+        return li_federated_implicit(s, m).success;
+      },
+      DeadlineClass::kImplicit));
+
+  registry.add(make_function_test(
+      "FED-LI-adapt",
+      "Li et al. closed-form federated scheduling, constrained-deadline "
+      "adaptation (D replaces T; density-bounded bins)",
+      [](const TaskSystem& s, int m) {
+        return li_federated_constrained_adaptation(s, m).success;
+      },
+      DeadlineClass::kConstrained));
+
+  registry.add(make_function_test(
+      "P-SEQ",
+      "fully-partitioned EDF with every task sequentialized (no federation)",
+      [](const TaskSystem& s, int m) {
+        return partitioned_sequential_schedulable(s, m);
+      },
+      DeadlineClass::kArbitrary));
+
+  registry.add(make_function_test(
+      "P-DM",
+      "fully-partitioned deadline-monotonic fixed-priority with exact RTA",
+      [](const TaskSystem& s, int m) {
+        return partitioned_dm_schedulable(s, m);
+      },
+      DeadlineClass::kConstrained));
+
+  registry.add(make_function_test(
+      "GEDF-density",
+      "analytical global-EDF sufficient test (Goossens-Funk-Baruah density "
+      "bound on the sequentialized system)",
+      [](const TaskSystem& s, int m) { return gedf_dag_density_test(s, m); },
+      DeadlineClass::kConstrained));
+
+  registry.add(make_arbitrary_federated_test("ARBFED",
+                                             ArbitraryStrategy::kPipelined));
+  registry.add(make_arbitrary_federated_test(
+      "ARBFED-clamp", ArbitraryStrategy::kClampToPeriod));
+}
+
+}  // namespace fedcons

@@ -1,0 +1,40 @@
+// Adapters wrapping the repository's algorithms as SchedulabilityTests.
+//
+// Built-in registry names (engine/registry.h):
+//   FEDCONS        — the paper's algorithm, full Baruah–Fisher PARTITION
+//   FEDCONS-lit    — paper-literal Fig. 4 PARTITION (demand check only)
+//   FED-LI-implicit— Li et al. (ECRTS'14) federated, implicit-deadline only
+//   FED-LI-adapt   — Li et al. constrained-deadline adaptation
+//   P-SEQ          — fully-partitioned EDF, sequentialized, no federation
+//   P-DM           — fully-partitioned deadline-monotonic FP with exact RTA
+//   GEDF-density   — analytical global-EDF density test
+//   ARBFED         — arbitrary-deadline federated, pipelined clusters
+//   ARBFED-clamp   — arbitrary-deadline federated, clamp D to min(D, T)
+//
+// The parameterized factories below additionally let experiments build
+// named FEDCONS/ARBFED variants with non-default options (E8's ablations).
+#pragma once
+
+#include "fedcons/engine/schedulability_test.h"
+#include "fedcons/federated/arbitrary.h"
+#include "fedcons/federated/fedcons_algorithm.h"
+
+namespace fedcons {
+
+class TestRegistry;
+
+/// FEDCONS with explicit options, under a caller-chosen display name.
+[[nodiscard]] TestPtr make_fedcons_test(std::string name,
+                                        const FedconsOptions& options = {},
+                                        std::string description = {});
+
+/// Arbitrary-deadline federated scheduling with an explicit strategy.
+[[nodiscard]] TestPtr make_arbitrary_federated_test(
+    std::string name, ArbitraryStrategy strategy,
+    const FedconsOptions& options = {});
+
+/// Register the built-in battery listed above. Called once by
+/// TestRegistry::global(); callable on a fresh registry in tests.
+void register_builtin_tests(TestRegistry& registry);
+
+}  // namespace fedcons

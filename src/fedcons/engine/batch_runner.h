@@ -1,0 +1,73 @@
+// Parallel, deterministic trial execution.
+//
+// Acceptance-ratio sweeps evaluate thousands of independent (generate,
+// analyze) trials; this runner spreads them over a persistent thread pool
+// while keeping results bit-identical to a serial run. The key is the
+// seeding discipline: trial i draws from Rng(trial_seed(master_seed, i)), a
+// pure function of the master seed and the trial index — never from a
+// shared generator whose state would depend on execution order. Results are
+// written into index i's slot, so aggregation order is fixed too.
+//
+// Work attribution (util/perf_counters.h) composes with this: one worker
+// thread runs one trial at a time, so a thread-local counter delta taken
+// inside the trial callable is exactly that trial's work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fedcons/util/rng.h"
+
+namespace fedcons {
+
+/// Deterministic per-trial seed: a SplitMix64-style mix of (master_seed,
+/// trial_index). Distinct indices yield statistically independent streams;
+/// the value is independent of thread count and execution order.
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t master_seed,
+                                       std::uint64_t trial_index) noexcept;
+
+/// Fixed-size thread pool executing indexed batches.
+class BatchRunner {
+ public:
+  /// num_threads == 0 selects std::thread::hardware_concurrency();
+  /// num_threads == 1 runs everything inline on the caller's thread.
+  /// Precondition: num_threads >= 0.
+  explicit BatchRunner(int num_threads = 0);
+  ~BatchRunner();
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  /// Total threads that execute work (pool workers + the calling thread).
+  [[nodiscard]] int num_threads() const noexcept;
+
+  /// Invoke fn(i) once for every i in [0, n); blocks until all complete.
+  /// fn must be safe to call concurrently for distinct indices. The calling
+  /// thread participates. If any invocation throws, the first captured
+  /// exception is rethrown after the batch drains (remaining indices still
+  /// run).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Run `num_trials` seeded trials and return their results in trial-index
+  /// order. trial(i, rng) receives a generator seeded with
+  /// trial_seed(master_seed, i) — identical results for any thread count.
+  /// R must be default-constructible.
+  template <typename R>
+  [[nodiscard]] std::vector<R> run_trials(
+      std::size_t num_trials, std::uint64_t master_seed,
+      const std::function<R(std::size_t, Rng&)>& trial) {
+    std::vector<R> results(num_trials);
+    parallel_for(num_trials, [&](std::size_t i) {
+      Rng rng(trial_seed(master_seed, i));
+      results[i] = trial(i, rng);
+    });
+    return results;
+  }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fedcons

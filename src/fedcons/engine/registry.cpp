@@ -1,0 +1,74 @@
+#include "fedcons/engine/registry.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "fedcons/engine/adapters.h"
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+namespace {
+
+std::string to_lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+void TestRegistry::add(TestPtr test) {
+  FEDCONS_EXPECTS_MSG(test != nullptr, "cannot register a null test");
+  const std::string key = to_lower(test->name());
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [existing, _] : tests_) {
+    FEDCONS_EXPECTS_MSG(existing != key,
+                        "duplicate test name: " + test->name());
+  }
+  tests_.emplace_back(key, std::move(test));
+}
+
+bool TestRegistry::contains(const std::string& name) const {
+  const std::string key = to_lower(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(tests_.begin(), tests_.end(),
+                     [&](const auto& entry) { return entry.first == key; });
+}
+
+TestPtr TestRegistry::make(const std::string& name) const {
+  const std::string key = to_lower(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [existing, test] : tests_) {
+    if (existing == key) return test;
+  }
+  FEDCONS_EXPECTS_MSG(false, "unknown schedulability test: " + name);
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> TestRegistry::names() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(tests_.size());
+    for (const auto& [_, test] : tests_) out.push_back(test->name());
+  }
+  std::sort(out.begin(), out.end(), [](const std::string& a,
+                                       const std::string& b) {
+    return to_lower(a) < to_lower(b);
+  });
+  return out;
+}
+
+TestRegistry& TestRegistry::global() {
+  static TestRegistry* registry = [] {
+    auto* r = new TestRegistry();
+    register_builtin_tests(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace fedcons

@@ -1,0 +1,48 @@
+// String-keyed registry of schedulability tests.
+//
+// The single dispatch point through which tools, experiments, and tests
+// select algorithms by name. Built-in algorithms (engine/adapters.h) are
+// registered on first access of global(); experiment binaries may add their
+// own ad-hoc tests (e.g. simulation brackets) on top.
+//
+// Lookup is case-insensitive; registered (display) capitalization is
+// preserved in names() and in the returned tests' name().
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fedcons/engine/schedulability_test.h"
+
+namespace fedcons {
+
+class TestRegistry {
+ public:
+  TestRegistry() = default;
+  TestRegistry(const TestRegistry&) = delete;
+  TestRegistry& operator=(const TestRegistry&) = delete;
+
+  /// Register a test under test->name(). Throws ContractViolation on a
+  /// duplicate (case-insensitive) name.
+  void add(TestPtr test);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Resolve a name to its test. Throws ContractViolation when unknown.
+  [[nodiscard]] TestPtr make(const std::string& name) const;
+
+  /// Registered display names, sorted case-insensitively.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Process-wide registry, pre-populated with the built-in battery
+  /// (register_builtin_tests) on first access. Thread-safe.
+  [[nodiscard]] static TestRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  /// (lowercased key, test) pairs; small N — linear scan.
+  std::vector<std::pair<std::string, TestPtr>> tests_;
+};
+
+}  // namespace fedcons

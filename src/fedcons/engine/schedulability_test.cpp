@@ -1,0 +1,82 @@
+#include "fedcons/engine/schedulability_test.h"
+
+#include <utility>
+
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+namespace {
+
+/// implicit ⊂ constrained ⊂ arbitrary.
+int class_rank(DeadlineClass c) noexcept {
+  switch (c) {
+    case DeadlineClass::kImplicit: return 0;
+    case DeadlineClass::kConstrained: return 1;
+    case DeadlineClass::kArbitrary: return 2;
+  }
+  return 2;
+}
+
+class FunctionTest final : public SchedulabilityTest {
+ public:
+  FunctionTest(std::string name, std::string description,
+               std::function<bool(const TaskSystem&, int)> fn,
+               DeadlineClass max_class)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        fn_(std::move(fn)),
+        max_class_(max_class) {
+    FEDCONS_EXPECTS_MSG(!name_.empty(), "test name must be non-empty");
+    FEDCONS_EXPECTS_MSG(static_cast<bool>(fn_), "test callable must be set");
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] const std::string& description() const noexcept override {
+    return description_;
+  }
+  [[nodiscard]] DeadlineClass max_deadline_class() const noexcept override {
+    return max_class_;
+  }
+  [[nodiscard]] bool admits(const TaskSystem& system, int m) const override {
+    return fn_(system, m);
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::function<bool(const TaskSystem&, int)> fn_;
+  DeadlineClass max_class_;
+};
+
+}  // namespace
+
+SchedulabilityTest::~SchedulabilityTest() = default;
+
+DeadlineClass SchedulabilityTest::max_deadline_class() const noexcept {
+  return DeadlineClass::kConstrained;
+}
+
+bool SchedulabilityTest::supports(const TaskSystem& system) const noexcept {
+  return class_rank(system.deadline_class()) <=
+         class_rank(max_deadline_class());
+}
+
+bool SchedulabilityTest::admits_checked(const TaskSystem& system,
+                                        int m) const {
+  FEDCONS_EXPECTS(m >= 1);
+  if (!supports(system)) return false;
+  return admits(system, m);
+}
+
+TestPtr make_function_test(std::string name, std::string description,
+                           std::function<bool(const TaskSystem&, int)> fn,
+                           DeadlineClass max_class) {
+  return std::make_shared<FunctionTest>(std::move(name),
+                                        std::move(description), std::move(fn),
+                                        max_class);
+}
+
+}  // namespace fedcons

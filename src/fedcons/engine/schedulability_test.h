@@ -1,0 +1,65 @@
+// The engine's polymorphic algorithm interface.
+//
+// Every schedulability algorithm in the repository — FEDCONS and its
+// variants, the federated baselines, the partitioned and global baselines,
+// and the arbitrary-deadline extension — answers the same question: does
+// task system τ fit on m unit-speed processors? This interface gives that
+// question one shape so that tools, experiments, and tests can select
+// algorithms by name through the registry (engine/registry.h) instead of
+// hard-wiring each function signature. Adding an algorithm to every sweep,
+// bench, and the CLI is one adapter registration (engine/adapters.h).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "fedcons/core/task_system.h"
+
+namespace fedcons {
+
+/// A named, stateless yes/no schedulability test over (τ, m).
+///
+/// Implementations must be thread-safe for concurrent admits() calls with
+/// distinct TaskSystem objects (the batch runner evaluates trials in
+/// parallel; each trial owns its system).
+class SchedulabilityTest {
+ public:
+  virtual ~SchedulabilityTest();
+
+  /// Stable identifier used by the registry and in report columns.
+  [[nodiscard]] virtual const std::string& name() const noexcept = 0;
+
+  /// One-line human-readable description (CLI --list-algos).
+  [[nodiscard]] virtual const std::string& description() const noexcept = 0;
+
+  /// Widest deadline class the algorithm is defined for, under the
+  /// containment implicit ⊂ constrained ⊂ arbitrary.
+  [[nodiscard]] virtual DeadlineClass max_deadline_class() const noexcept;
+
+  /// Acceptance verdict. Precondition: m >= 1 and the system's deadline
+  /// class is within max_deadline_class() (same contract as the wrapped
+  /// algorithm; violating it throws ContractViolation).
+  [[nodiscard]] virtual bool admits(const TaskSystem& system, int m) const = 0;
+
+  /// True iff `system`'s deadline class is within max_deadline_class().
+  [[nodiscard]] bool supports(const TaskSystem& system) const noexcept;
+
+  /// admits() with the deadline-class contract turned into a verdict:
+  /// unsupported systems are rejected instead of throwing. The safe entry
+  /// point for by-name dispatch over workloads of unknown class (CLI).
+  [[nodiscard]] bool admits_checked(const TaskSystem& system, int m) const;
+};
+
+/// Shared handle to an immutable test instance.
+using TestPtr = std::shared_ptr<const SchedulabilityTest>;
+
+/// Wrap any callable as a SchedulabilityTest — the adapter used both for
+/// the built-in algorithms and for ad-hoc experiment-local tests (e.g. E3's
+/// global-EDF simulation bracket).
+[[nodiscard]] TestPtr make_function_test(
+    std::string name, std::string description,
+    std::function<bool(const TaskSystem&, int)> fn,
+    DeadlineClass max_class = DeadlineClass::kConstrained);
+
+}  // namespace fedcons

@@ -1,68 +1,92 @@
 #include "fedcons/expr/acceptance.h"
 
+#include <cstdint>
+
 #include "fedcons/analysis/feasibility.h"
-#include "fedcons/baselines/global_edf.h"
-#include "fedcons/baselines/partitioned_dm.h"
-#include "fedcons/baselines/partitioned_seq.h"
-#include "fedcons/federated/fedcons_algorithm.h"
-#include "fedcons/federated/federated_implicit.h"
+#include "fedcons/engine/batch_runner.h"
+#include "fedcons/engine/registry.h"
 #include "fedcons/util/check.h"
-#include "fedcons/util/rng.h"
 
 namespace fedcons {
 
+AlgorithmSpec make_algorithm_spec(TestPtr test) {
+  FEDCONS_EXPECTS(test != nullptr);
+  std::string name = test->name();
+  return {std::move(name), [test = std::move(test)](const TaskSystem& s,
+                                                    int m) {
+            return test->admits(s, m);
+          }};
+}
+
 std::vector<AlgorithmSpec> standard_algorithms() {
+  static const char* const kBattery[] = {"FEDCONS", "FEDCONS-lit",
+                                         "FED-LI-adapt", "P-SEQ",
+                                         "P-DM", "GEDF-density"};
   std::vector<AlgorithmSpec> algos;
-  algos.push_back({"FEDCONS", [](const TaskSystem& s, int m) {
-                     return fedcons_schedulable(s, m);
-                   }});
-  algos.push_back({"FEDCONS-lit", [](const TaskSystem& s, int m) {
-                     FedconsOptions opt;
-                     opt.partition.variant = PartitionVariant::kPaperLiteral;
-                     return fedcons_schedulable(s, m, opt);
-                   }});
-  algos.push_back({"FED-LI-adapt", [](const TaskSystem& s, int m) {
-                     return li_federated_constrained_adaptation(s, m).success;
-                   }});
-  algos.push_back({"P-SEQ", [](const TaskSystem& s, int m) {
-                     return partitioned_sequential_schedulable(s, m);
-                   }});
-  algos.push_back({"P-DM", [](const TaskSystem& s, int m) {
-                     return partitioned_dm_schedulable(s, m);
-                   }});
-  algos.push_back({"GEDF-density", [](const TaskSystem& s, int m) {
-                     return gedf_dag_density_test(s, m);
-                   }});
+  algos.reserve(std::size(kBattery));
+  for (const char* name : kBattery) {
+    algos.push_back(make_algorithm_spec(TestRegistry::global().make(name)));
+  }
   return algos;
 }
+
+namespace {
+
+/// Everything one trial produces, aggregated in index order afterwards.
+struct TrialOutcome {
+  bool feasible = false;
+  std::vector<std::uint8_t> verdicts;
+  PerfCounters counters;
+};
+
+}  // namespace
 
 std::vector<AcceptancePoint> run_acceptance_sweep(
     const SweepConfig& config, const std::vector<AlgorithmSpec>& algorithms) {
   FEDCONS_EXPECTS(config.m >= 1);
   FEDCONS_EXPECTS(config.trials >= 1);
+  FEDCONS_EXPECTS(config.num_threads >= 0);
   FEDCONS_EXPECTS(!algorithms.empty());
 
+  BatchRunner runner(config.num_threads);
   std::vector<AcceptancePoint> points;
   points.reserve(config.normalized_utils.size());
-  Rng master(config.seed);
-  for (double nu : config.normalized_utils) {
+  for (std::size_t pi = 0; pi < config.normalized_utils.size(); ++pi) {
+    const double nu = config.normalized_utils[pi];
     FEDCONS_EXPECTS(nu > 0.0);
-    AcceptancePoint point;
-    point.normalized_util = nu;
-    point.trials = static_cast<std::size_t>(config.trials);
-    point.accepted.assign(algorithms.size(), 0);
     TaskSetParams params = config.base;
     params.total_utilization = nu * static_cast<double>(config.m);
     params.utilization_cap = static_cast<double>(config.m);
-    for (int trial = 0; trial < config.trials; ++trial) {
-      Rng rng = master.split();
-      TaskSystem sys = generate_task_system(rng, params);
-      if (passes_necessary_conditions(sys, config.m)) {
-        ++point.feasible_upper_bound;
-      }
+
+    const std::function<TrialOutcome(std::size_t, Rng&)> trial =
+        [&](std::size_t, Rng& rng) {
+          TrialOutcome out;
+          const PerfCounters before = perf_counters();
+          TaskSystem sys = generate_task_system(rng, params);
+          out.feasible = passes_necessary_conditions(sys, config.m);
+          out.verdicts.resize(algorithms.size());
+          for (std::size_t a = 0; a < algorithms.size(); ++a) {
+            out.verdicts[a] = algorithms[a].test(sys, config.m) ? 1 : 0;
+          }
+          out.counters = perf_counters() - before;
+          return out;
+        };
+    // Per-point master seed, so points are independent of one another and of
+    // the grid's layout.
+    const std::uint64_t point_seed = trial_seed(config.seed, pi);
+    auto outcomes = runner.run_trials<TrialOutcome>(
+        static_cast<std::size_t>(config.trials), point_seed, trial);
+
+    AcceptancePoint point;
+    point.normalized_util = nu;
+    point.trials = outcomes.size();
+    point.accepted.assign(algorithms.size(), 0);
+    for (const TrialOutcome& out : outcomes) {
+      if (out.feasible) ++point.feasible_upper_bound;
       for (std::size_t a = 0; a < algorithms.size(); ++a) {
-        if (algorithms[a].test(sys, config.m)) ++point.accepted[a];
+        point.accepted[a] += out.verdicts[a];
       }
+      point.counters += out.counters;
     }
     points.push_back(std::move(point));
   }

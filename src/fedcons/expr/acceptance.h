@@ -7,6 +7,12 @@
 // reports per-algorithm acceptance ratios plus the fraction passing the
 // necessary-feasibility conditions (the clairvoyant-optimal proxy that upper
 // bounds every algorithm — see analysis/feasibility.h).
+//
+// Execution goes through the engine's deterministic batch runner
+// (engine/batch_runner.h): trials run in parallel across
+// SweepConfig::num_threads threads, with per-trial seeds derived purely from
+// (seed, point index, trial index) — the reported counts are bit-identical
+// for every thread count.
 #pragma once
 
 #include <functional>
@@ -14,7 +20,9 @@
 #include <vector>
 
 #include "fedcons/core/task_system.h"
+#include "fedcons/engine/schedulability_test.h"
 #include "fedcons/gen/taskset_gen.h"
+#include "fedcons/util/perf_counters.h"
 
 namespace fedcons {
 
@@ -24,7 +32,11 @@ struct AlgorithmSpec {
   std::function<bool(const TaskSystem&, int)> test;
 };
 
-/// The standard comparison battery used across E3/E5:
+/// Wrap an engine test as a sweep entry (name taken from the test).
+[[nodiscard]] AlgorithmSpec make_algorithm_spec(TestPtr test);
+
+/// The standard comparison battery used across E3/E5, resolved by name from
+/// the engine registry:
 ///   FEDCONS        — the paper's algorithm (full PARTITION variant)
 ///   FEDCONS-lit    — paper-literal Fig. 4 PARTITION (demand check only)
 ///   FED-LI-adapt   — Li et al. closed-form federated, constrained adaptation
@@ -39,6 +51,7 @@ struct SweepConfig {
       {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
   int trials = 200;               ///< task systems per grid point
   std::uint64_t seed = 42;
+  int num_threads = 0;            ///< batch-runner width; 0 = all cores
   TaskSetParams base;             ///< total_utilization is overridden per point
 };
 
@@ -48,6 +61,7 @@ struct AcceptancePoint {
   std::size_t trials = 0;
   std::size_t feasible_upper_bound = 0;      ///< pass necessary conditions
   std::vector<std::size_t> accepted;         ///< parallel to the algorithm list
+  PerfCounters counters;                     ///< analysis work over all trials
 };
 
 /// Run the sweep. accepted[i][a] corresponds to algorithms[a].

@@ -62,4 +62,101 @@ void print_report(std::ostream& os, const std::string& caption,
   os << "\n";
 }
 
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+void append_counters_json(std::string& out, const PerfCounters& c) {
+  out += "{\"ls_invocations\": " + fmt_int(static_cast<long long>(
+                                       c.ls_invocations)) +
+         ", \"minprocs_scan_iterations\": " +
+         fmt_int(static_cast<long long>(c.minprocs_scan_iterations)) +
+         ", \"dbf_star_evaluations\": " +
+         fmt_int(static_cast<long long>(c.dbf_star_evaluations)) + "}";
+}
+
+}  // namespace
+
+std::string sweep_report_json(const std::string& experiment,
+                              std::uint64_t seed,
+                              const std::vector<AlgorithmSpec>& algorithms,
+                              const std::vector<SweepSection>& sections) {
+  std::string out;
+  out += "{\n  \"experiment\": \"" + json_escape(experiment) + "\",\n";
+  out += "  \"seed\": " + fmt_int(static_cast<long long>(seed)) + ",\n";
+  out += "  \"algorithms\": [";
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    if (a) out += ", ";
+    out += "\"" + json_escape(algorithms[a].name) + "\"";
+  }
+  out += "],\n  \"sweeps\": [\n";
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    const SweepSection& sec = sections[s];
+    out += "    {\"label\": \"" + json_escape(sec.label) + "\", \"m\": " +
+           fmt_int(sec.m) + ", \"points\": [\n";
+    for (std::size_t p = 0; p < sec.points.size(); ++p) {
+      const AcceptancePoint& point = sec.points[p];
+      out += "      {\"normalized_util\": " +
+             fmt_double(point.normalized_util, 4) +
+             ", \"trials\": " + fmt_int(static_cast<long long>(point.trials)) +
+             ", \"feasible_upper_bound\": " +
+             fmt_int(static_cast<long long>(point.feasible_upper_bound)) +
+             ", \"accepted\": [";
+      for (std::size_t a = 0; a < point.accepted.size(); ++a) {
+        if (a) out += ", ";
+        out += fmt_int(static_cast<long long>(point.accepted[a]));
+      }
+      out += "], \"counters\": ";
+      append_counters_json(out, point.counters);
+      out += "}";
+      if (p + 1 < sec.points.size()) out += ",";
+      out += "\n";
+    }
+    out += "    ]}";
+    if (s + 1 < sections.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string speedup_report_json(const std::string& experiment,
+                                const SpeedupExperimentConfig& config,
+                                const SpeedupExperimentResult& result) {
+  std::string out;
+  out += "{\n  \"experiment\": \"" + json_escape(experiment) + "\",\n";
+  out += "  \"algorithm\": \"" + json_escape(config.algorithm) + "\",\n";
+  out += "  \"m\": " + fmt_int(config.m) + ",\n";
+  out += "  \"normalized_util\": " + fmt_double(config.normalized_util, 4) +
+         ",\n";
+  out += "  \"seed\": " + fmt_int(static_cast<long long>(config.seed)) +
+         ",\n";
+  out += "  \"measured\": " + fmt_int(result.measured) + ",\n";
+  out += "  \"accepted_at_unit\": " + fmt_int(result.accepted_at_unit) +
+         ",\n";
+  out += "  \"never_accepted\": " + fmt_int(result.never_accepted) + ",\n";
+  out += "  \"theoretical_bound\": " +
+         fmt_double(fedcons_speedup_bound(config.m), 4) + ",\n";
+  out += "  \"speeds\": [";
+  for (std::size_t i = 0; i < result.speeds.size(); ++i) {
+    if (i) out += ", ";
+    out += fmt_double(result.speeds[i], 6);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
 }  // namespace fedcons

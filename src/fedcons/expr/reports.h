@@ -1,4 +1,4 @@
-// Table rendering shared by the bench binaries.
+// Table and structured-JSON rendering shared by the bench binaries.
 #pragma once
 
 #include <iosfwd>
@@ -27,5 +27,28 @@ namespace fedcons {
 /// (used by bench binaries under --csv).
 void print_report(std::ostream& os, const std::string& caption,
                   const Table& table, bool also_csv = false);
+
+/// One labelled sweep inside a JSON report (e.g. one platform size of E3).
+struct SweepSection {
+  std::string label;
+  int m = 0;
+  std::vector<AcceptancePoint> points;
+};
+
+/// Machine-readable results document for an acceptance experiment. Emits
+/// per-point acceptance counts for every algorithm plus the engine's
+/// observability counters (LS invocations, MINPROCS scan iterations, DBF*
+/// evaluations). The rendering is fully deterministic — fixed key order,
+/// fixed number formatting — so byte-identical inputs yield byte-identical
+/// documents regardless of how many threads produced them.
+[[nodiscard]] std::string sweep_report_json(
+    const std::string& experiment, std::uint64_t seed,
+    const std::vector<AlgorithmSpec>& algorithms,
+    const std::vector<SweepSection>& sections);
+
+/// Machine-readable results for the speedup experiment (E4).
+[[nodiscard]] std::string speedup_report_json(
+    const std::string& experiment, const SpeedupExperimentConfig& config,
+    const SpeedupExperimentResult& result);
 
 }  // namespace fedcons

@@ -1,47 +1,81 @@
 #include "fedcons/expr/speedup_experiment.h"
 
+#include <algorithm>
+
 #include "fedcons/analysis/feasibility.h"
-#include "fedcons/federated/fedcons_algorithm.h"
+#include "fedcons/engine/batch_runner.h"
+#include "fedcons/engine/registry.h"
 #include "fedcons/federated/speedup.h"
 #include "fedcons/util/check.h"
-#include "fedcons/util/rng.h"
 
 namespace fedcons {
+
+namespace {
+
+struct Attempt {
+  bool proxy = false;          ///< passed the necessary-feasibility proxy
+  bool never_accepted = false; ///< rejected even at max_speed
+  double speed = 0.0;          ///< valid when proxy && !never_accepted
+};
+
+}  // namespace
 
 SpeedupExperimentResult run_speedup_experiment(
     const SpeedupExperimentConfig& config) {
   FEDCONS_EXPECTS(config.m >= 1);
   FEDCONS_EXPECTS(config.samples >= 1);
   FEDCONS_EXPECTS(config.normalized_util > 0.0);
+  FEDCONS_EXPECTS(config.num_threads >= 0);
 
-  SpeedupExperimentResult result;
-  Rng master(config.seed);
+  TestPtr test = TestRegistry::global().make(config.algorithm);
+  const AcceptanceTest accept = [&test](const TaskSystem& s, int m) {
+    return test->admits(s, m);
+  };
+
   TaskSetParams params = config.base;
   params.total_utilization =
       config.normalized_util * static_cast<double>(config.m);
   params.utilization_cap = static_cast<double>(config.m);
 
-  const AcceptanceTest fedcons_test = [](const TaskSystem& s, int m) {
-    return fedcons_schedulable(s, m);
-  };
+  BatchRunner runner(config.num_threads);
+  SpeedupExperimentResult result;
 
-  int attempts = 0;
-  while (result.measured < config.samples && attempts < config.max_attempts) {
-    ++attempts;
-    Rng rng = master.split();
-    TaskSystem sys = generate_task_system(rng, params);
-    if (!passes_necessary_conditions(sys, config.m)) continue;
-
-    auto speed = min_speed(sys, config.m, fedcons_test, config.max_speed,
-                           config.resolution);
-    if (!speed.has_value()) {
-      ++result.never_accepted;
+  // Chunk size depends only on the config (never on the thread count), so
+  // which attempts get measured is deterministic; overshoot past the final
+  // accepted sample is at most one chunk.
+  const int chunk = std::max(32, config.samples);
+  for (int start = 0;
+       start < config.max_attempts && result.measured < config.samples;
+       start += chunk) {
+    const int n = std::min(chunk, config.max_attempts - start);
+    std::vector<Attempt> attempts(static_cast<std::size_t>(n));
+    runner.parallel_for(static_cast<std::size_t>(n), [&](std::size_t i) {
+      // Seed by the ABSOLUTE attempt index so chunking is invisible.
+      const std::uint64_t idx = static_cast<std::uint64_t>(start) + i;
+      Rng rng(trial_seed(config.seed, idx));
+      Attempt& a = attempts[i];
+      TaskSystem sys = generate_task_system(rng, params);
+      a.proxy = passes_necessary_conditions(sys, config.m);
+      if (!a.proxy) return;
+      auto speed = min_speed(sys, config.m, accept, config.max_speed,
+                             config.resolution);
+      if (!speed.has_value()) {
+        a.never_accepted = true;
+      } else {
+        a.speed = *speed;
+      }
+    });
+    for (const Attempt& a : attempts) {
+      if (result.measured >= config.samples) break;
+      if (!a.proxy) continue;
       ++result.measured;
-      continue;
+      if (a.never_accepted) {
+        ++result.never_accepted;
+        continue;
+      }
+      if (a.speed <= 1.0) ++result.accepted_at_unit;
+      result.speeds.push_back(a.speed);
     }
-    if (*speed <= 1.0) ++result.accepted_at_unit;
-    result.speeds.push_back(*speed);
-    ++result.measured;
   }
   return result;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fedcons/util/check.h"
+#include "fedcons/util/perf_counters.h"
 
 namespace fedcons {
 
@@ -19,6 +20,7 @@ std::optional<MinprocsResult> minprocs(const DagTask& task,
   // No processor count can beat the critical path.
   if (task.len() > task.deadline()) return std::nullopt;
   for (int mu = minprocs_lower_bound(task); mu <= max_processors; ++mu) {
+    ++perf_counters().minprocs_scan_iterations;
     TemplateSchedule sigma = list_schedule(task.graph(), mu, policy);
     if (sigma.makespan() <= task.deadline()) {
       return MinprocsResult{mu, std::move(sigma)};

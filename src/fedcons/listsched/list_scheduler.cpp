@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "fedcons/util/check.h"
+#include "fedcons/util/perf_counters.h"
 
 namespace fedcons {
 
@@ -41,6 +42,8 @@ TemplateSchedule run_ls(const Dag& dag, int num_processors,
                         "actual execution time must be in [1, WCET]");
   }
 
+  ++perf_counters().ls_invocations;
+
   const std::size_t n = dag.num_vertices();
   auto key_of = [&](VertexId v) -> ReadyKey {
     switch (policy) {
@@ -55,7 +58,11 @@ TemplateSchedule run_ls(const Dag& dag, int num_processors,
   };
 
   std::vector<std::size_t> remaining_preds(n);
-  std::priority_queue<ReadyKey, std::vector<ReadyKey>, std::greater<>> ready;
+  // Pre-size the queue storage: the ready set never exceeds |V|.
+  std::vector<ReadyKey> ready_storage;
+  ready_storage.reserve(n);
+  std::priority_queue<ReadyKey, std::vector<ReadyKey>, std::greater<>> ready(
+      std::greater<>{}, std::move(ready_storage));
   for (std::size_t v = 0; v < n; ++v) {
     remaining_preds[v] = dag.in_degree(static_cast<VertexId>(v));
     if (remaining_preds[v] == 0) ready.push(key_of(static_cast<VertexId>(v)));
@@ -71,8 +78,14 @@ TemplateSchedule run_ls(const Dag& dag, int num_processors,
       return proc > rhs.proc;
     }
   };
-  std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
-  std::priority_queue<int, std::vector<int>, std::greater<>> free_procs;
+  std::vector<Running> running_storage;
+  running_storage.reserve(static_cast<std::size_t>(num_processors));
+  std::priority_queue<Running, std::vector<Running>, std::greater<>> running(
+      std::greater<>{}, std::move(running_storage));
+  std::vector<int> proc_storage;
+  proc_storage.reserve(static_cast<std::size_t>(num_processors));
+  std::priority_queue<int, std::vector<int>, std::greater<>> free_procs(
+      std::greater<>{}, std::move(proc_storage));
   for (int p = 0; p < num_processors; ++p) free_procs.push(p);
 
   std::vector<ScheduledJob> out;

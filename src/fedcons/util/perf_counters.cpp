@@ -1,0 +1,10 @@
+#include "fedcons/util/perf_counters.h"
+
+namespace fedcons {
+
+PerfCounters& perf_counters() noexcept {
+  thread_local PerfCounters counters;
+  return counters;
+}
+
+}  // namespace fedcons

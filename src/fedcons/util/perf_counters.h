@@ -1,0 +1,42 @@
+// Lightweight analysis-effort counters.
+//
+// The experiment engine reports, per trial, how much analytical work each
+// verdict cost: List Scheduling invocations, MINPROCS scan iterations, and
+// DBF*/DBF-approx evaluations. Counters are thread_local so the parallel
+// batch runner can attribute work to the trial executing on that thread
+// without synchronization; instrumented hot paths pay one TLS increment.
+//
+// Usage pattern (engine/batch_runner): snapshot `perf_counters()` before a
+// trial, subtract after — the delta is exactly that trial's work because one
+// worker thread runs one trial at a time.
+#pragma once
+
+#include <cstdint>
+
+namespace fedcons {
+
+/// Monotone per-thread work counters (see header comment).
+struct PerfCounters {
+  std::uint64_t ls_invocations = 0;         ///< list_schedule* calls
+  std::uint64_t minprocs_scan_iterations = 0;  ///< LS probes across MINPROCS scans
+  std::uint64_t dbf_star_evaluations = 0;   ///< dbf_approx / dbf_approx_k calls
+
+  PerfCounters& operator+=(const PerfCounters& rhs) noexcept {
+    ls_invocations += rhs.ls_invocations;
+    minprocs_scan_iterations += rhs.minprocs_scan_iterations;
+    dbf_star_evaluations += rhs.dbf_star_evaluations;
+    return *this;
+  }
+  /// Delta between two snapshots of the same thread's counters.
+  [[nodiscard]] PerfCounters operator-(const PerfCounters& rhs) const noexcept {
+    return {ls_invocations - rhs.ls_invocations,
+            minprocs_scan_iterations - rhs.minprocs_scan_iterations,
+            dbf_star_evaluations - rhs.dbf_star_evaluations};
+  }
+  [[nodiscard]] bool operator==(const PerfCounters&) const noexcept = default;
+};
+
+/// The calling thread's counters (mutable; never reset by the library).
+[[nodiscard]] PerfCounters& perf_counters() noexcept;
+
+}  // namespace fedcons

@@ -2,10 +2,15 @@
 //
 // Usage:
 //   fedcons_cli --file=workload.tasks --m=8 [--simulate] [--horizon=100000]
-//               [--strategy=fedcons|arbfed|arbfed-clamp]
+//               [--strategy=fedcons|arbfed|arbfed-clamp] [--algo=NAME]
 //               [--variant=full|literal] [--seed=1] [--dot] [--gantt]
 //               [--margins]
+//   fedcons_cli --list-algos         # engine registry names + descriptions
 //   fedcons_cli --example            # print a sample workload file and exit
+//
+// --algo=NAME runs any test from the engine registry (verdict only; the
+// FEDCONS-specific cluster report, --gantt, --margins, and --simulate need
+// the structured result and stay on the --strategy path).
 //
 // Exit status: 0 = schedulable (and, with --simulate, zero misses),
 //              1 = rejected / misses, 2 = usage or parse error.
@@ -14,11 +19,13 @@
 
 #include "fedcons/analysis/feasibility.h"
 #include "fedcons/core/io.h"
+#include "fedcons/engine/registry.h"
 #include "fedcons/federated/arbitrary.h"
 #include "fedcons/federated/fedcons_algorithm.h"
 #include "fedcons/federated/sensitivity.h"
 #include "fedcons/sim/gantt.h"
 #include "fedcons/sim/system_sim.h"
+#include "fedcons/util/check.h"
 #include "fedcons/util/flags.h"
 #include "fedcons/util/table.h"
 
@@ -63,9 +70,22 @@ int usage() {
       << "usage: fedcons_cli --file=<workload> --m=<processors>\n"
          "                   [--simulate] [--horizon=N] [--seed=N] [--dot]\n"
          "                   [--strategy=fedcons|arbfed|arbfed-clamp]\n"
-         "                   [--variant=full|literal]\n"
+         "                   [--algo=NAME] [--variant=full|literal]\n"
+         "       fedcons_cli --list-algos\n"
          "       fedcons_cli --example\n";
   return 2;
+}
+
+int list_algos() {
+  const TestRegistry& reg = TestRegistry::global();
+  Table t({"name", "deadlines", "description"});
+  for (const std::string& name : reg.names()) {
+    TestPtr test = reg.make(name);
+    t.add_row({test->name(), to_string(test->max_deadline_class()),
+               test->description()});
+  }
+  t.print(std::cout);
+  return 0;
 }
 
 }  // namespace
@@ -76,6 +96,7 @@ int main(int argc, char** argv) {
     std::cout << kExample;
     return 0;
   }
+  if (flags.has("list-algos")) return list_algos();
   const std::string path = flags.get_string("file", "");
   const int m = static_cast<int>(flags.get_int("m", 0));
   if (path.empty() || m < 1) return usage();
@@ -104,6 +125,29 @@ int main(int argc, char** argv) {
   std::cout << "Necessary conditions on m=" << m << ": "
             << (nec.passed ? "pass" : "FAIL (" + nec.failed_condition + ")")
             << "\n\n";
+
+  if (flags.has("algo")) {
+    const std::string algo = flags.get_string("algo", "");
+    TestPtr test;
+    try {
+      test = TestRegistry::global().make(algo);
+    } catch (const ContractViolation&) {
+      std::cerr << "error: unknown algorithm '" << algo
+                << "' (see --list-algos)\n";
+      return 2;
+    }
+    if (!test->supports(system)) {
+      std::cerr << "error: " << test->name() << " handles "
+                << to_string(test->max_deadline_class())
+                << "-deadline systems; this system is "
+                << to_string(system.deadline_class()) << "-deadline\n";
+      return 2;
+    }
+    const bool ok = test->admits_checked(system, m);
+    std::cout << test->name() << " on m=" << m << ": "
+              << (ok ? "SCHEDULABLE" : "rejected") << "\n";
+    return ok ? 0 : 1;
+  }
 
   const std::string strategy = flags.get_string("strategy", "fedcons");
   FedconsOptions options;
