@@ -11,6 +11,7 @@
 #include "fedcons/analysis/edf_uniproc.h"
 #include "fedcons/analysis/rta.h"
 #include "fedcons/federated/fedcons_algorithm.h"
+#include "fedcons/federated/minprocs.h"
 #include "fedcons/gen/taskset_gen.h"
 #include "fedcons/listsched/list_scheduler.h"
 #include "fedcons/listsched/optimal_makespan.h"
@@ -80,6 +81,65 @@ void BM_ListSchedule(benchmark::State& state) {
   state.SetLabel(std::to_string(g.num_vertices()) + " vertices");
 }
 BENCHMARK(BM_ListSchedule)->Arg(16)->Arg(64)->Arg(256);
+
+// A MINPROCS-heavy instance for budget m: a wide DAG (width == m) whose
+// deadline equals Graham's bound at m, so the linear scan has to probe a
+// long prefix of [⌈δ⌉, m] before the makespan fits. This is the workload
+// the bound-guided pruning + workspace reuse targets (BENCH_PR2.json).
+DagTask minprocs_heavy_task(int m, std::uint64_t seed) {
+  Rng rng(seed);
+  LayeredDagParams p;
+  p.min_layers = 8;
+  p.max_layers = 8;
+  p.min_width = m;
+  p.max_width = m;
+  p.max_wcet = 40;
+  Dag g = generate_layered_dag(rng, p);
+  const Time deadline = std::max(g.len(), graham_bound(g, m));
+  return DagTask(std::move(g), deadline, deadline);
+}
+
+// The optimized scan: bound-guided cap + thread-local zero-allocation LS.
+void BM_Minprocs(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const DagTask t = minprocs_heavy_task(m, 11);
+  for (auto _ : state) {
+    auto r = minprocs(t, m);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::to_string(t.graph().num_vertices()) + " vertices");
+}
+BENCHMARK(BM_Minprocs)->Arg(8)->Arg(32)->Arg(128);
+
+// The seed reference scan (allocation-per-probe LS, no cap) on the SAME
+// instances — the baseline the ≥3× acceptance criterion is measured against.
+void BM_MinprocsReference(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const DagTask t = minprocs_heavy_task(m, 11);
+  for (auto _ : state) {
+    auto r = minprocs(t, m, ListPolicy::kVertexOrder,
+                      MinprocsOptions{.prune = false});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::to_string(t.graph().num_vertices()) + " vertices");
+}
+BENCHMARK(BM_MinprocsReference)->Arg(8)->Arg(32)->Arg(128);
+
+// Full FEDCONS test (phase 1 + phase 2) on systems sized to keep several
+// high-density tasks in play, at the same m grid as BM_Minprocs.
+void BM_FedconsFullTest(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(13);
+  TaskSetParams params;
+  params.num_tasks = 2 * m;
+  params.total_utilization = 0.6 * m;
+  params.utilization_cap = 8.0;
+  TaskSystem sys = generate_task_system(rng, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fedcons_schedulable(sys, m));
+  }
+}
+BENCHMARK(BM_FedconsFullTest)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_FedconsEndToEnd(benchmark::State& state) {
   Rng rng(5);

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Run the PR-2 performance comparison (bound-guided MINPROCS + workspace LS
+# core vs. the seed reference path) and emit BENCH_PR2.json.
+#
+# Usage: bench/run_perf.sh [build-dir] [output.json]
+#   build-dir    defaults to build        (must contain bench/bench_perf_algorithms)
+#   output.json  defaults to BENCH_PR2.json in the repo root
+#
+# The acceptance bar recorded in ISSUE.md: BM_Minprocs/128 at least 3x faster
+# than BM_MinprocsReference/128 on the same instances. Both numbers land in
+# the JSON so the comparison is auditable.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_json="${2:-$repo_root/BENCH_PR2.json}"
+bench_bin="$build_dir/bench/bench_perf_algorithms"
+
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not found — build first (cmake --build $build_dir)" >&2
+  exit 1
+fi
+
+# Note: this google-benchmark build takes --benchmark_min_time as a plain
+# double (seconds), not the newer "0.1s" suffix form.
+"$bench_bin" \
+  "--benchmark_filter=BM_Minprocs|BM_MinprocsReference|BM_FedconsFullTest" \
+  --benchmark_min_time=0.2 \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  "--benchmark_out=$out_json" \
+  --benchmark_out_format=json
+
+echo
+echo "wrote $out_json"

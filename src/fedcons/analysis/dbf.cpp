@@ -116,4 +116,48 @@ Time total_dbf(std::span<const SporadicTask> tasks, Time t) {
   return sum;
 }
 
+void DbfStarAggregate::insert(const SporadicTask& task) {
+  const auto pos =
+      std::upper_bound(deadlines_.begin(), deadlines_.end(), task.deadline);
+  const auto idx = static_cast<std::size_t>(pos - deadlines_.begin());
+  deadlines_.insert(pos, task.deadline);
+  u_.insert(u_.begin() + static_cast<std::ptrdiff_t>(idx),
+            make_ratio(task.wcet, task.period));
+  // C·D can exceed int64 for extreme parameters; form it as a BigInt product.
+  ud_.insert(ud_.begin() + static_cast<std::ptrdiff_t>(idx),
+             BigRational(BigInt(task.wcet) * BigInt(task.deadline),
+                         BigInt(task.period)));
+  vol_.insert(vol_.begin() + static_cast<std::ptrdiff_t>(idx), task.wcet);
+
+  prefix_vol_.resize(deadlines_.size());
+  prefix_u_.resize(deadlines_.size());
+  prefix_ud_.resize(deadlines_.size());
+  for (std::size_t i = idx; i < deadlines_.size(); ++i) {
+    if (i == 0) {
+      prefix_vol_[i] = BigRational(vol_[i]);
+      prefix_u_[i] = u_[i];
+      prefix_ud_[i] = ud_[i];
+    } else {
+      prefix_vol_[i] = prefix_vol_[i - 1] + BigRational(vol_[i]);
+      prefix_u_[i] = prefix_u_[i - 1] + u_[i];
+      prefix_ud_[i] = prefix_ud_[i - 1] + ud_[i];
+    }
+  }
+
+  const auto dpos = std::lower_bound(distinct_deadlines_.begin(),
+                                     distinct_deadlines_.end(), task.deadline);
+  if (dpos == distinct_deadlines_.end() || *dpos != task.deadline) {
+    distinct_deadlines_.insert(dpos, task.deadline);
+  }
+}
+
+BigRational DbfStarAggregate::sum_at(Time t) const {
+  // Counter contract (see header): one logical DBF* evaluation per member.
+  perf_counters().dbf_star_evaluations += deadlines_.size();
+  const auto pos = std::upper_bound(deadlines_.begin(), deadlines_.end(), t);
+  if (pos == deadlines_.begin()) return BigRational(0);
+  const auto k = static_cast<std::size_t>(pos - deadlines_.begin()) - 1;
+  return prefix_vol_[k] + prefix_u_[k] * BigRational(t) - prefix_ud_[k];
+}
+
 }  // namespace fedcons

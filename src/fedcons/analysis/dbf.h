@@ -60,4 +60,52 @@ namespace fedcons {
 /// Σ_j DBF(τ_j, t) with overflow checking (exact demand at one instant).
 [[nodiscard]] Time total_dbf(std::span<const SporadicTask> tasks, Time t);
 
+/// Incrementally maintained Σ_j DBF*(τ_j, t) over a growing task set — the
+/// per-bin cache behind PARTITION's incremental acceptance probes.
+///
+/// Members are kept sorted by deadline with exact inclusive prefix sums of
+/// (C_j, C_j/T_j, C_j·D_j/T_j), so one evaluation is
+///     Σ_{D_j ≤ t} (C_j + u_j·(t − D_j)) = Σvol + (Σu)·t − Σ(u·D)
+/// over the prefix with D_j ≤ t: O(log n) lookup plus O(1) rational ops
+/// instead of an O(n) per-member sum, and — all arithmetic being exact —
+/// equal as a rational to the term-wise sum, so every comparison made
+/// against it decides identically (pinned by the partition tests).
+///
+/// Counter contract: sum_at credits one dbf_star_evaluations per member,
+/// exactly what the per-member dbf_approx loop it replaces would have
+/// counted (members with D_j > t included — their calls return 0 but count).
+///
+/// Each prefix entry is a sum of at most size() reduce_fast-normalized terms,
+/// the same limb-growth bound as the transient per-probe sums (rational.h
+/// design note), so long-lived storage does not compound.
+class DbfStarAggregate {
+ public:
+  /// Add one member. O(size) worst case (suffix prefix refresh); PARTITION
+  /// performs one insert per placement vs. many sum_at probes.
+  void insert(const SporadicTask& task);
+
+  /// Σ_j DBF*(τ_j, t) over all members, exactly.
+  [[nodiscard]] BigRational sum_at(Time t) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return deadlines_.size(); }
+
+  /// Sorted, deduplicated member deadlines — the slope breakpoints of the
+  /// summed 1-point approximation (dbf_approx_breakpoints with points == 1).
+  [[nodiscard]] std::span<const Time> distinct_deadlines() const noexcept {
+    return distinct_deadlines_;
+  }
+
+ private:
+  // Parallel arrays, sorted by deadline (ties keep insertion order).
+  std::vector<Time> deadlines_;
+  std::vector<BigRational> u_;    ///< per member: C_j/T_j
+  std::vector<BigRational> ud_;   ///< per member: C_j·D_j/T_j
+  std::vector<Time> vol_;         ///< per member: C_j
+  // Inclusive prefix sums over the arrays above.
+  std::vector<BigRational> prefix_vol_;
+  std::vector<BigRational> prefix_u_;
+  std::vector<BigRational> prefix_ud_;
+  std::vector<Time> distinct_deadlines_;
+};
+
 }  // namespace fedcons

@@ -59,6 +59,10 @@ void Dag::invalidate() noexcept {
   topo_.clear();
   bottom_.clear();
   top_.clear();
+  reduced_built_ = false;
+  reduced_trivial_ = false;
+  red_off_.clear();
+  red_flat_.clear();
 }
 
 bool Dag::is_acyclic() const {
@@ -124,6 +128,56 @@ void Dag::ensure_analyzed() const {
   for (std::size_t v = 0; v < n; ++v) len_ = std::max(len_, top_[v]);
 
   analyzed_ = true;
+}
+
+void Dag::ensure_reduced() const {
+  if (reduced_built_) return;
+  ensure_analyzed();
+  const std::size_t n = wcet_.size();
+  if (n > kMaxReductionVertices) {
+    reduced_trivial_ = true;
+    reduced_built_ = true;
+    return;
+  }
+  // Reverse-topological sweep with one reachability bitset per vertex:
+  // when u is visited, every successor's set is final. An edge (u, s) is
+  // redundant iff s is reachable through some *other* successor, i.e. its
+  // bit is set in the union of the successors' sets (s never appears in its
+  // own set — the graph is acyclic — so the witness is a different vertex).
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::uint64_t> reach(n * words, 0);
+  std::vector<std::uint64_t> via(words);
+  red_off_.assign(n + 1, 0);
+  red_flat_.clear();
+  std::vector<std::vector<VertexId>> kept(n);
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const VertexId u = *it;
+    std::fill(via.begin(), via.end(), 0);
+    for (VertexId s : succ_[u]) {
+      const std::uint64_t* rs = reach.data() + std::size_t{s} * words;
+      for (std::size_t w = 0; w < words; ++w) via[w] |= rs[w];
+    }
+    for (VertexId s : succ_[u]) {
+      if ((via[s / 64] >> (s % 64) & 1) == 0) kept[u].push_back(s);
+    }
+    std::uint64_t* ru = reach.data() + std::size_t{u} * words;
+    std::copy(via.begin(), via.end(), ru);
+    for (VertexId s : succ_[u]) ru[s / 64] |= std::uint64_t{1} << (s % 64);
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    red_off_[v + 1] =
+        red_off_[v] + static_cast<std::uint32_t>(kept[v].size());
+    red_flat_.insert(red_flat_.end(), kept[v].begin(), kept[v].end());
+  }
+  reduced_trivial_ = false;
+  reduced_built_ = true;
+}
+
+std::span<const VertexId> Dag::reduced_successors(VertexId v) const {
+  FEDCONS_EXPECTS(v < wcet_.size());
+  ensure_reduced();
+  if (reduced_trivial_) return succ_[v];
+  return {red_flat_.data() + red_off_[v], red_off_[v + 1] - red_off_[v]};
 }
 
 const std::vector<VertexId>& Dag::topological_order() const {

@@ -91,6 +91,18 @@ class Dag {
   /// True iff `to` is reachable from `from` by a non-empty directed path.
   [[nodiscard]] bool reaches(VertexId from, VertexId to) const;
 
+  /// Successors of v in the transitive reduction — the unique minimal edge
+  /// subset with the same reachability (unique for DAGs). An edge (u, w) is
+  /// dropped iff another successor of u reaches w; greedy schedulers may use
+  /// the reduced relation verbatim, because the witnessing intermediate
+  /// vertex finishes no earlier than u and therefore binds w's ready instant
+  /// at least as tightly. Built lazily in O(|E|·|V|/64) via reachability
+  /// bitsets and cached like the level arrays; beyond
+  /// kMaxReductionVertices the bitset build is skipped and the original
+  /// successor lists are returned (a sound over-approximation).
+  /// Precondition: acyclic.
+  [[nodiscard]] std::span<const VertexId> reduced_successors(VertexId v) const;
+
   /// Exact width: the maximum antichain size (largest set of pairwise
   /// precedence-incomparable jobs) — the maximum instantaneous parallelism
   /// the task can express. Computed via Dilworth's theorem: width = |V| −
@@ -100,8 +112,14 @@ class Dag {
   /// Graphviz DOT rendering; vertices labelled "v<i> (e=<wcet>)".
   [[nodiscard]] std::string to_dot(const std::string& name = "dag") const;
 
+  /// Vertex-count ceiling for the transitive-reduction bitset build; the
+  /// reachability matrix costs |V|²/8 bytes, so past this the reduction
+  /// degrades gracefully to the original edge lists.
+  static constexpr std::size_t kMaxReductionVertices = 4096;
+
  private:
   void ensure_analyzed() const;  // topo order + levels; throws on a cycle
+  void ensure_reduced() const;   // transitive reduction; throws on a cycle
   void invalidate() noexcept;
   [[nodiscard]] std::vector<std::vector<bool>> transitive_closure() const;
 
@@ -117,6 +135,13 @@ class Dag {
   mutable std::vector<Time> top_;
   mutable Time vol_ = 0;
   mutable Time len_ = 0;
+
+  // Cached transitive reduction (CSR layout). reduced_trivial_ marks the
+  // size-gated case where the reduction is defined as the original lists.
+  mutable bool reduced_built_ = false;
+  mutable bool reduced_trivial_ = false;
+  mutable std::vector<std::uint32_t> red_off_;
+  mutable std::vector<VertexId> red_flat_;
 };
 
 }  // namespace fedcons

@@ -27,7 +27,7 @@ FedconsResult fedcons_schedule(const TaskSystem& system, int m,
 
   // Phase 1: dedicate processors to each high-density task (lines 2–6).
   for (TaskId i : system.high_density_tasks()) {
-    auto mp = minprocs(system[i], m_r, options.list_policy);
+    auto mp = minprocs(system[i], m_r, options.list_policy, options.minprocs);
     if (!mp.has_value()) {  // m_i > m_r, or len_i > D_i: FAILURE (line 4)
       result.success = false;
       result.failure = FedconsFailure::kHighDensityPhase;

@@ -63,6 +63,7 @@ struct FedconsResult {
 
 struct FedconsOptions {
   ListPolicy list_policy = ListPolicy::kVertexOrder;
+  MinprocsOptions minprocs;
   PartitionOptions partition;
 };
 

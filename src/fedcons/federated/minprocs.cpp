@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fedcons/listsched/ls_workspace.h"
 #include "fedcons/util/check.h"
 #include "fedcons/util/perf_counters.h"
 
@@ -13,20 +14,76 @@ int minprocs_lower_bound(const DagTask& task) {
   return static_cast<int>(std::max<Time>(1, lb));
 }
 
-std::optional<MinprocsResult> minprocs(const DagTask& task,
-                                       int max_processors,
-                                       ListPolicy policy) {
-  FEDCONS_EXPECTS(max_processors >= 0);
-  // No processor count can beat the critical path.
-  if (task.len() > task.deadline()) return std::nullopt;
+Time minprocs_scan_cap(const DagTask& task) {
+  const Time len = task.len();
+  const Time deadline = task.deadline();
+  if (len > deadline) return 0;
+  // Smallest μ with ⌊(vol + (μ−1)·len)/μ⌋ ≤ D. The floor drops iff
+  // vol + (μ−1)·len < μ·(D+1), i.e. μ·(D+1−len) ≥ vol − len + 1; the
+  // denominator is ≥ 1 because len ≤ D, and the numerator is ≥ 1 because
+  // vol ≥ len, so μ_ub ≥ 1 without clamping.
+  const Time mu_ub = ceil_div(task.vol() - len + 1, deadline + 1 - len);
+  // The paper's scan never starts below ⌈δ⌉; keep the cap at or above it so
+  // the pruned range [lb, cap] is never empty.
+  return std::max<Time>(mu_ub, minprocs_lower_bound(task));
+}
+
+namespace {
+
+// The seed scan, kept verbatim as the oracle: one allocation-per-call LS
+// probe per candidate μ, scanning all of [⌈δ⌉, m_r].
+std::optional<MinprocsResult> reference_scan(const DagTask& task,
+                                             int max_processors,
+                                             ListPolicy policy) {
   for (int mu = minprocs_lower_bound(task); mu <= max_processors; ++mu) {
     ++perf_counters().minprocs_scan_iterations;
-    TemplateSchedule sigma = list_schedule(task.graph(), mu, policy);
+    TemplateSchedule sigma = list_schedule_reference(task.graph(), mu, policy);
     if (sigma.makespan() <= task.deadline()) {
       return MinprocsResult{mu, std::move(sigma)};
     }
   }
   return std::nullopt;
+}
+
+// Bound-guided scan: identical probe sequence and verdict (the reference
+// scan's first success is ≤ cap, and cap > m_r whenever the reference scan
+// rejects), but each probe reuses the thread-local workspace, with the
+// policy keys prepared once for the whole scan.
+std::optional<MinprocsResult> pruned_scan(const DagTask& task,
+                                          int max_processors,
+                                          ListPolicy policy) {
+  const Time cap = minprocs_scan_cap(task);
+  const int last = static_cast<int>(std::min<Time>(max_processors, cap));
+  if (cap < max_processors) {
+    perf_counters().ls_probes_pruned +=
+        static_cast<std::uint64_t>(max_processors - last);
+  }
+  LsWorkspace& ws = thread_ls_workspace();
+  // The scan probes the same dag up to cap−lb+1 times: schedule against the
+  // transitive reduction (cached on the Dag), which cuts the dominant
+  // edge-decrement loop without changing any dispatch or finish instant.
+  ls_prepare(ws, task.graph(), policy, /*use_reduced_graph=*/true);
+  for (int mu = minprocs_lower_bound(task); mu <= last; ++mu) {
+    ++perf_counters().minprocs_scan_iterations;
+    ls_run_prepared(ws, task.graph(), mu);
+    if (ws.makespan <= task.deadline()) {
+      return MinprocsResult{
+          mu, TemplateSchedule(mu, {ws.jobs.begin(), ws.jobs.end()})};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<MinprocsResult> minprocs(const DagTask& task, int max_processors,
+                                       ListPolicy policy,
+                                       const MinprocsOptions& options) {
+  FEDCONS_EXPECTS(max_processors >= 0);
+  // No processor count can beat the critical path.
+  if (task.len() > task.deadline()) return std::nullopt;
+  return options.prune ? pruned_scan(task, max_processors, policy)
+                       : reference_scan(task, max_processors, policy);
 }
 
 }  // namespace fedcons

@@ -32,16 +32,39 @@ struct MinprocsResult {
   TemplateSchedule sigma;
 };
 
+/// Tuning knobs for the MINPROCS scan. The default (pruned, workspace-backed)
+/// path returns bit-identical results to the reference scan — pinned by
+/// tests/minprocs_equivalence_test.cpp — so these flags trade speed only.
+struct MinprocsOptions {
+  /// Cap the scan at μ_ub = minprocs_scan_cap(task) and run LS through the
+  /// thread-local workspace (keys prepared once per task). false selects the
+  /// seed reference scan (allocation-per-probe LS, scan to m_r), kept as the
+  /// equivalence oracle and benchmark baseline.
+  bool prune = true;
+};
+
 /// Run MINPROCS for τ_i with at most max_processors available. Returns
 /// nullopt when no μ ≤ max_processors yields makespan ≤ D_i (the paper's
 /// "∞"), including the trivially hopeless case len_i > D_i.
 /// Preconditions: max_processors >= 0 (0 always yields nullopt).
 [[nodiscard]] std::optional<MinprocsResult> minprocs(
     const DagTask& task, int max_processors,
-    ListPolicy policy = ListPolicy::kVertexOrder);
+    ListPolicy policy = ListPolicy::kVertexOrder,
+    const MinprocsOptions& options = {});
 
 /// The scan's lower starting point ⌈δ_i⌉ = ⌈vol_i / min(D_i, T_i)⌉, in exact
 /// integer arithmetic. Exposed for tests and the E7 efficiency experiment.
 [[nodiscard]] int minprocs_lower_bound(const DagTask& task);
+
+/// Upper cap of the pruned scan: the smallest μ at which Graham's bound
+/// already certifies a fit, clamped up to minprocs_lower_bound. For len ≤ D,
+///   graham_bound(μ) = ⌊(vol + (μ−1)·len)/μ⌋ ≤ D  ⟺  μ ≥ ⌈(vol−len+1)/(D+1−len)⌉
+/// and LS makespan ≤ graham_bound, so the probe at μ_ub always succeeds —
+/// every candidate in (μ_ub, m_r] is provably redundant. Because the first
+/// success of the reference scan is also ≤ μ_ub, capping changes no probe
+/// and no verdict (see DESIGN.md §7). Returns 0 when len > D (no μ works).
+/// The result is a Time: it can exceed int range when D − len is tiny, which
+/// is why callers clamp with min(m_r, cap) before casting.
+[[nodiscard]] Time minprocs_scan_cap(const DagTask& task);
 
 }  // namespace fedcons

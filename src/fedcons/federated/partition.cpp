@@ -6,6 +6,7 @@
 #include "fedcons/analysis/dbf.h"
 #include "fedcons/analysis/edf_uniproc.h"
 #include "fedcons/util/check.h"
+#include "fedcons/util/perf_counters.h"
 
 namespace fedcons {
 
@@ -42,26 +43,57 @@ namespace {
 struct Bin {
   std::vector<std::size_t> tasks;    // indices into the input span
   BigRational utilization;           // Σ u_j, exact
+  DbfStarAggregate demand;           // maintained only on the incremental paths
 };
 
-/// The acceptance probe for placing `cand` on `bin`.
+/// Whether the per-bin DBF* aggregate drives the probes. The aggregate
+/// models the 1-point approximation exactly, so kFull qualifies only at
+/// dbf_points == 1 (the default); larger point counts and the exact-EDF
+/// probe use the legacy paths.
+bool use_incremental(const PartitionOptions& options) {
+  if (!options.incremental) return false;
+  switch (options.variant) {
+    case PartitionVariant::kPaperLiteral: return true;
+    case PartitionVariant::kFull: return std::max(1, options.dbf_points) == 1;
+    case PartitionVariant::kExactEdf: return false;
+  }
+  return false;
+}
+
+/// The candidate's own DBF* term at bp ≥ its deadline: C·(T + bp − D)/T.
+BigRational candidate_dbf_star(const SporadicTask& t, Time bp) {
+  // Counted as one logical evaluation to match the dbf_approx_k call the
+  // legacy loop makes for the candidate at this breakpoint.
+  ++perf_counters().dbf_star_evaluations;
+  BigInt num =
+      BigInt(t.wcet) * BigInt(checked_add(t.period, bp - t.deadline));
+  return BigRational(std::move(num), BigInt(t.period));
+}
+
+/// The acceptance probe for placing `cand` on `bin`. `trial_scratch` is
+/// reused across probes by the exact-EDF variant (capacity persists).
 bool fits(std::span<const SporadicTask> all, const Bin& bin,
-          std::size_t cand, const PartitionOptions& options) {
+          std::size_t cand, const PartitionOptions& options,
+          std::vector<SporadicTask>& trial_scratch) {
   const SporadicTask& t = all[cand];
 
   if (options.variant == PartitionVariant::kExactEdf) {
-    std::vector<SporadicTask> trial;
-    trial.reserve(bin.tasks.size() + 1);
-    for (std::size_t j : bin.tasks) trial.push_back(all[j]);
-    trial.push_back(t);
-    return edf_schedulable(trial);
+    trial_scratch.clear();
+    trial_scratch.reserve(bin.tasks.size() + 1);
+    for (std::size_t j : bin.tasks) trial_scratch.push_back(all[j]);
+    trial_scratch.push_back(t);
+    return edf_schedulable(trial_scratch);
   }
 
   if (options.variant == PartitionVariant::kPaperLiteral) {
     // The paper's Fig. 4 line 3, verbatim:
     //   Σ_j DBF*(τ_j, D_i) + vol_i ≤ D_i.
     BigRational sum(t.wcet);
-    for (std::size_t j : bin.tasks) sum += dbf_approx(all[j], t.deadline);
+    if (use_incremental(options)) {
+      sum += bin.demand.sum_at(t.deadline);
+    } else {
+      for (std::size_t j : bin.tasks) sum += dbf_approx(all[j], t.deadline);
+    }
     return sum <= BigRational(t.deadline);
   }
 
@@ -74,6 +106,23 @@ bool fits(std::span<const SporadicTask> all, const Bin& bin,
   // verification certifies all t. Breakpoints strictly below the candidate's
   // deadline are unchanged by the placement (the candidate contributes 0
   // there) and were certified when their tasks were admitted.
+  if (use_incremental(options)) {
+    // points == 1: breakpoints are exactly the deadlines of bin ∪ {cand},
+    // and the legacy loop evaluates those ≥ D_cand in ascending order —
+    // D_cand itself (dedup'd with equal member deadlines), then every
+    // member deadline above it, stopping at the first violation.
+    const auto check_at = [&](Time bp) {
+      BigRational sum = bin.demand.sum_at(bp);
+      sum += candidate_dbf_star(t, bp);
+      return sum <= BigRational(bp);
+    };
+    if (!check_at(t.deadline)) return false;
+    for (Time bp : bin.demand.distinct_deadlines()) {
+      if (bp <= t.deadline) continue;
+      if (!check_at(bp)) return false;
+    }
+    return true;
+  }
   const int points = std::max(1, options.dbf_points);
   std::vector<SporadicTask> members;
   members.reserve(bin.tasks.size() + 1);
@@ -137,11 +186,12 @@ PartitionResult partition_tasks(std::span<const SporadicTask> tasks,
   }
 
   std::vector<Bin> bins(static_cast<std::size_t>(num_processors));
+  std::vector<SporadicTask> trial_scratch;  // exact-EDF probe reuse
   for (std::size_t i : order) {
     int chosen = -1;
     for (int k = 0; k < num_processors; ++k) {
       const Bin& bin = bins[static_cast<std::size_t>(k)];
-      if (!fits(tasks, bin, i, options)) continue;
+      if (!fits(tasks, bin, i, options, trial_scratch)) continue;
       if (options.fit == FitStrategy::kFirstFit) {
         chosen = k;
         break;
@@ -167,6 +217,7 @@ PartitionResult partition_tasks(std::span<const SporadicTask> tasks,
     Bin& bin = bins[static_cast<std::size_t>(chosen)];
     bin.tasks.push_back(i);
     bin.utilization += tasks[i].utilization();
+    if (use_incremental(options)) bin.demand.insert(tasks[i]);
   }
 
   result.success = true;

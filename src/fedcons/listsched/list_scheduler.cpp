@@ -4,6 +4,7 @@
 #include <functional>
 #include <queue>
 
+#include "fedcons/listsched/ls_workspace.h"
 #include "fedcons/util/check.h"
 #include "fedcons/util/perf_counters.h"
 
@@ -20,6 +21,15 @@ const char* to_string(ListPolicy p) noexcept {
 
 namespace {
 
+void validate_exec_times(const Dag& dag, std::span<const Time> exec_times) {
+  FEDCONS_EXPECTS(exec_times.size() == dag.num_vertices());
+  for (std::size_t v = 0; v < dag.num_vertices(); ++v) {
+    FEDCONS_EXPECTS_MSG(exec_times[v] >= 1 &&
+                            exec_times[v] <= dag.wcet(static_cast<VertexId>(v)),
+                        "actual execution time must be in [1, WCET]");
+  }
+}
+
 // Priority key: smaller sorts first in the ready queue.
 struct ReadyKey {
   Time primary;    // policy-dependent (negated for "largest first")
@@ -31,16 +41,16 @@ struct ReadyKey {
   }
 };
 
-TemplateSchedule run_ls(const Dag& dag, int num_processors,
-                        std::span<const Time> exec_times, ListPolicy policy) {
+// The reference LS core: allocation-per-call priority queues, exactly the
+// seed implementation. Kept callable (list_schedule_reference) as the oracle
+// for the equivalence suite and as the baseline the perf benchmarks compare
+// the workspace core against.
+TemplateSchedule reference_run_ls(const Dag& dag, int num_processors,
+                                  std::span<const Time> exec_times,
+                                  ListPolicy policy) {
   FEDCONS_EXPECTS(!dag.empty());
   FEDCONS_EXPECTS(num_processors >= 1);
-  FEDCONS_EXPECTS(exec_times.size() == dag.num_vertices());
-  for (std::size_t v = 0; v < dag.num_vertices(); ++v) {
-    FEDCONS_EXPECTS_MSG(exec_times[v] >= 1 &&
-                            exec_times[v] <= dag.wcet(static_cast<VertexId>(v)),
-                        "actual execution time must be in [1, WCET]");
-  }
+  validate_exec_times(dag, exec_times);
 
   ++perf_counters().ls_invocations;
 
@@ -121,21 +131,50 @@ TemplateSchedule run_ls(const Dag& dag, int num_processors,
   return TemplateSchedule(num_processors, std::move(out));
 }
 
+// Run the workspace core and materialize the result (the only allocation of
+// the whole pass). ws.jobs is copied, not moved, so the buffer's capacity
+// stays with the arena.
+TemplateSchedule run_with_workspace(const Dag& dag, int num_processors,
+                                    std::span<const Time> exec_times,
+                                    ListPolicy policy) {
+  LsWorkspace& ws = thread_ls_workspace();
+  ls_prepare(ws, dag, policy);
+  ls_run_prepared(ws, dag, num_processors, exec_times);
+  return TemplateSchedule(num_processors,
+                          {ws.jobs.begin(), ws.jobs.end()});
+}
+
 }  // namespace
 
 TemplateSchedule list_schedule(const Dag& dag, int num_processors,
                                ListPolicy policy) {
-  std::vector<Time> wcets(dag.num_vertices());
-  for (std::size_t v = 0; v < dag.num_vertices(); ++v)
-    wcets[v] = dag.wcet(static_cast<VertexId>(v));
-  return run_ls(dag, num_processors, wcets, policy);
+  FEDCONS_EXPECTS(!dag.empty());
+  FEDCONS_EXPECTS(num_processors >= 1);
+  return run_with_workspace(dag, num_processors, {}, policy);
 }
 
 TemplateSchedule list_schedule_with_exec_times(const Dag& dag,
                                                int num_processors,
                                                std::span<const Time> exec_times,
                                                ListPolicy policy) {
-  return run_ls(dag, num_processors, exec_times, policy);
+  FEDCONS_EXPECTS(!dag.empty());
+  FEDCONS_EXPECTS(num_processors >= 1);
+  validate_exec_times(dag, exec_times);
+  return run_with_workspace(dag, num_processors, exec_times, policy);
+}
+
+TemplateSchedule list_schedule_reference(const Dag& dag, int num_processors,
+                                         ListPolicy policy) {
+  std::vector<Time> wcets(dag.num_vertices());
+  for (std::size_t v = 0; v < dag.num_vertices(); ++v)
+    wcets[v] = dag.wcet(static_cast<VertexId>(v));
+  return reference_run_ls(dag, num_processors, wcets, policy);
+}
+
+TemplateSchedule list_schedule_reference_with_exec_times(
+    const Dag& dag, int num_processors, std::span<const Time> exec_times,
+    ListPolicy policy) {
+  return reference_run_ls(dag, num_processors, exec_times, policy);
 }
 
 Time makespan_lower_bound(const Dag& dag, int num_processors) {

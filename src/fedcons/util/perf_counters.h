@@ -16,22 +16,39 @@
 namespace fedcons {
 
 /// Monotone per-thread work counters (see header comment).
+///
+/// Counting convention: counters measure *logical* analytical work, not
+/// physical function calls. A fast path that decides the same question
+/// without performing every call credits the count the straightforward path
+/// would have paid (see approx_demand_fits and the incremental PARTITION
+/// state), so counter totals are invariant under the perf optimizations and
+/// deterministic per trial, and comparable across engine versions.
+/// ls_probes_pruned exposes the scan optimization's effect but is still a
+/// pure function of the trial's inputs. The one physical counter
+/// (workspace_reuses) lives OUTSIDE this struct — see ls_workspace.h —
+/// because arena-capacity history depends on which trials previously ran on
+/// the thread, which is not deterministic across thread counts.
 struct PerfCounters {
   std::uint64_t ls_invocations = 0;         ///< list_schedule* calls
   std::uint64_t minprocs_scan_iterations = 0;  ///< LS probes across MINPROCS scans
   std::uint64_t dbf_star_evaluations = 0;   ///< dbf_approx / dbf_approx_k calls
+  /// Scan candidates removed from a MINPROCS worst-case range [⌈δ⌉, m_r] by
+  /// the Graham-bound cap μ_ub (minprocs_scan_cap): Σ max(0, m_r − cap).
+  std::uint64_t ls_probes_pruned = 0;
 
   PerfCounters& operator+=(const PerfCounters& rhs) noexcept {
     ls_invocations += rhs.ls_invocations;
     minprocs_scan_iterations += rhs.minprocs_scan_iterations;
     dbf_star_evaluations += rhs.dbf_star_evaluations;
+    ls_probes_pruned += rhs.ls_probes_pruned;
     return *this;
   }
   /// Delta between two snapshots of the same thread's counters.
   [[nodiscard]] PerfCounters operator-(const PerfCounters& rhs) const noexcept {
     return {ls_invocations - rhs.ls_invocations,
             minprocs_scan_iterations - rhs.minprocs_scan_iterations,
-            dbf_star_evaluations - rhs.dbf_star_evaluations};
+            dbf_star_evaluations - rhs.dbf_star_evaluations,
+            ls_probes_pruned - rhs.ls_probes_pruned};
   }
   [[nodiscard]] bool operator==(const PerfCounters&) const noexcept = default;
 };

@@ -193,5 +193,88 @@ TEST(DagTest, SpanAccessors) {
   EXPECT_THROW(g.successors(9), ContractViolation);
 }
 
+TEST(DagTest, ReducedSuccessorsDropsTransitiveEdges) {
+  // Chain 0→1→2 with shortcut 0→2, plus 0→3 where 3 is only reachable
+  // directly: the shortcut is redundant, the direct edge is not.
+  Dag g;
+  for (int i = 0; i < 4; ++i) g.add_vertex(1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);  // transitively implied via 1
+  g.add_edge(0, 3);
+  auto red0 = g.reduced_successors(0);
+  EXPECT_EQ(std::vector<VertexId>(red0.begin(), red0.end()),
+            (std::vector<VertexId>{1, 3}));
+  auto red1 = g.reduced_successors(1);
+  EXPECT_EQ(std::vector<VertexId>(red1.begin(), red1.end()),
+            (std::vector<VertexId>{2}));
+  EXPECT_THROW(g.reduced_successors(9), ContractViolation);
+}
+
+TEST(DagTest, ReducedSuccessorsKeepsDiamondIntact) {
+  // No edge of the diamond is transitively implied.
+  Dag g = diamond();
+  for (VertexId v = 0; v < 4; ++v) {
+    auto full = g.successors(v);
+    auto red = g.reduced_successors(v);
+    EXPECT_EQ(std::vector<VertexId>(red.begin(), red.end()),
+              std::vector<VertexId>(full.begin(), full.end()));
+  }
+}
+
+TEST(DagTest, ReducedSuccessorsPreservesReachability) {
+  // A denser graph: every removed edge must still have a directed path.
+  Dag g;
+  for (int i = 0; i < 6; ++i) g.add_vertex(1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 4);  // implied via 0→1→4
+  g.add_edge(1, 3);
+  g.add_edge(1, 4);
+  g.add_edge(2, 3);
+  g.add_edge(3, 5);
+  g.add_edge(2, 5);  // implied via 2→3→5
+  g.add_edge(0, 5);  // implied via 0→1→3→5
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId s : g.successors(u)) {
+      bool reachable = false;
+      for (VertexId r : g.reduced_successors(u)) {
+        if (r == s || g.reaches(r, s)) reachable = true;
+      }
+      EXPECT_TRUE(reachable) << "edge " << u << "->" << s;
+    }
+    // Reduction is a subset of the original edges.
+    for (VertexId r : g.reduced_successors(u)) {
+      EXPECT_TRUE(g.has_edge(u, r));
+    }
+  }
+}
+
+TEST(DagTest, ReducedSuccessorsSizeGateReturnsOriginalLists) {
+  // Past kMaxReductionVertices the bitset build is skipped: the "reduction"
+  // is defined as the original lists (still a sound over-approximation).
+  Dag g;
+  const auto n = static_cast<VertexId>(Dag::kMaxReductionVertices + 2);
+  for (VertexId i = 0; i < n; ++i) g.add_vertex(1);
+  for (VertexId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  g.add_edge(0, 2);  // transitive, but kept by the gated path
+  auto red = g.reduced_successors(0);
+  EXPECT_EQ(std::vector<VertexId>(red.begin(), red.end()),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(DagTest, ReducedSuccessorsInvalidatedByMutation) {
+  Dag g;
+  for (int i = 0; i < 3; ++i) g.add_vertex(1);
+  g.add_edge(0, 2);
+  EXPECT_EQ(g.reduced_successors(0).size(), 1u);
+  // Adding 0→1→2 makes the cached 0→2 redundant; the cache must rebuild.
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  auto red = g.reduced_successors(0);
+  EXPECT_EQ(std::vector<VertexId>(red.begin(), red.end()),
+            (std::vector<VertexId>{1}));
+}
+
 }  // namespace
 }  // namespace fedcons

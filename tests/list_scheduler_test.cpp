@@ -178,6 +178,60 @@ TEST_P(ListSchedulerPropertyTest, ReducedExecTimesStayValid) {
   }
 }
 
+// The workspace-backed core (list_schedule) must reproduce the reference
+// implementation job for job — vertices, processors, start/finish times —
+// under every policy, processor count, and the exec-times variant.
+TEST_P(ListSchedulerPropertyTest, WorkspaceCoreMatchesReferenceBitForBit) {
+  auto [seed, procs] = GetParam();
+  Rng rng(seed ^ 0xace5u);
+  LayeredDagParams params;
+  params.max_layers = 6;
+  params.max_width = 5;
+  params.max_wcet = 20;
+  for (int trial = 0; trial < 40; ++trial) {
+    Dag g = generate_layered_dag(rng, params);
+    for (ListPolicy policy :
+         {ListPolicy::kVertexOrder, ListPolicy::kCriticalPath,
+          ListPolicy::kLongestWcet}) {
+      TemplateSchedule opt = list_schedule(g, procs, policy);
+      TemplateSchedule ref = list_schedule_reference(g, procs, policy);
+      EXPECT_EQ(opt.makespan(), ref.makespan());
+      ASSERT_EQ(opt.num_jobs(), ref.num_jobs());
+      for (std::size_t i = 0; i < opt.jobs().size(); ++i) {
+        EXPECT_EQ(opt.jobs()[i].vertex, ref.jobs()[i].vertex);
+        EXPECT_EQ(opt.jobs()[i].processor, ref.jobs()[i].processor);
+        EXPECT_EQ(opt.jobs()[i].start, ref.jobs()[i].start);
+        EXPECT_EQ(opt.jobs()[i].finish, ref.jobs()[i].finish);
+      }
+    }
+  }
+}
+
+TEST_P(ListSchedulerPropertyTest, ExecTimesVariantMatchesReference) {
+  auto [seed, procs] = GetParam();
+  Rng rng(seed ^ 0xd09u);
+  LayeredDagParams params;
+  params.max_wcet = 15;
+  for (int trial = 0; trial < 20; ++trial) {
+    Dag g = generate_layered_dag(rng, params);
+    std::vector<Time> exec(g.num_vertices());
+    for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+      exec[v] = rng.uniform_int(1, g.wcet(static_cast<VertexId>(v)));
+    }
+    TemplateSchedule opt = list_schedule_with_exec_times(g, procs, exec);
+    TemplateSchedule ref =
+        list_schedule_reference_with_exec_times(g, procs, exec);
+    EXPECT_EQ(opt.makespan(), ref.makespan());
+    ASSERT_EQ(opt.num_jobs(), ref.num_jobs());
+    for (std::size_t i = 0; i < opt.jobs().size(); ++i) {
+      EXPECT_EQ(opt.jobs()[i].vertex, ref.jobs()[i].vertex);
+      EXPECT_EQ(opt.jobs()[i].processor, ref.jobs()[i].processor);
+      EXPECT_EQ(opt.jobs()[i].start, ref.jobs()[i].start);
+      EXPECT_EQ(opt.jobs()[i].finish, ref.jobs()[i].finish);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     SeedsAndProcs, ListSchedulerPropertyTest,
     ::testing::Combine(::testing::Values(1u, 2u, 3u),

@@ -8,6 +8,7 @@
 #include "fedcons/analysis/edf_uniproc.h"
 #include "fedcons/gen/uunifast.h"
 #include "fedcons/util/check.h"
+#include "fedcons/util/perf_counters.h"
 #include "fedcons/util/rng.h"
 
 namespace fedcons {
@@ -208,6 +209,61 @@ TEST(PartitionTest, FullVariantSoundForArbitraryDeadlines) {
     ++verified;
   }
   EXPECT_GT(verified, 0);
+}
+
+TEST(PartitionTest, IncrementalAggregateMatchesLegacyEverywhere) {
+  // The per-bin DBF* aggregate (DbfStarAggregate) must reproduce the
+  // recompute-per-probe paths exactly: same verdicts, same placements, same
+  // failing task, and — for the paths it covers — the same number of logical
+  // DBF* evaluations.
+  Rng rng(4242);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<SporadicTask> tasks;
+    int n = static_cast<int>(rng.uniform_int(2, 12));
+    for (int j = 0; j < n; ++j) {
+      Time period = rng.uniform_int(5, 80);
+      Time deadline = rng.uniform_int(2, period);
+      Time wcet = rng.uniform_int(1, std::max<Time>(1, deadline - 1));
+      tasks.emplace_back(wcet, deadline, period);
+    }
+    const int procs = static_cast<int>(rng.uniform_int(1, 4));
+    for (PartitionVariant variant :
+         {PartitionVariant::kFull, PartitionVariant::kPaperLiteral}) {
+      for (FitStrategy fit : {FitStrategy::kFirstFit, FitStrategy::kBestFit,
+                              FitStrategy::kWorstFit}) {
+        PartitionOptions inc;
+        inc.variant = variant;
+        inc.fit = fit;
+        inc.incremental = true;
+        PartitionOptions legacy = inc;
+        legacy.incremental = false;
+
+        const PerfCounters before_inc = perf_counters();
+        auto a = partition_tasks(tasks, procs, inc);
+        const PerfCounters inc_delta = perf_counters() - before_inc;
+        const PerfCounters before_leg = perf_counters();
+        auto b = partition_tasks(tasks, procs, legacy);
+        const PerfCounters leg_delta = perf_counters() - before_leg;
+
+        ASSERT_EQ(a.success, b.success)
+            << to_string(variant) << "/" << to_string(fit);
+        EXPECT_EQ(a.assignment, b.assignment);
+        if (!a.success) EXPECT_EQ(a.failed_task, b.failed_task);
+        EXPECT_EQ(inc_delta.dbf_star_evaluations,
+                  leg_delta.dbf_star_evaluations)
+            << to_string(variant) << "/" << to_string(fit);
+      }
+    }
+    // dbf_points > 1 bypasses the aggregate; the flag must be a no-op there.
+    PartitionOptions multi;
+    multi.dbf_points = 3;
+    PartitionOptions multi_legacy = multi;
+    multi_legacy.incremental = false;
+    auto a = partition_tasks(tasks, procs, multi);
+    auto b = partition_tasks(tasks, procs, multi_legacy);
+    ASSERT_EQ(a.success, b.success);
+    EXPECT_EQ(a.assignment, b.assignment);
+  }
 }
 
 TEST(PartitionTest, OrderingStringsRoundTrip) {

@@ -4,13 +4,20 @@
 //   fedcons_cli --file=workload.tasks --m=8 [--simulate] [--horizon=100000]
 //               [--strategy=fedcons|arbfed|arbfed-clamp] [--algo=NAME]
 //               [--variant=full|literal] [--seed=1] [--dot] [--gantt]
-//               [--margins]
+//               [--margins] [--json]
 //   fedcons_cli --list-algos         # engine registry names + descriptions
 //   fedcons_cli --example            # print a sample workload file and exit
 //
 // --algo=NAME runs any test from the engine registry (verdict only; the
 // FEDCONS-specific cluster report, --gantt, --margins, and --simulate need
 // the structured result and stay on the --strategy path).
+//
+// --json (fedcons strategy only) replaces the human-readable report with one
+// machine-readable document: the verdict, the allocation, per-task MINPROCS
+// scan bounds ([minprocs_scan_lb, minprocs_scan_cap] — how far the
+// bound-guided scan can possibly run), and the analysis-cost counters
+// measured across this run (perf counter deltas plus the thread's
+// workspace-reuse count). Exit status is unchanged.
 //
 // Exit status: 0 = schedulable (and, with --simulate, zero misses),
 //              1 = rejected / misses, 2 = usage or parse error.
@@ -23,10 +30,12 @@
 #include "fedcons/federated/arbitrary.h"
 #include "fedcons/federated/fedcons_algorithm.h"
 #include "fedcons/federated/sensitivity.h"
+#include "fedcons/listsched/ls_workspace.h"
 #include "fedcons/sim/gantt.h"
 #include "fedcons/sim/system_sim.h"
 #include "fedcons/util/check.h"
 #include "fedcons/util/flags.h"
+#include "fedcons/util/perf_counters.h"
 #include "fedcons/util/table.h"
 
 using namespace fedcons;
@@ -70,10 +79,71 @@ int usage() {
       << "usage: fedcons_cli --file=<workload> --m=<processors>\n"
          "                   [--simulate] [--horizon=N] [--seed=N] [--dot]\n"
          "                   [--strategy=fedcons|arbfed|arbfed-clamp]\n"
-         "                   [--algo=NAME] [--variant=full|literal]\n"
+         "                   [--algo=NAME] [--variant=full|literal] [--json]\n"
          "       fedcons_cli --list-algos\n"
          "       fedcons_cli --example\n";
   return 2;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+// Machine-readable run report. Key order and formatting are fixed so the
+// document is byte-stable for a given workload and build.
+void print_json_report(std::ostream& os, const std::string& file, int m,
+                       const TaskSystem& system, const FedconsResult& result,
+                       const PerfCounters& counters,
+                       std::uint64_t workspace_reuses) {
+  os << "{\n";
+  os << "  \"file\": \"" << json_escape(file) << "\",\n";
+  os << "  \"m\": " << m << ",\n";
+  os << "  \"strategy\": \"fedcons\",\n";
+  os << "  \"schedulable\": " << (result.success ? "true" : "false") << ",\n";
+  os << "  \"failure\": \"" << to_string(result.failure) << "\",\n";
+  os << "  \"tasks\": [\n";
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    const DagTask& task = system[i];
+    const std::string name =
+        task.name().empty() ? "task" + std::to_string(i + 1) : task.name();
+    os << "    {\"index\": " << i << ", \"name\": \"" << json_escape(name)
+       << "\", \"density\": \""
+       << (task.is_high_density() ? "high" : "low") << "\", \"vol\": "
+       << task.vol() << ", \"len\": " << task.len() << ", \"deadline\": "
+       << task.deadline() << ", \"period\": " << task.period()
+       << ", \"minprocs_scan_lb\": " << minprocs_lower_bound(task)
+       << ", \"minprocs_scan_cap\": " << minprocs_scan_cap(task) << "}"
+       << (i + 1 < system.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"clusters\": [\n";
+  for (std::size_t c = 0; c < result.clusters.size(); ++c) {
+    const ClusterAssignment& cl = result.clusters[c];
+    os << "    {\"task\": " << cl.task << ", \"first_processor\": "
+       << cl.first_processor << ", \"num_processors\": " << cl.num_processors
+       << ", \"makespan\": " << cl.sigma.makespan() << "}"
+       << (c + 1 < result.clusters.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"shared_processors\": " << result.shared_processors << ",\n";
+  os << "  \"counters\": {\"ls_invocations\": " << counters.ls_invocations
+     << ", \"minprocs_scan_iterations\": "
+     << counters.minprocs_scan_iterations
+     << ", \"dbf_star_evaluations\": " << counters.dbf_star_evaluations
+     << ", \"ls_probes_pruned\": " << counters.ls_probes_pruned
+     << ", \"workspace_reuses\": " << workspace_reuses << "}\n";
+  os << "}\n";
 }
 
 int list_algos() {
@@ -114,19 +184,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::cout << system.summary() << "\n";
-  if (flags.has("dot")) {
-    for (std::size_t i = 0; i < system.size(); ++i) {
-      std::cout << system[i].graph().to_dot("task" + std::to_string(i + 1));
+  const bool json = flags.has("json");
+  if (!json) {
+    std::cout << system.summary() << "\n";
+    if (flags.has("dot")) {
+      for (std::size_t i = 0; i < system.size(); ++i) {
+        std::cout << system[i].graph().to_dot("task" + std::to_string(i + 1));
+      }
     }
+
+    auto nec = necessary_feasibility(system, m);
+    std::cout << "Necessary conditions on m=" << m << ": "
+              << (nec.passed ? "pass" : "FAIL (" + nec.failed_condition + ")")
+              << "\n\n";
   }
 
-  auto nec = necessary_feasibility(system, m);
-  std::cout << "Necessary conditions on m=" << m << ": "
-            << (nec.passed ? "pass" : "FAIL (" + nec.failed_condition + ")")
-            << "\n\n";
-
   if (flags.has("algo")) {
+    if (json) {
+      std::cerr << "error: --json is only supported with --strategy=fedcons\n";
+      return 2;
+    }
     const std::string algo = flags.get_string("algo", "");
     TestPtr test;
     try {
@@ -155,6 +232,11 @@ int main(int argc, char** argv) {
     options.partition.variant = PartitionVariant::kPaperLiteral;
   }
 
+  if (json && strategy != "fedcons") {
+    std::cerr << "error: --json is only supported with --strategy=fedcons\n";
+    return 2;
+  }
+
   bool schedulable = false;
   FedconsResult fed_result;
   if (strategy == "fedcons") {
@@ -163,9 +245,17 @@ int main(int argc, char** argv) {
                    "--strategy=arbfed or arbfed-clamp\n";
       return 2;
     }
+    const PerfCounters before = perf_counters();
+    const std::uint64_t reuses_before = workspace_reuse_count();
     fed_result = fedcons_schedule(system, m, options);
-    std::cout << fed_result.describe(system);
     schedulable = fed_result.success;
+    if (json) {
+      print_json_report(std::cout, path, m, system, fed_result,
+                        perf_counters() - before,
+                        workspace_reuse_count() - reuses_before);
+      return schedulable ? 0 : 1;
+    }
+    std::cout << fed_result.describe(system);
     if (schedulable && flags.has("gantt")) {
       for (const auto& c : fed_result.clusters) {
         std::cout << "\nTemplate schedule sigma for task " << c.task + 1
