@@ -6,13 +6,18 @@
 
 namespace fedcons {
 
-bool partitioned_sequential_schedulable(const TaskSystem& system, int m,
-                                        const PartitionOptions& options) {
+PartitionResult partitioned_sequential(const TaskSystem& system, int m,
+                                       const PartitionOptions& options) {
   FEDCONS_EXPECTS(m >= 1);
   std::vector<SporadicTask> seq;
   seq.reserve(system.size());
   for (const auto& t : system) seq.push_back(t.to_sequential());
-  return partition_tasks(seq, m, options).success;
+  return partition_tasks(seq, m, options);
+}
+
+bool partitioned_sequential_schedulable(const TaskSystem& system, int m,
+                                        const PartitionOptions& options) {
+  return partitioned_sequential(system, m, options).success;
 }
 
 }  // namespace fedcons

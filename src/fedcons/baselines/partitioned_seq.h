@@ -17,8 +17,16 @@
 
 namespace fedcons {
 
-/// Partition the whole system sequentially on m processors. Precondition:
-/// m >= 1.
+/// Partition the whole system sequentially on m processors, returning the
+/// full placement. assignment[k] holds indices in system order (== TaskIds,
+/// because every task is sequentialized in order). The conformance harness
+/// replays this exact allocation — processor k running preemptive EDF over
+/// its assigned sequential tasks — so the verdict below is a checked claim,
+/// not just a boolean. Precondition: m >= 1.
+[[nodiscard]] PartitionResult partitioned_sequential(
+    const TaskSystem& system, int m, const PartitionOptions& options = {});
+
+/// Convenience verdict. Precondition: m >= 1.
 [[nodiscard]] bool partitioned_sequential_schedulable(
     const TaskSystem& system, int m, const PartitionOptions& options = {});
 

@@ -1,0 +1,278 @@
+#include "fedcons/conform/artifact.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "fedcons/core/io.h"
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+namespace {
+
+constexpr const char* kSchema = "fedcons-conformance-repro-v1";
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+const char* to_string(ReleaseModel m) {
+  return m == ReleaseModel::kPeriodic ? "periodic" : "sporadic";
+}
+const char* to_string(ExecModel m) {
+  return m == ExecModel::kAlwaysWcet ? "wcet" : "uniform";
+}
+
+/// Minimal recursive-descent parser for the subset the writer emits: objects
+/// nested at most one level, string and number values. Produces a flat
+/// "outer.inner" -> raw-value map (strings unescaped, numbers verbatim).
+class MiniJsonParser {
+ public:
+  explicit MiniJsonParser(const std::string& text) : text_(text) {}
+
+  std::map<std::string, std::string> parse() {
+    std::map<std::string, std::string> out;
+    parse_object("", out, /*depth=*/0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return out;
+  }
+
+ private:
+  void parse_object(const std::string& prefix,
+                    std::map<std::string, std::string>& out, int depth) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = prefix + parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      const char c = peek();
+      if (c == '"') {
+        out[key] = parse_string();
+      } else if (c == '{') {
+        if (depth >= 1) fail("objects nest at most one level");
+        parse_object(key + ".", out, depth + 1);
+      } else {
+        out[key] = parse_number();
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4 || code > 0x7f) {
+            fail("unsupported \\u escape (ASCII only)");
+          }
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  std::string parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    return text_.substr(start, pos_ - start);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  [[noreturn]] void fail(const std::string& message) const {
+    int line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    throw ParseError(line, "artifact JSON: " + message);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+const std::string& require(const std::map<std::string, std::string>& fields,
+                           const std::string& key) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) {
+    throw ParseError(1, "artifact JSON: missing field \"" + key + "\"");
+  }
+  return it->second;
+}
+
+std::int64_t to_int(const std::string& raw) {
+  return std::strtoll(raw.c_str(), nullptr, 10);
+}
+std::uint64_t to_uint(const std::string& raw) {
+  return std::strtoull(raw.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+std::string to_json(const ViolationArtifact& artifact) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"schema\": \"" << kSchema << "\",\n"
+      << "  \"algorithm\": \"" << json_escape(artifact.algorithm) << "\",\n"
+      << "  \"m\": " << artifact.m << ",\n"
+      << "  \"sim\": {\n"
+      << "    \"horizon\": " << artifact.sim.horizon << ",\n"
+      << "    \"release\": \"" << to_string(artifact.sim.release) << "\",\n"
+      << "    \"jitter_frac\": " << format_double(artifact.sim.jitter_frac)
+      << ",\n"
+      << "    \"exec\": \"" << to_string(artifact.sim.exec) << "\",\n"
+      << "    \"exec_lo\": " << format_double(artifact.sim.exec_lo) << ",\n"
+      << "    \"seed\": " << artifact.sim.seed << "\n"
+      << "  },\n"
+      << "  \"note\": \"" << json_escape(artifact.note) << "\",\n"
+      << "  \"observed\": {\n"
+      << "    \"jobs_released\": " << artifact.observed.jobs_released << ",\n"
+      << "    \"deadline_misses\": " << artifact.observed.deadline_misses
+      << ",\n"
+      << "    \"max_lateness\": " << artifact.observed.max_lateness << ",\n"
+      << "    \"max_response_time\": " << artifact.observed.max_response_time
+      << "\n"
+      << "  },\n"
+      << "  \"system\": \"" << json_escape(artifact.system_text) << "\"\n"
+      << "}\n";
+  return out.str();
+}
+
+ViolationArtifact parse_artifact(const std::string& json) {
+  const auto fields = MiniJsonParser(json).parse();
+  if (require(fields, "schema") != kSchema) {
+    throw ParseError(1, "artifact JSON: unknown schema \"" +
+                            require(fields, "schema") + "\"");
+  }
+  ViolationArtifact artifact;
+  artifact.algorithm = require(fields, "algorithm");
+  artifact.m = static_cast<int>(to_int(require(fields, "m")));
+  artifact.sim.horizon = to_int(require(fields, "sim.horizon"));
+  const std::string& release = require(fields, "sim.release");
+  if (release == "periodic") {
+    artifact.sim.release = ReleaseModel::kPeriodic;
+  } else if (release == "sporadic") {
+    artifact.sim.release = ReleaseModel::kSporadic;
+  } else {
+    throw ParseError(1, "artifact JSON: unknown release model " + release);
+  }
+  artifact.sim.jitter_frac =
+      std::strtod(require(fields, "sim.jitter_frac").c_str(), nullptr);
+  const std::string& exec = require(fields, "sim.exec");
+  if (exec == "wcet") {
+    artifact.sim.exec = ExecModel::kAlwaysWcet;
+  } else if (exec == "uniform") {
+    artifact.sim.exec = ExecModel::kUniform;
+  } else {
+    throw ParseError(1, "artifact JSON: unknown exec model " + exec);
+  }
+  artifact.sim.exec_lo =
+      std::strtod(require(fields, "sim.exec_lo").c_str(), nullptr);
+  artifact.sim.seed = to_uint(require(fields, "sim.seed"));
+  artifact.note = require(fields, "note");
+  artifact.observed.jobs_released =
+      to_uint(require(fields, "observed.jobs_released"));
+  artifact.observed.deadline_misses =
+      to_uint(require(fields, "observed.deadline_misses"));
+  artifact.observed.max_lateness =
+      to_int(require(fields, "observed.max_lateness"));
+  artifact.observed.max_response_time =
+      to_int(require(fields, "observed.max_response_time"));
+  artifact.system_text = require(fields, "system");
+  (void)parse_task_system(artifact.system_text);  // validate eagerly
+  FEDCONS_EXPECTS(artifact.m >= 1);
+  return artifact;
+}
+
+ConformanceOutcome replay_artifact(const ViolationArtifact& artifact) {
+  const ConformanceEntry entry = find_conformance_entry(artifact.algorithm);
+  const TaskSystem system = parse_task_system(artifact.system_text);
+  return entry.run(system, artifact.m, artifact.sim);
+}
+
+}  // namespace fedcons

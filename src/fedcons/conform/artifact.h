@@ -1,0 +1,57 @@
+// Pinned conformance-violation repro artifacts (JSON).
+//
+// A violation the harness finds (and the shrinker minimizes) is serialized
+// into a small self-contained JSON document so it can be committed to
+// tests/conformance_corpus/ and replayed forever after:
+//
+//   {
+//     "schema": "fedcons-conformance-repro-v1",
+//     "algorithm": "FEDCONS-lit-udo",          // conformance-entry name
+//     "m": 1,
+//     "sim": { "horizon": 64, "release": "periodic", "jitter_frac": 0,
+//              "exec": "wcet", "exec_lo": 0.5, "seed": 1 },
+//     "note": "free-form provenance",
+//     "observed": { "jobs_released": 4, "deadline_misses": 1,
+//                   "max_lateness": 1, "max_response_time": 17 },
+//     "system": "task a\n  deadline 9\n  ...\nend\n"  // core/io.h format
+//   }
+//
+// The embedded system uses the repository's canonical workload text format
+// (core/io.h), so an artifact is also directly usable with fedcons_cli.
+// `observed` records what the finder saw — informational provenance; replay
+// re-derives the violation from scratch and only asserts that a miss occurs.
+// The parser accepts exactly the subset of JSON the writer emits (flat
+// objects, one level of nesting, string/number values) and raises ParseError
+// on anything else.
+#pragma once
+
+#include <string>
+
+#include "fedcons/conform/oracle.h"
+
+namespace fedcons {
+
+/// One pinned violation repro (see header comment).
+struct ViolationArtifact {
+  std::string algorithm;  ///< conformance-entry name (find_conformance_entry)
+  int m = 1;
+  SimConfig sim;
+  std::string note;
+  SimStats observed;        ///< finder-side statistics (provenance only)
+  std::string system_text;  ///< core/io.h workload text
+};
+
+/// Serialize (stable field order; byte-deterministic for given inputs).
+[[nodiscard]] std::string to_json(const ViolationArtifact& artifact);
+
+/// Parse an artifact. Throws ParseError (core/io.h) on malformed JSON or an
+/// unknown schema tag; the embedded system text is validated by parsing.
+[[nodiscard]] ViolationArtifact parse_artifact(const std::string& json);
+
+/// Re-run the artifact's oracle on its embedded system: resolves the entry by
+/// name, parses the system, and returns the fresh outcome. A faithful
+/// artifact yields outcome.violation() == true.
+[[nodiscard]] ConformanceOutcome replay_artifact(
+    const ViolationArtifact& artifact);
+
+}  // namespace fedcons

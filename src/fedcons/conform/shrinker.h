@@ -1,0 +1,46 @@
+// Greedy violation minimization (delta debugging for task systems).
+//
+// Once the harness catches a conformance violation — an admitted system whose
+// replay misses a deadline — the raw witness is usually noisy: many tasks,
+// large graphs, big WCETs. The shrinker repeatedly tries structure-removing
+// reductions and keeps any reduced candidate that STILL violates, producing a
+// small repro suitable for pinning as a regression artifact:
+//
+//   1. drop a whole task,
+//   2. reduce the processor count,
+//   3. drop a precedence edge,
+//   4. drop a vertex (with its incident edges),
+//   5. halve a vertex WCET,
+//   6. decrement a vertex WCET.
+//
+// Each round scans the moves in that order and restarts after the first
+// success (first-improvement descent); every candidate evaluation re-runs the
+// full oracle and is counted in perf_counters().conform_shrink_steps. Every
+// applied move strictly shrinks (Σ|V|, Σ|E|, ΣWCET, m) lexicographically-ish,
+// so descent terminates; `max_probes` bounds the worst case regardless.
+// Deterministic: move order is fixed and the oracle is deterministic.
+#pragma once
+
+#include <cstddef>
+
+#include "fedcons/conform/oracle.h"
+
+namespace fedcons {
+
+/// A minimized violation witness.
+struct ShrinkResult {
+  TaskSystem system;  ///< smallest violating system found
+  int m = 0;          ///< smallest violating processor count found
+  std::size_t probes = 0;      ///< candidate oracle evaluations performed
+  std::size_t reductions = 0;  ///< moves that kept the violation
+};
+
+/// Minimize (system, m) under the invariant entry.run(·, ·, config) stays a
+/// violation. Preconditions: the input is itself a violation (checked — one
+/// oracle evaluation); max_probes >= 1.
+[[nodiscard]] ShrinkResult shrink_violation(const ConformanceEntry& entry,
+                                            TaskSystem system, int m,
+                                            const SimConfig& config,
+                                            std::size_t max_probes = 2000);
+
+}  // namespace fedcons

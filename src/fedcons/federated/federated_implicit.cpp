@@ -46,6 +46,7 @@ FederatedBaselineResult run_baseline(const TaskSystem& system, int m,
       result.failure = BaselineFailure::kDedicatedPhase;
       return result;  // success == false
     }
+    result.dedicated.emplace_back(i, n);
     result.dedicated_processors += n;
     m_r -= n;
   }
@@ -57,13 +58,15 @@ FederatedBaselineResult run_baseline(const TaskSystem& system, int m,
     return kb < ka;
   });
   std::vector<BigRational> load(static_cast<std::size_t>(std::max(m_r, 0)));
+  result.shared_assignment.resize(load.size());
   for (TaskId i : order) {
     const BigRational need =
         use_density ? system[i].density() : system[i].utilization();
     bool placed = false;
-    for (auto& l : load) {
-      if (l + need <= BigRational(1)) {
-        l += need;
+    for (std::size_t k = 0; k < load.size(); ++k) {
+      if (load[k] + need <= BigRational(1)) {
+        load[k] += need;
+        result.shared_assignment[k].push_back(i);
         placed = true;
         break;
       }

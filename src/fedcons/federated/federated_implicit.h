@@ -23,6 +23,9 @@
 //    DBF*-based partitioning — exactly the gap E3 visualizes.
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "fedcons/core/task_system.h"
 
 namespace fedcons {
@@ -43,6 +46,15 @@ struct FederatedBaselineResult {
   BaselineFailure failure = BaselineFailure::kNone;
   int dedicated_processors = 0;  ///< Σ n_i over high tasks
   int shared_processors = 0;     ///< remainder used for the low tasks
+  /// On success: (task, n_i) for every high task, in classification order.
+  /// Li's run-time rule is any work-conserving scheduler on the n_i
+  /// dedicated processors; Graham's bound makes replaying an LS template
+  /// (makespan ≤ len + (vol−len)/n_i ≤ window) a valid instance of it, which
+  /// is how the conformance harness replays these allocations.
+  std::vector<std::pair<TaskId, int>> dedicated;
+  /// On success: shared_assignment[k] = low tasks placed (first-fit) on
+  /// shared processor k, each of which runs preemptive EDF.
+  std::vector<std::vector<TaskId>> shared_assignment;
 };
 
 /// Li et al. (ECRTS'14) federated scheduling. Precondition: m >= 1 and the

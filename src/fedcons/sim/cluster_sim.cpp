@@ -66,13 +66,16 @@ SimStats simulate_cluster(const DagTask& task, const TemplateSchedule& sigma,
     stats.max_response_time =
         std::max(stats.max_response_time, completion - job.release);
   }
+  // With no releases and horizon == 0 the span is 0; report idle (0.0)
+  // rather than 0/0.
   const Time span =
       std::max(config.horizon,
                checked_add(config.horizon, stats.max_lateness));
   stats.busy_fraction =
-      static_cast<double>(executed) /
-      (static_cast<double>(sigma.num_processors()) *
-       static_cast<double>(span));
+      span > 0 ? static_cast<double>(executed) /
+                     (static_cast<double>(sigma.num_processors()) *
+                      static_cast<double>(span))
+               : 0.0;
   return stats;
 }
 
@@ -142,9 +145,10 @@ SimStats simulate_pipelined_cluster(const DagTask& task,
       std::max(config.horizon,
                checked_add(config.horizon, stats.max_lateness));
   stats.busy_fraction =
-      static_cast<double>(executed) /
-      (static_cast<double>(instances) * static_cast<double>(mu) *
-       static_cast<double>(span));
+      span > 0 ? static_cast<double>(executed) /
+                     (static_cast<double>(instances) *
+                      static_cast<double>(mu) * static_cast<double>(span))
+               : 0.0;
   return stats;
 }
 

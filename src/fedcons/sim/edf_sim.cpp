@@ -40,6 +40,10 @@ enum class Policy { kEdf, kFixedPriority };
 FpSimReport run_uniproc(std::span<const EdfTaskStream> streams,
                         const SimConfig& config, Policy policy,
                         ExecutionTrace* trace) {
+  // Trace uids pack (stream, release index) into 32 bits each; see the
+  // header's packing contract.
+  FEDCONS_EXPECTS_MSG(streams.size() < (std::uint64_t{1} << 32),
+                      "stream count exceeds the 32-bit uid packing field");
   FpSimReport report;
   report.max_response_per_stream.assign(streams.size(), 0);
   SimStats& stats = report.stats;
@@ -64,6 +68,10 @@ FpSimReport run_uniproc(std::span<const EdfTaskStream> streams,
       const JobRelease& j = streams[s].jobs[idx];
       const Time key = (policy == Policy::kEdf) ? j.abs_deadline
                                                 : static_cast<Time>(s);
+      // (stream << 32) | idx silently aliases uids once idx reaches 2^32 —
+      // enforce the packing contract instead of wrapping.
+      FEDCONS_EXPECTS_MSG(idx < (std::uint64_t{1} << 32),
+                          "release index exceeds the 32-bit uid packing field");
       const std::uint64_t uid =
           (static_cast<std::uint64_t>(s) << 32) | static_cast<std::uint64_t>(idx);
       pending.push({key, s, j.release, j.abs_deadline, j.exec_time, uid});
@@ -117,9 +125,12 @@ FpSimReport run_uniproc(std::span<const EdfTaskStream> streams,
       pending.push(job);  // may be preempted by a newly released job
     }
   }
+  // span is 0 when there are no releases and config.horizon == 0; report an
+  // idle processor (0.0) instead of the 0/0 NaN.
   const Time span = std::max(config.horizon, now);
   stats.busy_fraction =
-      static_cast<double>(executed) / static_cast<double>(span);
+      span > 0 ? static_cast<double>(executed) / static_cast<double>(span)
+               : 0.0;
   return report;
 }
 

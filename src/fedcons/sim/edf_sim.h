@@ -27,6 +27,10 @@ struct EdfTaskStream {
 /// released jobs complete (or horizon work is exhausted).
 /// `trace`, when non-null, records every executed run-chunk on processor 0
 /// (job_uid = (stream << 32) | release-index) for post-hoc validation.
+/// Packing contract: the stream index and every per-stream release index must
+/// each fit in 32 bits (precondition-checked; indices at or beyond 2^32 would
+/// silently alias uids). With >= 1-tick jobs that allows horizons up to
+/// ~4·10^9 ticks per stream — far beyond any configured simulation.
 [[nodiscard]] SimStats simulate_edf_uniproc(
     std::span<const EdfTaskStream> streams, const SimConfig& config,
     ExecutionTrace* trace = nullptr);

@@ -40,7 +40,9 @@ std::int64_t BigInt::to_int64() const {
   std::uint64_t mag = 0;
   for (std::size_t i = 0; i < limbs_.size(); ++i)
     mag |= static_cast<std::uint64_t>(limbs_[i]) << (32 * i);
-  return negative_ ? -static_cast<std::int64_t>(mag)
+  // Negate in the unsigned domain: mag may be 2^63 (INT64_MIN's magnitude),
+  // whose signed negation is undefined; -mag mod 2^64 cast to int64 is exact.
+  return negative_ ? static_cast<std::int64_t>(-mag)
                    : static_cast<std::int64_t>(mag);
 }
 

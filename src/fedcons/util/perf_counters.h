@@ -35,12 +35,25 @@ struct PerfCounters {
   /// Scan candidates removed from a MINPROCS worst-case range [⌈δ⌉, m_r] by
   /// the Graham-bound cap μ_ub (minprocs_scan_cap): Σ max(0, m_r − cap).
   std::uint64_t ls_probes_pruned = 0;
+  /// Conformance-harness work (conform/harness.h): (algorithm, system)
+  /// oracle evaluations — an admit() plus, on acceptance, a full composition
+  /// replay in simulation.
+  std::uint64_t conform_trials = 0;
+  /// Oracle evaluations whose verdict was "schedulable" yet whose replay
+  /// missed a deadline — each one is a refuted safety claim.
+  std::uint64_t conform_violations = 0;
+  /// Candidate reductions evaluated while minimizing violations (each costs
+  /// one oracle re-run; see conform/shrinker.h).
+  std::uint64_t conform_shrink_steps = 0;
 
   PerfCounters& operator+=(const PerfCounters& rhs) noexcept {
     ls_invocations += rhs.ls_invocations;
     minprocs_scan_iterations += rhs.minprocs_scan_iterations;
     dbf_star_evaluations += rhs.dbf_star_evaluations;
     ls_probes_pruned += rhs.ls_probes_pruned;
+    conform_trials += rhs.conform_trials;
+    conform_violations += rhs.conform_violations;
+    conform_shrink_steps += rhs.conform_shrink_steps;
     return *this;
   }
   /// Delta between two snapshots of the same thread's counters.
@@ -48,7 +61,10 @@ struct PerfCounters {
     return {ls_invocations - rhs.ls_invocations,
             minprocs_scan_iterations - rhs.minprocs_scan_iterations,
             dbf_star_evaluations - rhs.dbf_star_evaluations,
-            ls_probes_pruned - rhs.ls_probes_pruned};
+            ls_probes_pruned - rhs.ls_probes_pruned,
+            conform_trials - rhs.conform_trials,
+            conform_violations - rhs.conform_violations,
+            conform_shrink_steps - rhs.conform_shrink_steps};
   }
   [[nodiscard]] bool operator==(const PerfCounters&) const noexcept = default;
 };

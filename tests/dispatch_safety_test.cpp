@@ -1,0 +1,115 @@
+// Dispatch-mode safety: template replay is anomaly-proof under arbitrary
+// early completions, online LS rerun demonstrably is not, and every pinned
+// artifact in tests/conformance_corpus/ keeps reproducing its violation.
+#include "fedcons/sim/cluster_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fedcons/conform/artifact.h"
+#include "fedcons/gen/dag_gen.h"
+#include "fedcons/listsched/anomaly.h"
+#include "fedcons/sim/release_generator.h"
+#include "fedcons/util/rng.h"
+
+namespace fedcons {
+namespace {
+
+/// Property: for ANY dag, processor count, release pattern, and actual
+/// execution times ≤ WCET, template replay finishes every dag-job within
+/// sigma.makespan() of its release — the run-time guarantee MINPROCS'
+/// acceptance (makespan ≤ D) relies on.
+TEST(TemplateReplaySafetyTest, EarlyCompletionNeverExtendsResponseTimes) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    LayeredDagParams params;
+    params.max_wcet = 20;
+    Dag dag = generate_layered_dag(rng, params);
+    const int m = static_cast<int>(rng.uniform_int(1, 4));
+    const TemplateSchedule sigma = list_schedule(dag, m);
+
+    // Deadline exactly at the template makespan: the tightest acceptance
+    // MINPROCS can make, so any anomaly would surface as a miss.
+    const Time d = sigma.makespan();
+    const Time t = d + rng.uniform_int(0, 10);
+    DagTask task(std::move(dag), d, t, "safety");
+
+    SimConfig cfg;
+    cfg.horizon = 50 * t;
+    cfg.release = ReleaseModel::kSporadic;
+    cfg.jitter_frac = 1.0;
+    cfg.exec = ExecModel::kUniform;
+    cfg.exec_lo = 0.1;  // aggressive reductions — anomaly bait
+    cfg.seed = seed;
+
+    Rng rel_rng(seed ^ 0x9e3779b97f4a7c15ull);
+    const auto releases = generate_releases(task, cfg, rel_rng);
+    ASSERT_FALSE(releases.empty());
+    const SimStats stats =
+        simulate_cluster(task, sigma, releases, cfg,
+                         ClusterDispatch::kTemplateReplay);
+    EXPECT_EQ(stats.deadline_misses, 0u) << "seed " << seed;
+    EXPECT_LE(stats.max_response_time, sigma.makespan()) << "seed " << seed;
+  }
+}
+
+TEST(OnlineRerunAnomalyTest, GrahamInstanceMissesOnlyUnderRerun) {
+  const AnomalyInstance inst = make_graham_anomaly_instance();
+  ASSERT_EQ(inst.processors, 3);
+  ASSERT_GT(inst.reduced_makespan, inst.wcet_makespan);
+
+  const TemplateSchedule sigma = list_schedule(inst.dag, inst.processors);
+  ASSERT_EQ(sigma.makespan(), inst.wcet_makespan);
+
+  // Deadline == WCET makespan: schedulable by the template argument, and any
+  // online-LS elongation is a miss. One synchronous dag-job with the
+  // anomaly's reduced execution times is enough.
+  DagTask task(Dag(inst.dag), inst.wcet_makespan, 2 * inst.wcet_makespan,
+               "graham");
+  std::vector<DagJobRelease> releases{
+      DagJobRelease{0, inst.reduced_exec_times}};
+  SimConfig cfg;
+  cfg.horizon = 2 * inst.wcet_makespan;
+
+  const SimStats online = simulate_cluster(
+      task, sigma, releases, cfg, ClusterDispatch::kOnlineRerun);
+  EXPECT_EQ(online.deadline_misses, 1u);
+  EXPECT_EQ(online.max_lateness, inst.reduced_makespan - inst.wcet_makespan);
+
+  const SimStats replay = simulate_cluster(
+      task, sigma, releases, cfg, ClusterDispatch::kTemplateReplay);
+  EXPECT_EQ(replay.deadline_misses, 0u);
+  EXPECT_LE(replay.max_response_time, sigma.makespan());
+}
+
+TEST(ConformanceCorpusTest, EveryPinnedArtifactStillReproduces) {
+  const std::filesystem::path dir = CONFORMANCE_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  // The corpus ships at least the hand-crafted witness, the Graham
+  // online-rerun exhibit, and one harness-minimized find.
+  ASSERT_GE(files.size(), 3u);
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    ASSERT_TRUE(in) << file;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const ViolationArtifact artifact = parse_artifact(text.str());
+    const ConformanceOutcome outcome = replay_artifact(artifact);
+    EXPECT_TRUE(outcome.supported) << file;
+    EXPECT_TRUE(outcome.admitted) << file;
+    EXPECT_TRUE(outcome.violation())
+        << file << ": pinned violation no longer reproduces";
+  }
+}
+
+}  // namespace
+}  // namespace fedcons

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "fedcons/analysis/edf_uniproc.h"
@@ -136,6 +139,48 @@ TEST_P(EdfSimAgreementTest, SimulationCatchesSynchronousOverload) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EdfSimAgreementTest,
                          ::testing::Values(61u, 62u, 63u));
+
+TEST(EdfSimTest, BusyFractionIsZeroNotNanWhenNothingEverRuns) {
+  // Regression: with horizon 0 and no releases the simulated span is 0, and
+  // busy_fraction used to be computed as 0/0 = NaN, poisoning any average
+  // built on top of it. An idle run must report exactly 0.0.
+  SimConfig cfg;
+  cfg.horizon = 0;
+  std::vector<EdfTaskStream> streams{stream_of({})};
+  const SimStats edf = simulate_edf_uniproc(streams, cfg);
+  EXPECT_EQ(edf.jobs_released, 0u);
+  EXPECT_FALSE(std::isnan(edf.busy_fraction));
+  EXPECT_DOUBLE_EQ(edf.busy_fraction, 0.0);
+  const SimStats fp = simulate_fp_uniproc(streams, cfg);
+  EXPECT_FALSE(std::isnan(fp.busy_fraction));
+  EXPECT_DOUBLE_EQ(fp.busy_fraction, 0.0);
+}
+
+TEST(EdfSimTest, TraceUidsFollowThePackingContract) {
+  // The header documents job_uid = (stream << 32) | release-index; the trace
+  // consumers (conformance replay validation, gantt rendering) rely on it.
+  SimConfig cfg;
+  cfg.horizon = 40;
+  std::vector<EdfTaskStream> streams{stream_of({{0, 2, 10}, {10, 2, 20}}),
+                                     stream_of({{5, 3, 15}})};
+  ExecutionTrace trace;
+  const SimStats s = simulate_edf_uniproc(streams, cfg, &trace);
+  EXPECT_EQ(s.jobs_released, 3u);
+  ASSERT_FALSE(trace.empty());
+  for (const TraceSegment& seg : trace.segments()) {
+    const std::uint64_t stream = seg.job_uid >> 32;
+    const std::uint64_t index = seg.job_uid & 0xffffffffull;
+    ASSERT_LT(stream, streams.size());
+    ASSERT_LT(index, streams[stream].jobs.size());
+    // No segment may predate its job's release.
+    EXPECT_GE(seg.start, streams[stream].jobs[index].release);
+  }
+  // Every released job shows up in the trace under its packed uid.
+  EXPECT_EQ(trace.executed((0ull << 32) | 0), 2);
+  EXPECT_EQ(trace.executed((0ull << 32) | 1), 2);
+  EXPECT_EQ(trace.executed((1ull << 32) | 0), 3);
+  EXPECT_EQ(trace.validate(), std::nullopt);
+}
 
 }  // namespace
 }  // namespace fedcons

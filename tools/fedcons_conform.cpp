@@ -1,0 +1,216 @@
+// fedcons_conform — differential conformance harness driver.
+//
+// Modes (mutually exclusive):
+//   (default)        run the randomized harness over the built-in battery
+//   --demo-anomaly   build the Graham-anomaly exhibit (template replay vs
+//                    online LS rerun on the same seed)
+//   --replay=FILE    re-run a pinned violation artifact and verify it still
+//                    reproduces
+//   --list           print the available conformance entries
+//
+// Harness flags: --trials N --threads N --seed S --m M --horizon H
+//   --exec-lo F --jitter F --util-lo F --util-hi F --shrink-budget N
+//   --algos NAME[,NAME...]   (battery subset; demonstration entries such as
+//                             FEDCONS@online-rerun may be named explicitly)
+//   --out-dir DIR            (write one JSON artifact per violation)
+//   --json                   (machine-readable report on stdout)
+//
+// Exit codes: 0 — success (zero violations / artifact reproduced / demo
+// exhibited); 1 — violations found (or artifact failed to reproduce, or the
+// demo found no refuting seed); 2 — usage or input error.
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fedcons/conform/anomaly_demo.h"
+#include "fedcons/conform/artifact.h"
+#include "fedcons/conform/harness.h"
+#include "fedcons/conform/oracle.h"
+#include "fedcons/core/io.h"
+#include "fedcons/util/flags.h"
+
+namespace {
+
+using namespace fedcons;
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void print_outcome(std::ostream& os, const char* label,
+                   const ConformanceOutcome& o) {
+  os << "  " << label << ": supported=" << (o.supported ? "yes" : "no")
+     << " admitted=" << (o.admitted ? "yes" : "no")
+     << " jobs=" << o.sim.jobs_released << " misses=" << o.sim.deadline_misses
+     << " max_lateness=" << o.sim.max_lateness << "\n";
+}
+
+int run_replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open artifact " << path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const ViolationArtifact artifact = parse_artifact(buffer.str());
+  const ConformanceOutcome outcome = replay_artifact(artifact);
+  std::cout << "artifact " << path << "\n"
+            << "  algorithm: " << artifact.algorithm << "\n"
+            << "  m: " << artifact.m << "  sim seed: " << artifact.sim.seed
+            << "  note: " << artifact.note << "\n";
+  print_outcome(std::cout, "replay", outcome);
+  if (outcome.violation()) {
+    std::cout << "violation REPRODUCED\n";
+    return 0;
+  }
+  std::cout << "violation did NOT reproduce\n";
+  return 1;
+}
+
+int run_demo() {
+  const AnomalyDemoReport report = run_anomaly_demo();
+  if (!report.found) {
+    std::cout << "no refuting seed found within budget\n";
+    return 1;
+  }
+  std::cout << "Graham-anomaly exhibit (same system, m, and seed "
+            << report.seed << "):\n";
+  print_outcome(std::cout, "kOnlineRerun   ", report.online);
+  print_outcome(std::cout, "kTemplateReplay", report.replay);
+  std::cout << "online LS rerun missed " << report.online.sim.deadline_misses
+            << " deadline(s); template replay missed "
+            << report.replay.sim.deadline_misses << "\n";
+  const bool exhibited = report.online.sim.deadline_misses > 0 &&
+                         report.replay.sim.deadline_misses == 0;
+  return exhibited ? 0 : 1;
+}
+
+void print_report_json(const ConformReport& report) {
+  std::cout << "{\n  \"trials\": " << report.trials
+            << ",\n  \"m\": " << report.m << ",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < report.entries.size(); ++i) {
+    const auto& e = report.entries[i];
+    std::cout << "    {\"name\": \"" << e.name
+              << "\", \"supported\": " << e.supported
+              << ", \"admitted\": " << e.admitted
+              << ", \"violations\": " << e.violations
+              << ", \"jobs_released\": " << e.jobs_released << "}"
+              << (i + 1 < report.entries.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ],\n  \"counters\": {\"conform_trials\": "
+            << report.counters.conform_trials
+            << ", \"conform_violations\": "
+            << report.counters.conform_violations
+            << ", \"conform_shrink_steps\": "
+            << report.counters.conform_shrink_steps << "},\n"
+            << "  \"violations\": " << report.violations.size() << "\n}\n";
+}
+
+int run_harness(const Flags& flags) {
+  ConformConfig config = default_conform_config();
+  config.trials = static_cast<std::size_t>(flags.get_int("trials", 1000));
+  config.num_threads = static_cast<int>(flags.get_int("threads", 0));
+  config.master_seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.m = static_cast<int>(flags.get_int("m", 8));
+  config.sim.horizon = flags.get_int("horizon", config.sim.horizon);
+  config.sim.exec_lo = flags.get_double("exec-lo", config.sim.exec_lo);
+  config.sim.jitter_frac = flags.get_double("jitter", config.sim.jitter_frac);
+  config.util_lo = flags.get_double("util-lo", config.util_lo);
+  config.util_hi = flags.get_double("util-hi", config.util_hi);
+  config.shrink_budget = static_cast<std::size_t>(
+      flags.get_int("shrink-budget", static_cast<std::int64_t>(config.shrink_budget)));
+
+  std::vector<ConformanceEntry> entries;
+  if (flags.has("algos")) {
+    for (const std::string& name : split_csv(flags.get_string("algos", ""))) {
+      entries.push_back(find_conformance_entry(name));
+    }
+    if (entries.empty()) {
+      std::cerr << "error: --algos selected no entries\n";
+      return 2;
+    }
+  } else {
+    entries = builtin_conformance_entries();
+  }
+
+  const ConformReport report = run_conformance(config, entries);
+
+  if (flags.get_bool("json", false)) {
+    print_report_json(report);
+  } else {
+    std::cout << "conformance: " << report.trials << " trials, m=" << report.m
+              << ", master_seed=" << config.master_seed
+              << ", threads=" << config.num_threads << "\n";
+    for (const auto& e : report.entries) {
+      std::cout << "  " << e.name << ": supported=" << e.supported
+                << " admitted=" << e.admitted << " violations=" << e.violations
+                << " jobs=" << e.jobs_released << "\n";
+    }
+    std::cout << "counters: conform_trials=" << report.counters.conform_trials
+              << " conform_violations=" << report.counters.conform_violations
+              << " conform_shrink_steps="
+              << report.counters.conform_shrink_steps << "\n";
+  }
+
+  if (flags.has("out-dir") && !report.violations.empty()) {
+    const std::filesystem::path dir(flags.get_string("out-dir", "."));
+    std::filesystem::create_directories(dir);
+    for (const auto& v : report.violations) {
+      std::string slug = v.algorithm;
+      for (char& c : slug) {
+        if (c == '@' || c == '/' || c == ' ') c = '_';
+      }
+      const auto path =
+          dir / ("conform-" + slug + "-trial" + std::to_string(v.trial) +
+                 ".json");
+      std::ofstream out(path);
+      out << to_json(v.artifact);
+      std::cout << "wrote " << path.string() << "\n";
+    }
+  }
+  for (const auto& v : report.violations) {
+    std::cout << "VIOLATION trial " << v.trial << " " << v.algorithm
+              << ": misses=" << v.observed.deadline_misses
+              << " minimized to m=" << v.minimized_m << ", "
+              << parse_task_system(v.minimized_text).size() << " task(s) in "
+              << v.shrink_probes << " probes\n";
+  }
+  return report.violations.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags(argc, argv);
+    if (flags.get_bool("list", false)) {
+      for (const auto& e : builtin_conformance_entries()) {
+        std::cout << e.name << "\n";
+      }
+      for (const auto& e : demonstration_conformance_entries()) {
+        std::cout << e.name << " (demonstration)\n";
+      }
+      return 0;
+    }
+    if (flags.get_bool("demo-anomaly", false)) return run_demo();
+    if (flags.has("replay")) {
+      return run_replay(flags.get_string("replay", ""));
+    }
+    return run_harness(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
