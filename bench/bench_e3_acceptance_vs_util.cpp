@@ -12,11 +12,23 @@
 // Algorithms are resolved by name through the engine registry, and trials
 // run on the engine's deterministic batch runner: --threads=N parallelizes
 // the sweep while --json output stays byte-identical for every N.
+//
+// Observability flags:
+//   --metrics          collect per-trial latency / μ / bins-touched
+//                      histograms (obs/metrics.h); printed as a table per
+//                      sweep, or embedded per point under --json. The value
+//                      histograms are thread-count-invariant; latency is
+//                      wall-clock and is not.
+//   --trace-out=FILE   span-trace the run and write Chrome trace-event JSON
+//                      (open in Perfetto; see EXPERIMENTS.md).
+#include <fstream>
 #include <iostream>
 
 #include "fedcons/engine/registry.h"
 #include "fedcons/expr/acceptance.h"
 #include "fedcons/expr/reports.h"
+#include "fedcons/obs/metrics.h"
+#include "fedcons/obs/span_tracer.h"
 #include "fedcons/sim/global_edf_sim.h"
 #include "fedcons/util/flags.h"
 
@@ -60,6 +72,10 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(flags.get_int("threads", 0));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const bool metrics = flags.get_bool("metrics", false);
+  if (metrics) obs::set_metrics_enabled(true);
+  const std::string trace_out = flags.get_string("trace-out", "");
+  if (!trace_out.empty()) obs::set_tracing_enabled(true);
 
   auto algorithms = standard_algorithms();
   algorithms.push_back(gedf_simulation_bracket());
@@ -75,6 +91,7 @@ int main(int argc, char** argv) {
     cfg.base.period_min = 100;
     cfg.base.period_max = 50000;
     cfg.base.topology = DagTopology::kMixed;
+    cfg.collect_metrics = metrics;
     auto points = run_acceptance_sweep(cfg, algorithms);
     if (json) {
       sections.push_back({"m=" + std::to_string(m), m, std::move(points)});
@@ -86,12 +103,28 @@ int main(int argc, char** argv) {
                      ", n = " + std::to_string(cfg.base.num_tasks) +
                      " tasks, " + std::to_string(trials) + " systems/point)",
                  acceptance_table(points, algorithms, with_ci), csv);
+    if (metrics) {
+      obs::MetricsRegistry merged;
+      for (const auto& p : points) merged.merge(p.metrics);
+      print_report(std::cout,
+                   "E3 metrics (m = " + std::to_string(m) +
+                       "): per-trial latency and algorithm-shape histograms",
+                   merged.to_table(), csv);
+    }
   }
   if (json) {
     std::cout << sweep_report_json("e3_acceptance_vs_util", seed, algorithms,
                                    sections);
-    return 0;
   }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "error: cannot write trace to '" << trace_out << "'\n";
+      return 2;
+    }
+    obs::write_chrome_trace(out);
+  }
+  if (json) return 0;
   std::cout << "Columns: NEC-upper = necessary-feasibility proxy (upper "
                "bounds every algorithm); GEDF-sim* = empirical survival of a "
                "synchronous-periodic global-EDF simulation — an OPTIMISTIC "

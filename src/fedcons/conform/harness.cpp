@@ -1,5 +1,6 @@
 #include "fedcons/conform/harness.h"
 
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -7,6 +8,7 @@
 #include "fedcons/conform/shrinker.h"
 #include "fedcons/core/io.h"
 #include "fedcons/engine/batch_runner.h"
+#include "fedcons/obs/span_tracer.h"
 #include "fedcons/util/check.h"
 
 namespace fedcons {
@@ -76,6 +78,7 @@ ConformReport run_conformance(const ConformConfig& config,
         bool violated = false;
         for (std::size_t e = 0; e < entries.size(); ++e) {
           ++perf_counters().conform_trials;
+          FEDCONS_SPAN_V("conform", "oracle", "entry", e);
           const ConformanceOutcome outcome =
               entries[e].run(system, config.m, result.sim);
           auto& slot = result.per_entry[e];
@@ -125,6 +128,7 @@ ConformReport run_conformance(const ConformConfig& config,
       record.observed = r.per_entry[e].sim;
       record.system_text = r.system_text;
 
+      FEDCONS_SPAN_V("conform", "shrink", "trial", i);
       ShrinkResult shrunk =
           shrink_violation(entries[e], parse_task_system(r.system_text),
                            config.m, r.sim, config.shrink_budget);
@@ -148,6 +152,28 @@ ConformReport run_conformance(const ConformConfig& config,
   }
   report.counters += perf_counters() - before_shrink;
   return report;
+}
+
+std::string conform_report_json(const ConformReport& report) {
+  std::ostringstream os;
+  os << "{\n  \"schema_version\": 1,\n  \"trials\": " << report.trials
+     << ",\n  \"m\": " << report.m << ",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < report.entries.size(); ++i) {
+    const auto& e = report.entries[i];
+    os << "    {\"name\": \"" << e.name
+       << "\", \"supported\": " << e.supported
+       << ", \"admitted\": " << e.admitted
+       << ", \"violations\": " << e.violations
+       << ", \"jobs_released\": " << e.jobs_released << "}"
+       << (i + 1 < report.entries.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"counters\": {\"conform_trials\": "
+     << report.counters.conform_trials
+     << ", \"conform_violations\": " << report.counters.conform_violations
+     << ", \"conform_shrink_steps\": " << report.counters.conform_shrink_steps
+     << "},\n"
+     << "  \"violations\": " << report.violations.size() << "\n}\n";
+  return os.str();
 }
 
 }  // namespace fedcons

@@ -102,4 +102,9 @@ struct ConformReport {
 [[nodiscard]] ConformReport run_conformance(
     const ConformConfig& config, std::span<const ConformanceEntry> entries);
 
+/// Machine-readable report document (fedcons_conform --json). Fixed key
+/// order, carries "schema_version"; byte-identical for a given report, which
+/// is itself bit-identical for any thread count.
+[[nodiscard]] std::string conform_report_json(const ConformReport& report);
+
 }  // namespace fedcons

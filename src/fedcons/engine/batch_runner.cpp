@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "fedcons/obs/span_tracer.h"
 #include "fedcons/util/check.h"
 
 namespace fedcons {
@@ -75,6 +76,7 @@ struct BatchRunner::Impl {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= limit) break;
       try {
+        FEDCONS_SPAN_V("engine", "trial", "index", i);
         (*batch_fn)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);

@@ -1,5 +1,6 @@
 #include "fedcons/expr/acceptance.h"
 
+#include <chrono>
 #include <cstdint>
 
 #include "fedcons/analysis/feasibility.h"
@@ -37,6 +38,11 @@ struct TrialOutcome {
   bool feasible = false;
   std::vector<std::uint8_t> verdicts;
   PerfCounters counters;
+  /// Raw metric samples (collect_metrics only): snapshotted from the worker's
+  /// thread-local collector so the merge can run in trial-index order.
+  std::uint64_t latency_us = 0;
+  std::vector<std::uint32_t> minprocs_mu;
+  std::vector<std::uint32_t> partition_bins_touched;
 };
 
 }  // namespace
@@ -62,6 +68,8 @@ std::vector<AcceptancePoint> run_acceptance_sweep(
         [&](std::size_t, Rng& rng) {
           TrialOutcome out;
           const PerfCounters before = perf_counters();
+          if (config.collect_metrics) obs::metrics_collector().clear();
+          const auto t0 = std::chrono::steady_clock::now();
           TaskSystem sys = generate_task_system(rng, params);
           out.feasible = passes_necessary_conditions(sys, config.m);
           out.verdicts.resize(algorithms.size());
@@ -69,6 +77,15 @@ std::vector<AcceptancePoint> run_acceptance_sweep(
             out.verdicts[a] = algorithms[a].test(sys, config.m) ? 1 : 0;
           }
           out.counters = perf_counters() - before;
+          if (config.collect_metrics) {
+            out.latency_us = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            obs::MetricsCollector& col = obs::metrics_collector();
+            out.minprocs_mu = col.minprocs_mu;
+            out.partition_bins_touched = col.partition_bins_touched;
+          }
           return out;
         };
     // Per-point master seed, so points are independent of one another and of
@@ -87,6 +104,15 @@ std::vector<AcceptancePoint> run_acceptance_sweep(
         point.accepted[a] += out.verdicts[a];
       }
       point.counters += out.counters;
+      if (config.collect_metrics) {
+        point.metrics.trial_latency_us.add(out.latency_us);
+        for (std::uint32_t mu : out.minprocs_mu) {
+          point.metrics.minprocs_mu.add(mu);
+        }
+        for (std::uint32_t bins : out.partition_bins_touched) {
+          point.metrics.partition_bins_touched.add(bins);
+        }
+      }
     }
     points.push_back(std::move(point));
   }

@@ -22,6 +22,7 @@
 #include "fedcons/core/task_system.h"
 #include "fedcons/engine/schedulability_test.h"
 #include "fedcons/gen/taskset_gen.h"
+#include "fedcons/obs/metrics.h"
 #include "fedcons/util/perf_counters.h"
 
 namespace fedcons {
@@ -53,6 +54,14 @@ struct SweepConfig {
   std::uint64_t seed = 42;
   int num_threads = 0;            ///< batch-runner width; 0 = all cores
   TaskSetParams base;             ///< total_utilization is overridden per point
+  /// Aggregate per-trial observability metrics (obs/metrics.h) into each
+  /// AcceptancePoint: wall-clock trial latency plus whatever the algorithms
+  /// record (μ per MINPROCS success, bins touched per placement). Off by
+  /// default — latency is a physical measurement, so reports stay
+  /// byte-stable unless metrics are explicitly requested. Value histograms
+  /// are merged in trial-index order and remain deterministic; the latency
+  /// histogram is not.
+  bool collect_metrics = false;
 };
 
 /// One grid point's outcome.
@@ -62,6 +71,7 @@ struct AcceptancePoint {
   std::size_t feasible_upper_bound = 0;      ///< pass necessary conditions
   std::vector<std::size_t> accepted;         ///< parallel to the algorithm list
   PerfCounters counters;                     ///< analysis work over all trials
+  obs::MetricsRegistry metrics;  ///< filled iff SweepConfig::collect_metrics
 };
 
 /// Run the sweep. accepted[i][a] corresponds to algorithms[a].

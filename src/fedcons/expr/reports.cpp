@@ -95,7 +95,8 @@ std::string sweep_report_json(const std::string& experiment,
                               const std::vector<AlgorithmSpec>& algorithms,
                               const std::vector<SweepSection>& sections) {
   std::string out;
-  out += "{\n  \"experiment\": \"" + json_escape(experiment) + "\",\n";
+  out += "{\n  \"schema_version\": 1,\n";
+  out += "  \"experiment\": \"" + json_escape(experiment) + "\",\n";
   out += "  \"seed\": " + fmt_int(static_cast<long long>(seed)) + ",\n";
   out += "  \"algorithms\": [";
   for (std::size_t a = 0; a < algorithms.size(); ++a) {
@@ -121,6 +122,11 @@ std::string sweep_report_json(const std::string& experiment,
       }
       out += "], \"counters\": ";
       append_counters_json(out, point.counters);
+      // Metrics are opt-in (SweepConfig::collect_metrics); default reports
+      // only gain the schema_version field.
+      if (!point.metrics.empty()) {
+        out += ", \"metrics\": " + point.metrics.to_json();
+      }
       out += "}";
       if (p + 1 < sec.points.size()) out += ",";
       out += "\n";
@@ -137,7 +143,8 @@ std::string speedup_report_json(const std::string& experiment,
                                 const SpeedupExperimentConfig& config,
                                 const SpeedupExperimentResult& result) {
   std::string out;
-  out += "{\n  \"experiment\": \"" + json_escape(experiment) + "\",\n";
+  out += "{\n  \"schema_version\": 1,\n";
+  out += "  \"experiment\": \"" + json_escape(experiment) + "\",\n";
   out += "  \"algorithm\": \"" + json_escape(config.algorithm) + "\",\n";
   out += "  \"m\": " + fmt_int(config.m) + ",\n";
   out += "  \"normalized_util\": " + fmt_double(config.normalized_util, 4) +

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "fedcons/obs/span_tracer.h"
 #include "fedcons/util/check.h"
 
 namespace fedcons {
@@ -20,18 +21,40 @@ FedconsResult fedcons_schedule(const TaskSystem& system, int m,
   FEDCONS_EXPECTS(m >= 1);
   FEDCONS_EXPECTS_MSG(system.deadline_class() != DeadlineClass::kArbitrary,
                       "FEDCONS is defined for constrained-deadline systems");
+  FEDCONS_SPAN_V("fedcons", "schedule", "m", m);
 
   FedconsResult result;
+  // Provenance is built locally and attached on every exit path; the
+  // finalize helper also mirrors the verdict fields into the record.
+  std::shared_ptr<FedconsProvenance> prov;
+  if (options.record_provenance) {
+    prov = std::make_shared<FedconsProvenance>();
+    prov->m = m;
+  }
+  const auto finalize = [&]() {
+    if (prov == nullptr) return;
+    prov->success = result.success;
+    prov->failure = to_string(result.failure);
+    prov->failed_task = result.failed_task;
+    result.provenance = prov;
+  };
+
   int m_r = m;       // remaining processors (paper, line 1)
   int next_proc = 0;  // global index of the next unassigned processor
 
   // Phase 1: dedicate processors to each high-density task (lines 2–6).
   for (TaskId i : system.high_density_tasks()) {
-    auto mp = minprocs(system[i], m_r, options.list_policy, options.minprocs);
+    MinprocsOptions scan_options = options.minprocs;
+    if (prov != nullptr) {
+      prov->clusters.push_back(ClusterProvenance{i, m_r, {}});
+      scan_options.provenance = &prov->clusters.back().scan;
+    }
+    auto mp = minprocs(system[i], m_r, options.list_policy, scan_options);
     if (!mp.has_value()) {  // m_i > m_r, or len_i > D_i: FAILURE (line 4)
       result.success = false;
       result.failure = FedconsFailure::kHighDensityPhase;
       result.failed_task = i;
+      finalize();
       return result;
     }
     result.clusters.push_back(ClusterAssignment{
@@ -46,13 +69,21 @@ FedconsResult fedcons_schedule(const TaskSystem& system, int m,
   seq.reserve(low.size());
   for (TaskId i : low) seq.push_back(system[i].to_sequential());
 
-  PartitionResult part = partition_tasks(seq, m_r, options.partition);
+  PartitionOptions part_options = options.partition;
+  if (prov != nullptr) {
+    prov->partition_reached = true;
+    prov->shared_processors = m_r;
+    prov->low_tasks = low;
+    part_options.provenance = &prov->partition;
+  }
+  PartitionResult part = partition_tasks(seq, m_r, part_options);
   if (!part.success) {
     result.success = false;
     result.failure = FedconsFailure::kPartitionPhase;
     if (part.failed_task < low.size()) {
       result.failed_task = low[part.failed_task];
     }
+    finalize();
     return result;
   }
 
@@ -66,6 +97,7 @@ FedconsResult fedcons_schedule(const TaskSystem& system, int m,
       result.shared_assignment[k].push_back(low[idx]);
     }
   }
+  finalize();
   return result;
 }
 

@@ -18,6 +18,7 @@
 // (3 − 1/m).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "fedcons/core/task_system.h"
 #include "fedcons/federated/minprocs.h"
 #include "fedcons/federated/partition.h"
+#include "fedcons/obs/provenance.h"
 
 namespace fedcons {
 
@@ -57,6 +59,11 @@ struct FedconsResult {
   /// shared_assignment[k] = TaskIds of low-density tasks on shared proc k.
   std::vector<std::vector<TaskId>> shared_assignment;
 
+  /// Full decision record (set iff FedconsOptions::record_provenance): the
+  /// per-task μ-scan trajectories and bin-attempt lists that produced this
+  /// verdict. Render with explain_text / explain_json (obs/provenance.h).
+  std::shared_ptr<const FedconsProvenance> provenance;
+
   /// Human-readable allocation map.
   [[nodiscard]] std::string describe(const TaskSystem& system) const;
 };
@@ -65,6 +72,11 @@ struct FedconsOptions {
   ListPolicy list_policy = ListPolicy::kVertexOrder;
   MinprocsOptions minprocs;
   PartitionOptions partition;
+  /// Attach a FedconsProvenance to the result. Off by default: recording
+  /// allocates per-probe records, and the algorithm's hot path must stay
+  /// allocation-free for the batch engine. Verdicts and perf counters are
+  /// identical either way (pinned by tests/obs_provenance_test.cpp).
+  bool record_provenance = false;
 };
 
 /// Run FEDCONS for `system` on m unit-speed processors.

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "fedcons/listsched/ls_workspace.h"
+#include "fedcons/obs/metrics.h"
+#include "fedcons/obs/span_tracer.h"
 #include "fedcons/util/check.h"
 #include "fedcons/util/perf_counters.h"
 
@@ -30,15 +32,46 @@ Time minprocs_scan_cap(const DagTask& task) {
 
 namespace {
 
+/// Begin a provenance record for one scan (no-op on nullptr).
+void provenance_open(MinprocsProvenance* prov, const DagTask& task,
+                     int max_processors) {
+  if (prov == nullptr) return;
+  *prov = MinprocsProvenance{};
+  prov->scan_lb = minprocs_lower_bound(task);
+  prov->scan_cap = minprocs_scan_cap(task);
+  prov->max_processors = max_processors;
+}
+
+/// Record one probe's outcome (no-op on nullptr).
+void provenance_probe(MinprocsProvenance* prov, int mu, Time makespan) {
+  if (prov == nullptr) return;
+  prov->probes.push_back(MinprocsProbeRecord{mu, makespan});
+  if (makespan < prov->best_makespan) {
+    prov->best_makespan = makespan;
+    prov->best_mu = mu;
+  }
+}
+
+void provenance_accept(MinprocsProvenance* prov, int mu) {
+  if (prov == nullptr) return;
+  prov->satisfied = true;
+  prov->chosen_mu = mu;
+}
+
 // The seed scan, kept verbatim as the oracle: one allocation-per-call LS
 // probe per candidate μ, scanning all of [⌈δ⌉, m_r].
 std::optional<MinprocsResult> reference_scan(const DagTask& task,
                                              int max_processors,
-                                             ListPolicy policy) {
+                                             ListPolicy policy,
+                                             MinprocsProvenance* prov) {
   for (int mu = minprocs_lower_bound(task); mu <= max_processors; ++mu) {
     ++perf_counters().minprocs_scan_iterations;
+    FEDCONS_SPAN_V("minprocs", "ls_probe", "mu", mu);
     TemplateSchedule sigma = list_schedule_reference(task.graph(), mu, policy);
+    provenance_probe(prov, mu, sigma.makespan());
     if (sigma.makespan() <= task.deadline()) {
+      provenance_accept(prov, mu);
+      obs::observe_minprocs_mu(mu);
       return MinprocsResult{mu, std::move(sigma)};
     }
   }
@@ -51,7 +84,8 @@ std::optional<MinprocsResult> reference_scan(const DagTask& task,
 // policy keys prepared once for the whole scan.
 std::optional<MinprocsResult> pruned_scan(const DagTask& task,
                                           int max_processors,
-                                          ListPolicy policy) {
+                                          ListPolicy policy,
+                                          MinprocsProvenance* prov) {
   const Time cap = minprocs_scan_cap(task);
   const int last = static_cast<int>(std::min<Time>(max_processors, cap));
   if (cap < max_processors) {
@@ -65,8 +99,12 @@ std::optional<MinprocsResult> pruned_scan(const DagTask& task,
   ls_prepare(ws, task.graph(), policy, /*use_reduced_graph=*/true);
   for (int mu = minprocs_lower_bound(task); mu <= last; ++mu) {
     ++perf_counters().minprocs_scan_iterations;
+    FEDCONS_SPAN_V("minprocs", "ls_probe", "mu", mu);
     ls_run_prepared(ws, task.graph(), mu);
+    provenance_probe(prov, mu, ws.makespan);
     if (ws.makespan <= task.deadline()) {
+      provenance_accept(prov, mu);
+      obs::observe_minprocs_mu(mu);
       return MinprocsResult{
           mu, TemplateSchedule(mu, {ws.jobs.begin(), ws.jobs.end()})};
     }
@@ -80,10 +118,19 @@ std::optional<MinprocsResult> minprocs(const DagTask& task, int max_processors,
                                        ListPolicy policy,
                                        const MinprocsOptions& options) {
   FEDCONS_EXPECTS(max_processors >= 0);
+  FEDCONS_SPAN_V("minprocs", "scan", "m_r", max_processors);
+  provenance_open(options.provenance, task, max_processors);
   // No processor count can beat the critical path.
-  if (task.len() > task.deadline()) return std::nullopt;
-  return options.prune ? pruned_scan(task, max_processors, policy)
-                       : reference_scan(task, max_processors, policy);
+  if (task.len() > task.deadline()) {
+    if (options.provenance != nullptr) {
+      options.provenance->len_exceeds_deadline = true;
+    }
+    return std::nullopt;
+  }
+  return options.prune
+             ? pruned_scan(task, max_processors, policy, options.provenance)
+             : reference_scan(task, max_processors, policy,
+                              options.provenance);
 }
 
 }  // namespace fedcons

@@ -23,6 +23,7 @@
 #include "fedcons/core/dag_task.h"
 #include "fedcons/listsched/list_scheduler.h"
 #include "fedcons/listsched/schedule.h"
+#include "fedcons/obs/provenance.h"
 
 namespace fedcons {
 
@@ -41,6 +42,11 @@ struct MinprocsOptions {
   /// seed reference scan (allocation-per-probe LS, scan to m_r), kept as the
   /// equivalence oracle and benchmark baseline.
   bool prune = true;
+  /// When non-null, the scan records its full μ-trajectory here (every
+  /// probe's makespan, the Graham cap, and the exhaustion witness — see
+  /// obs/provenance.h). Recording only observes probes the scan already
+  /// makes: verdicts, probe sequence, and perf counters are unchanged.
+  MinprocsProvenance* provenance = nullptr;
 };
 
 /// Run MINPROCS for τ_i with at most max_processors available. Returns

@@ -5,6 +5,8 @@
 
 #include "fedcons/analysis/dbf.h"
 #include "fedcons/analysis/edf_uniproc.h"
+#include "fedcons/obs/metrics.h"
+#include "fedcons/obs/span_tracer.h"
 #include "fedcons/util/check.h"
 #include "fedcons/util/perf_counters.h"
 
@@ -70,11 +72,26 @@ BigRational candidate_dbf_star(const SporadicTask& t, Time bp) {
   return BigRational(std::move(num), BigInt(t.period));
 }
 
+/// Fill a demand-rejection diagnosis (no-op on nullptr): the failing DBF*
+/// breakpoint plus the exact demand-vs-capacity comparison.
+void diagnose_demand(BinAttemptRecord* diag, const BigRational& demand,
+                     Time breakpoint) {
+  if (diag == nullptr) return;
+  diag->reason = BinRejectReason::kDemand;
+  diag->breakpoint = breakpoint;
+  diag->detail = "DBF* demand " + demand.to_string() + " > capacity " +
+                 std::to_string(breakpoint) + " at breakpoint t=" +
+                 std::to_string(breakpoint);
+}
+
 /// The acceptance probe for placing `cand` on `bin`. `trial_scratch` is
 /// reused across probes by the exact-EDF variant (capacity persists).
+/// `diag`, when non-null, receives the rejection witness; the probe's
+/// decisions and counter increments are independent of it.
 bool fits(std::span<const SporadicTask> all, const Bin& bin,
           std::size_t cand, const PartitionOptions& options,
-          std::vector<SporadicTask>& trial_scratch) {
+          std::vector<SporadicTask>& trial_scratch,
+          BinAttemptRecord* diag = nullptr) {
   const SporadicTask& t = all[cand];
 
   if (options.variant == PartitionVariant::kExactEdf) {
@@ -82,7 +99,12 @@ bool fits(std::span<const SporadicTask> all, const Bin& bin,
     trial_scratch.reserve(bin.tasks.size() + 1);
     for (std::size_t j : bin.tasks) trial_scratch.push_back(all[j]);
     trial_scratch.push_back(t);
-    return edf_schedulable(trial_scratch);
+    if (edf_schedulable(trial_scratch)) return true;
+    if (diag != nullptr) {
+      diag->reason = BinRejectReason::kExactEdf;
+      diag->detail = "exact EDF test rejects bin ∪ {candidate}";
+    }
+    return false;
   }
 
   if (options.variant == PartitionVariant::kPaperLiteral) {
@@ -94,12 +116,22 @@ bool fits(std::span<const SporadicTask> all, const Bin& bin,
     } else {
       for (std::size_t j : bin.tasks) sum += dbf_approx(all[j], t.deadline);
     }
-    return sum <= BigRational(t.deadline);
+    if (sum <= BigRational(t.deadline)) return true;
+    diagnose_demand(diag, sum, t.deadline);
+    return false;
   }
 
   // kFull — Baruah–Fisher with a k-point demand approximation:
   // long-run capacity first…
-  if (bin.utilization + t.utilization() > BigRational(1)) return false;
+  if (bin.utilization + t.utilization() > BigRational(1)) {
+    if (diag != nullptr) {
+      diag->reason = BinRejectReason::kUtilization;
+      diag->detail = "utilization " +
+                     (bin.utilization + t.utilization()).to_string() +
+                     " > 1 with candidate";
+    }
+    return false;
+  }
   // …then the demand condition at every slope breakpoint of the summed
   // k-point approximation over bin ∪ {candidate}. Between breakpoints the
   // sum is linear with slope ≤ Σu ≤ 1 (checked above), so breakpoint
@@ -114,7 +146,9 @@ bool fits(std::span<const SporadicTask> all, const Bin& bin,
     const auto check_at = [&](Time bp) {
       BigRational sum = bin.demand.sum_at(bp);
       sum += candidate_dbf_star(t, bp);
-      return sum <= BigRational(bp);
+      if (sum <= BigRational(bp)) return true;
+      diagnose_demand(diag, sum, bp);
+      return false;
     };
     if (!check_at(t.deadline)) return false;
     for (Time bp : bin.demand.distinct_deadlines()) {
@@ -139,7 +173,10 @@ bool fits(std::span<const SporadicTask> all, const Bin& bin,
     if (bp < t.deadline) continue;
     BigRational sum;
     for (const auto& task : members) sum += dbf_approx_k(task, bp, points);
-    if (sum > BigRational(bp)) return false;
+    if (sum > BigRational(bp)) {
+      diagnose_demand(diag, sum, bp);
+      return false;
+    }
   }
   return true;
 }
@@ -150,6 +187,12 @@ PartitionResult partition_tasks(std::span<const SporadicTask> tasks,
                                 int num_processors,
                                 const PartitionOptions& options) {
   FEDCONS_EXPECTS(num_processors >= 0);
+  FEDCONS_SPAN_V("partition", "partition_tasks", "m_r", num_processors);
+  PartitionProvenance* prov = options.provenance;
+  if (prov != nullptr) {
+    *prov = PartitionProvenance{};
+    prov->num_processors = num_processors;
+  }
   PartitionResult result;
   if (tasks.empty()) {
     result.success = true;
@@ -159,6 +202,13 @@ PartitionResult partition_tasks(std::span<const SporadicTask> tasks,
   if (num_processors == 0) {
     result.success = false;
     result.failed_task = 0;
+    if (prov != nullptr) {
+      PlacementRecord record;
+      record.task_index = 0;
+      record.deadline = tasks[0].deadline;
+      record.wcet = tasks[0].wcet;
+      prov->placements.push_back(std::move(record));
+    }
     return result;
   }
 
@@ -188,10 +238,27 @@ PartitionResult partition_tasks(std::span<const SporadicTask> tasks,
   std::vector<Bin> bins(static_cast<std::size_t>(num_processors));
   std::vector<SporadicTask> trial_scratch;  // exact-EDF probe reuse
   for (std::size_t i : order) {
+    FEDCONS_SPAN_V("partition", "place", "task", i);
+    PlacementRecord record;
+    if (prov != nullptr) {
+      record.task_index = i;
+      record.deadline = tasks[i].deadline;
+      record.wcet = tasks[i].wcet;
+    }
+    int probed = 0;
     int chosen = -1;
     for (int k = 0; k < num_processors; ++k) {
       const Bin& bin = bins[static_cast<std::size_t>(k)];
-      if (!fits(tasks, bin, i, options, trial_scratch)) continue;
+      BinAttemptRecord attempt;
+      attempt.bin = k;
+      ++probed;
+      const bool ok = fits(tasks, bin, i, options, trial_scratch,
+                           prov != nullptr ? &attempt : nullptr);
+      if (prov != nullptr) {
+        attempt.fits = ok;
+        record.attempts.push_back(std::move(attempt));
+      }
+      if (!ok) continue;
       if (options.fit == FitStrategy::kFirstFit) {
         chosen = k;
         break;
@@ -208,6 +275,11 @@ PartitionResult partition_tasks(std::span<const SporadicTask> tasks,
                  bin.utilization < best.utilization) {
         chosen = k;
       }
+    }
+    obs::observe_partition_bins_touched(probed);
+    if (prov != nullptr) {
+      record.chosen_bin = chosen;
+      prov->placements.push_back(std::move(record));
     }
     if (chosen < 0) {
       result.success = false;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "fedcons/core/task_system.h"
+#include "fedcons/obs/provenance.h"
 
 namespace fedcons {
 
@@ -71,6 +72,12 @@ struct PartitionOptions {
   /// totals are identical to the recompute-per-probe paths (pinned by the
   /// partition tests). false selects the legacy paths (the oracle).
   bool incremental = true;
+  /// When non-null, the placement loop records every (task, bin) probe here
+  /// — which bins were tried, why each refused (utilization vs demand, with
+  /// the failing DBF* breakpoint and the exact demand), and where the task
+  /// landed (see obs/provenance.h). Recording only observes probes the loop
+  /// already makes: placements, verdicts, and perf counters are unchanged.
+  PartitionProvenance* provenance = nullptr;
 };
 
 /// Result of a partitioning attempt.

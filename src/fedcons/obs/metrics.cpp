@@ -1,0 +1,116 @@
+#include "fedcons/obs/metrics.h"
+
+#include <bit>
+
+namespace fedcons {
+namespace obs {
+
+namespace {
+
+int bucket_of(std::uint64_t v) noexcept {
+  return v == 0 ? 0 : 64 - std::countl_zero(v);  // 1 + floor(log2 v)
+}
+
+}  // namespace
+
+void Histogram::add(std::uint64_t v) noexcept {
+  buckets_[static_cast<std::size_t>(bucket_of(v))] += 1;
+  if (count_ == 0 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::uint64_t Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the percentile sample, 1-based (nearest-rank definition).
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(count_) + 0.5);
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      if (b == 0) return 0;
+      const std::uint64_t upper = b >= 64 ? ~std::uint64_t{0}
+                                          : (std::uint64_t{1} << b) - 1;
+      return upper > max_ ? max_ : upper;  // tighten the top bucket
+    }
+  }
+  return max_;
+}
+
+namespace {
+
+void metric_row(Table& t, const char* name, const Histogram& h) {
+  t.add_row({name, fmt_int(static_cast<long long>(h.count())),
+             fmt_double(h.mean(), 2),
+             fmt_int(static_cast<long long>(h.percentile(50))),
+             fmt_int(static_cast<long long>(h.percentile(90))),
+             fmt_int(static_cast<long long>(h.percentile(99))),
+             fmt_int(static_cast<long long>(h.min())),
+             fmt_int(static_cast<long long>(h.max()))});
+}
+
+void metric_json(std::string& out, const char* name, const Histogram& h) {
+  out += "\"" + std::string(name) + "\": {\"count\": " +
+         fmt_int(static_cast<long long>(h.count())) +
+         ", \"sum\": " + fmt_int(static_cast<long long>(h.sum())) +
+         ", \"min\": " + fmt_int(static_cast<long long>(h.min())) +
+         ", \"max\": " + fmt_int(static_cast<long long>(h.max())) +
+         ", \"p50\": " + fmt_int(static_cast<long long>(h.percentile(50))) +
+         ", \"p90\": " + fmt_int(static_cast<long long>(h.percentile(90))) +
+         ", \"p99\": " + fmt_int(static_cast<long long>(h.percentile(99))) +
+         "}";
+}
+
+}  // namespace
+
+Table MetricsRegistry::to_table() const {
+  Table t({"metric", "count", "mean", "p50", "p90", "p99", "min", "max"});
+  metric_row(t, "trial_latency_us", trial_latency_us);
+  metric_row(t, "minprocs_mu", minprocs_mu);
+  metric_row(t, "partition_bins_touched", partition_bins_touched);
+  return t;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{";
+  metric_json(out, "trial_latency_us", trial_latency_us);
+  out += ", ";
+  metric_json(out, "minprocs_mu", minprocs_mu);
+  out += ", ";
+  metric_json(out, "partition_bins_touched", partition_bins_touched);
+  out += "}";
+  return out;
+}
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}
+
+void set_metrics_enabled(bool enabled) {
+  detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+MetricsCollector& metrics_collector() noexcept {
+  thread_local MetricsCollector collector;
+  return collector;
+}
+
+}  // namespace obs
+}  // namespace fedcons

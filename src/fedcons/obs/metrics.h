@@ -1,0 +1,123 @@
+// Batch-level metrics: histograms aggregated deterministically in trial order.
+//
+// Where the span tracer shows one run's timeline, the metrics registry
+// summarizes distributions across a whole batch: per-trial wall-clock
+// latency, the μ chosen per high-density task, and the bins touched per
+// partition placement. Collection mirrors the perf-counter discipline —
+// thread-local raw-value collectors, one trial at a time per worker, each
+// trial's values snapshotted into its result slot and merged in trial-index
+// order — so the logical histograms (μ, bins) are bit-identical for any
+// thread count. Latency is physical wall-clock and varies run to run; it is
+// therefore only emitted when metrics were explicitly requested
+// (e.g. bench_e3 --metrics), never in default reports.
+//
+// Disabled-path contract: each observation point costs one relaxed atomic
+// load and a branch.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fedcons/util/table.h"
+
+namespace fedcons {
+namespace obs {
+
+/// Log2-bucketed histogram over non-negative integer samples. Bucket b holds
+/// values in [2^(b-1), 2^b) (bucket 0 holds {0}); percentiles are reported
+/// as the upper bound of the bucket containing the rank — a ≤2× estimate,
+/// which is the right fidelity for latency-style distributions.
+class Histogram {
+ public:
+  void add(std::uint64_t v) noexcept;
+  void merge(const Histogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  /// Upper bound of the bucket holding the p-th percentile sample (p in
+  /// [0, 100]); 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+
+  [[nodiscard]] const std::array<std::uint64_t, 65>& buckets() const noexcept {
+    return buckets_;
+  }
+  [[nodiscard]] bool operator==(const Histogram&) const noexcept = default;
+
+ private:
+  std::array<std::uint64_t, 65> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// The batch aggregate: one histogram per tracked dimension.
+struct MetricsRegistry {
+  Histogram trial_latency_us;       ///< wall-clock per trial (physical)
+  Histogram minprocs_mu;            ///< chosen μ per admitted MINPROCS scan
+  Histogram partition_bins_touched; ///< bins probed per placement attempt
+
+  void merge(const MetricsRegistry& other) noexcept {
+    trial_latency_us.merge(other.trial_latency_us);
+    minprocs_mu.merge(other.minprocs_mu);
+    partition_bins_touched.merge(other.partition_bins_touched);
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return trial_latency_us.count() == 0 && minprocs_mu.count() == 0 &&
+           partition_bins_touched.count() == 0;
+  }
+
+  /// Human table: one row per metric (count, mean, p50/p90/p99, min, max).
+  [[nodiscard]] Table to_table() const;
+  /// Deterministic JSON object (fixed key order) for --json reports.
+  [[nodiscard]] std::string to_json() const;
+};
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}
+
+/// The single branch every disabled observation pays.
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool enabled);
+
+/// Raw per-thread sample buffers. A batch driver clears the collector before
+/// a trial and snapshots it after (one trial at a time per worker thread —
+/// the BatchRunner contract — so the delta is exactly that trial's samples).
+struct MetricsCollector {
+  std::vector<std::uint32_t> minprocs_mu;
+  std::vector<std::uint32_t> partition_bins_touched;
+  void clear() noexcept {
+    minprocs_mu.clear();
+    partition_bins_touched.clear();
+  }
+};
+
+[[nodiscard]] MetricsCollector& metrics_collector() noexcept;
+
+/// Observation points, called from instrumented algorithm code.
+inline void observe_minprocs_mu(int mu) {
+  if (metrics_enabled()) {
+    metrics_collector().minprocs_mu.push_back(static_cast<std::uint32_t>(mu));
+  }
+}
+inline void observe_partition_bins_touched(int bins) {
+  if (metrics_enabled()) {
+    metrics_collector().partition_bins_touched.push_back(
+        static_cast<std::uint32_t>(bins));
+  }
+}
+
+}  // namespace obs
+}  // namespace fedcons

@@ -1,0 +1,115 @@
+// Verdict provenance: structured decision records for every FEDCONS phase.
+//
+// A bare "unschedulable" hides which phase ran out of capacity and which
+// concrete probe failed — exactly the information needed to study where the
+// 3 − 1/m bound bites (and the lens through which the negative result of
+// Chen, arXiv:1510.07254, and the semi-federated waste-attribution argument,
+// arXiv:1705.03245, examine federated scheduling). When recording is
+// requested, the algorithm fills these records as it runs: the per-task
+// phase classification δ_i, the full μ-scan trajectory (each LS probe's
+// makespan against D_i), and the per-placement bin-attempt list with the
+// failing DBF* breakpoint. Recording only observes computations the
+// algorithm already performs — verdicts and perf counters are identical
+// with recording on or off (pinned by tests/obs_provenance_test.cpp).
+//
+// Rendering: explain_text() for humans, explain_json() for machines
+// (fedcons_cli --explain / --explain=json).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fedcons/core/task_system.h"
+#include "fedcons/util/time_types.h"
+
+namespace fedcons {
+
+/// One LS probe of the MINPROCS scan: μ processors → makespan.
+struct MinprocsProbeRecord {
+  int mu = 0;
+  Time makespan = 0;
+};
+
+/// The μ-scan trajectory of one high-density task.
+struct MinprocsProvenance {
+  int scan_lb = 0;          ///< ⌈δ_i⌉ — where the scan starts
+  Time scan_cap = 0;        ///< Graham-bound cap μ_ub (0 when len > D)
+  int max_processors = 0;   ///< m_r offered to the scan
+  bool len_exceeds_deadline = false;  ///< trivially hopeless: no probe runs
+  std::vector<MinprocsProbeRecord> probes;  ///< in scan order
+  bool satisfied = false;
+  int chosen_mu = 0;        ///< meaningful iff satisfied
+  /// Best (smallest) makespan seen across all probes, and where — the
+  /// witness reported when the scan exhausts m_r.
+  Time best_makespan = kTimeInfinity;
+  int best_mu = 0;
+};
+
+/// Why a bin rejected a placement probe.
+enum class BinRejectReason {
+  kUtilization,  ///< Σu + u_cand > 1 (kFull long-run capacity condition)
+  kDemand,       ///< DBF* demand exceeded capacity at `breakpoint`
+  kExactEdf,     ///< exact EDF test (QPA) rejected bin ∪ {candidate}
+};
+
+[[nodiscard]] const char* to_string(BinRejectReason r) noexcept;
+
+/// One (task, bin) acceptance probe.
+struct BinAttemptRecord {
+  int bin = 0;
+  bool fits = false;
+  BinRejectReason reason = BinRejectReason::kDemand;  ///< iff !fits
+  Time breakpoint = -1;  ///< failing DBF* breakpoint; -1 unless kDemand
+  std::string detail;    ///< exact demand vs capacity, human-readable
+};
+
+/// One low-density task's journey through the first-fit loop.
+struct PlacementRecord {
+  std::size_t task_index = 0;  ///< input-span order (see FedconsProvenance)
+  Time deadline = 0;
+  Time wcet = 0;  ///< vol_i of the sequentialized task
+  int chosen_bin = -1;  ///< -1 when no bin fit (the failure witness)
+  std::vector<BinAttemptRecord> attempts;  ///< bins probed, in probe order
+};
+
+/// PARTITION's decision log, in placement (sorted) order.
+struct PartitionProvenance {
+  int num_processors = 0;
+  std::vector<PlacementRecord> placements;
+};
+
+/// One high-density task's dedicated-cluster decision.
+struct ClusterProvenance {
+  TaskId task = 0;
+  int m_r_at_entry = 0;  ///< processors remaining when the scan started
+  MinprocsProvenance scan;
+};
+
+/// The complete decision record of one fedcons_schedule() run.
+struct FedconsProvenance {
+  int m = 0;
+  bool success = false;
+  std::string failure;  ///< to_string(FedconsFailure): phase that failed
+  std::optional<TaskId> failed_task;
+  std::vector<ClusterProvenance> clusters;  ///< high-density tasks, in order
+  bool partition_reached = false;
+  int shared_processors = 0;  ///< m_r after phase 1 (iff partition_reached)
+  /// Maps PlacementRecord::task_index → TaskId (the low-density tasks in
+  /// system order, i.e. the span PARTITION received).
+  std::vector<TaskId> low_tasks;
+  PartitionProvenance partition;
+};
+
+/// Human-readable rendering: the verdict, then per-phase decision lines with
+/// the concrete witness for every rejection (μ-scan exhaustion with the best
+/// makespan achieved, or the per-bin DBF* breakpoints that failed).
+[[nodiscard]] std::string explain_text(const TaskSystem& system,
+                                       const FedconsProvenance& prov);
+
+/// Machine-readable rendering; fixed key order, carries "schema_version".
+[[nodiscard]] std::string explain_json(const TaskSystem& system,
+                                       const FedconsProvenance& prov);
+
+}  // namespace fedcons

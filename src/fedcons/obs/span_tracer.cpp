@@ -1,0 +1,150 @@
+#include "fedcons/obs/span_tracer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace fedcons {
+namespace obs {
+
+namespace detail {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+namespace {
+
+/// One thread's event log. Owned jointly by the thread (thread_local
+/// shared_ptr) and the registry, so collection works after the thread exits.
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::mutex mutex;  ///< guards events: owner appends, collector snapshots
+  std::vector<TraceEvent> events;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives exiting threads
+  return *r;
+}
+
+ThreadBuffer& this_thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    b->tid = reg.next_tid++;
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+/// Trace epoch: first clock read in the process. Timestamps are relative so
+/// the JSON stays in a human-scale microsecond range.
+std::int64_t epoch_ns() {
+  static const std::int64_t e =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return e;
+}
+
+}  // namespace
+
+std::int64_t now_ns() {
+  // Latch the epoch BEFORE reading the current time, so the very first
+  // timestamp (the one that initializes the epoch) is >= 0.
+  const std::int64_t epoch = epoch_ns();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count() -
+         epoch;
+}
+
+void record_span(const char* cat, const char* name, std::int64_t ts_ns,
+                 std::int64_t dur_ns, const char* arg_key,
+                 std::int64_t arg_val) {
+  ThreadBuffer& buf = this_thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(
+      TraceEvent{name, cat, ts_ns, dur_ns, buf.tid, arg_key, arg_val});
+}
+
+}  // namespace detail
+
+void set_tracing_enabled(bool enabled) {
+  detail::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void reset_trace() {
+  auto& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->events.clear();
+  }
+}
+
+std::vector<TraceEvent> collect_trace_events() {
+  std::vector<TraceEvent> out;
+  auto& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+namespace {
+
+/// Nanoseconds → microseconds with three decimals ("12.345"), matching the
+/// trace-event format's microsecond convention without floating point.
+void write_us(std::ostream& os, std::int64_t ns) {
+  const bool neg = ns < 0;
+  std::uint64_t v = neg ? static_cast<std::uint64_t>(-ns)
+                        : static_cast<std::uint64_t>(ns);
+  if (neg) os << '-';
+  os << (v / 1000) << '.';
+  const std::uint64_t frac = v % 1000;
+  os << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  const std::vector<TraceEvent> events = collect_trace_events();
+  os << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i) os << ',';
+    os << "\n  {\"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+       << ", \"name\": \"" << e.name << "\", \"cat\": \"" << e.cat
+       << "\", \"ts\": ";
+    write_us(os, e.ts_ns);
+    os << ", \"dur\": ";
+    write_us(os, e.dur_ns);
+    if (e.arg_key != nullptr) {
+      os << ", \"args\": {\"" << e.arg_key << "\": " << e.arg_val << "}";
+    }
+    os << "}";
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace obs
+}  // namespace fedcons

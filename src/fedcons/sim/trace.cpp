@@ -28,7 +28,19 @@ Time ExecutionTrace::busy_on(int processor) const {
   return sum;
 }
 
-std::optional<std::string> ExecutionTrace::validate() const {
+std::optional<std::string> ExecutionTrace::first_violation(
+    const std::map<std::uint64_t, Time>& releases) const {
+  // Release constraint first, in insertion order. Only jobs present in the
+  // map are constrained.
+  for (const auto& s : segments_) {
+    const auto it = releases.find(s.job_uid);
+    if (it == releases.end()) continue;
+    if (s.start < it->second) {
+      return "job " + std::to_string(s.job_uid) + " segment [" +
+             std::to_string(s.start) + ", " + std::to_string(s.end) +
+             ") starts before its release at " + std::to_string(it->second);
+    }
+  }
   // Group by processor, sort by start, scan for overlap.
   std::map<int, std::vector<const TraceSegment*>> by_proc;
   for (const auto& s : segments_) by_proc[s.processor].push_back(&s);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,10 +46,21 @@ class ExecutionTrace {
   [[nodiscard]] Time busy_on(int processor) const;
 
   /// First violation found, or nullopt when the trace is a legal schedule:
-  ///  * no two segments overlap on the same processor;
-  ///  * (optional) with `releases` given per job_uid, no segment starts
-  ///    before its job's release.
-  [[nodiscard]] std::optional<std::string> validate() const;
+  ///  * no two segments overlap on the same processor — back-to-back
+  ///    segments (end == next start) are legal, including for the same job;
+  ///  * with `releases` mapping job_uid → release time, no segment of a
+  ///    mapped job starts before its release. Jobs absent from the map are
+  ///    unconstrained (callers may validate a subset of jobs).
+  /// Violations are reported in a fixed order: release violations in
+  /// insertion order first, then per-processor overlaps in (processor,
+  /// start) order.
+  [[nodiscard]] std::optional<std::string> first_violation(
+      const std::map<std::uint64_t, Time>& releases = {}) const;
+
+  /// Back-compat alias for first_violation with no release constraints.
+  [[nodiscard]] std::optional<std::string> validate() const {
+    return first_violation();
+  }
 
   /// Earliest start time of the given job's segments (kTimeInfinity if the
   /// job never ran).

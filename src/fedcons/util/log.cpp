@@ -1,11 +1,20 @@
 #include "fedcons/util/log.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace fedcons {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+/// Serializes log_emit writers. Leaked so logging from static destructors of
+/// other translation units stays safe.
+std::mutex& log_mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,13 +28,25 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
-  std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+  // Compose the full line first, then issue ONE stream write under the
+  // mutex: lines from concurrent threads never tear mid-line.
+  std::string line;
+  line.reserve(msg.size() + 9);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr << line;
 }
 }  // namespace detail
 

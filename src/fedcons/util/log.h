@@ -1,8 +1,11 @@
 // Leveled diagnostic logging to stderr.
 //
 // The analysis library itself never logs (pure functions); logging is used by
-// the experiment harness and examples for progress reporting. The level is a
-// process-wide setting (single-threaded harness).
+// the experiment harness and examples for progress reporting. Thread-safe:
+// the level is a process-wide atomic, and each message is composed off-line
+// and written to stderr as a single line under a mutex, so concurrent
+// BatchRunner workers never interleave characters within a line (pinned by
+// tests/log_test.cpp). Messages from different threads may order arbitrarily.
 #pragma once
 
 #include <sstream>

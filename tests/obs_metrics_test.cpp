@@ -1,0 +1,219 @@
+// Tests for the metrics registry: histogram math, merge determinism, and the
+// enable-gate contract of the observation points.
+#include "fedcons/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fedcons/expr/acceptance.h"
+#include "test_json.h"
+
+namespace fedcons {
+namespace {
+
+using obs::Histogram;
+using obs::MetricsRegistry;
+
+TEST(HistogramTest, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0u);
+}
+
+TEST(HistogramTest, BasicMoments) {
+  Histogram h;
+  for (std::uint64_t v : {3u, 5u, 9u, 0u, 100u}) h.add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 117u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 117.0 / 5.0);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket b holds [2^(b-1), 2^b); bucket 0 holds {0}.
+  Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(1023);
+  h.add(1024);
+  const auto& b = h.buckets();
+  EXPECT_EQ(b[0], 1u);   // 0
+  EXPECT_EQ(b[1], 1u);   // 1
+  EXPECT_EQ(b[2], 2u);   // 2, 3
+  EXPECT_EQ(b[3], 1u);   // 4..7
+  EXPECT_EQ(b[10], 1u);  // 512..1023
+  EXPECT_EQ(b[11], 1u);  // 1024..2047
+}
+
+TEST(HistogramTest, PercentileIsBucketUpperBoundClampedToMax) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(10);   // bucket 4: [8, 16)
+  for (int i = 0; i < 10; ++i) h.add(130);  // bucket 8: [128, 256)
+  EXPECT_EQ(h.percentile(50), 15u);   // upper bound of bucket 4
+  EXPECT_EQ(h.percentile(99), 130u);  // bucket 8 upper bound, clamped to max
+  EXPECT_EQ(h.percentile(0), 15u);    // rank clamps to 1
+  EXPECT_EQ(h.percentile(100), 130u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.add(42);
+  EXPECT_EQ(h.percentile(0), 42u);
+  EXPECT_EQ(h.percentile(50), 42u);
+  EXPECT_EQ(h.percentile(100), 42u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+}
+
+TEST(HistogramTest, MergeEqualsBulkAdd) {
+  // Merging per-shard histograms must equal one histogram fed everything —
+  // the property that makes trial-order aggregation deterministic.
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 1000; ++i) values.push_back((i * 37) % 511);
+
+  Histogram bulk;
+  for (std::uint64_t v : values) bulk.add(v);
+
+  Histogram a, b, c, merged;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(values[i]);
+  }
+  merged.merge(a);
+  merged.merge(b);
+  merged.merge(c);
+  EXPECT_EQ(merged, bulk);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram h, empty;
+  h.add(7);
+  Histogram before = h;
+  h.merge(empty);
+  EXPECT_EQ(h, before);
+  empty.merge(h);
+  EXPECT_EQ(empty, before);
+}
+
+TEST(MetricsRegistryTest, EmptyAndMerge) {
+  MetricsRegistry r;
+  EXPECT_TRUE(r.empty());
+  r.minprocs_mu.add(2);
+  EXPECT_FALSE(r.empty());
+
+  MetricsRegistry other;
+  other.trial_latency_us.add(100);
+  other.partition_bins_touched.add(3);
+  r.merge(other);
+  EXPECT_EQ(r.minprocs_mu.count(), 1u);
+  EXPECT_EQ(r.trial_latency_us.count(), 1u);
+  EXPECT_EQ(r.partition_bins_touched.count(), 1u);
+}
+
+TEST(MetricsRegistryTest, JsonIsParsableWithFixedShape) {
+  MetricsRegistry r;
+  r.trial_latency_us.add(50);
+  r.minprocs_mu.add(2);
+  r.minprocs_mu.add(4);
+  r.partition_bins_touched.add(1);
+  auto doc = testjson::parse(r.to_json());
+  for (const char* metric :
+       {"trial_latency_us", "minprocs_mu", "partition_bins_touched"}) {
+    const auto& m = doc->at(metric);
+    for (const char* key : {"count", "sum", "min", "max", "p50", "p90", "p99"}) {
+      EXPECT_TRUE(m.has(key)) << metric << "." << key;
+    }
+  }
+  EXPECT_EQ(doc->at("minprocs_mu").at("count").number, 2.0);
+  EXPECT_EQ(doc->at("minprocs_mu").at("sum").number, 6.0);
+}
+
+TEST(MetricsRegistryTest, TableHasOneRowPerMetric) {
+  MetricsRegistry r;
+  Table t = r.to_table();
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST(ObservationPointTest, DisabledObservationsRecordNothing) {
+  obs::set_metrics_enabled(false);
+  obs::metrics_collector().clear();
+  obs::observe_minprocs_mu(3);
+  obs::observe_partition_bins_touched(2);
+  EXPECT_TRUE(obs::metrics_collector().minprocs_mu.empty());
+  EXPECT_TRUE(obs::metrics_collector().partition_bins_touched.empty());
+}
+
+TEST(ObservationPointTest, EnabledObservationsLandInThreadCollector) {
+  obs::set_metrics_enabled(true);
+  obs::metrics_collector().clear();
+  obs::observe_minprocs_mu(3);
+  obs::observe_minprocs_mu(5);
+  obs::observe_partition_bins_touched(2);
+  obs::set_metrics_enabled(false);
+  ASSERT_EQ(obs::metrics_collector().minprocs_mu.size(), 2u);
+  EXPECT_EQ(obs::metrics_collector().minprocs_mu[0], 3u);
+  EXPECT_EQ(obs::metrics_collector().minprocs_mu[1], 5u);
+  ASSERT_EQ(obs::metrics_collector().partition_bins_touched.size(), 1u);
+  obs::metrics_collector().clear();
+}
+
+TEST(SweepMetricsTest, ValueHistogramsAreThreadCountInvariant) {
+  // The μ and bins-touched histograms are logical measurements: running the
+  // same sweep serially and on 4 threads must produce identical histograms.
+  // (Latency is physical and excluded from the comparison.)
+  obs::set_metrics_enabled(true);
+  SweepConfig cfg;
+  cfg.m = 4;
+  cfg.normalized_utils = {0.5, 0.8};
+  cfg.trials = 24;
+  cfg.seed = 7;
+  cfg.collect_metrics = true;
+  cfg.base.num_tasks = 6;
+  cfg.base.period_min = 50;
+  cfg.base.period_max = 2000;
+  auto algorithms = standard_algorithms();
+
+  cfg.num_threads = 1;
+  auto serial = run_acceptance_sweep(cfg, algorithms);
+  cfg.num_threads = 4;
+  auto parallel = run_acceptance_sweep(cfg, algorithms);
+  obs::set_metrics_enabled(false);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    EXPECT_EQ(serial[p].metrics.minprocs_mu, parallel[p].metrics.minprocs_mu)
+        << "point " << p;
+    EXPECT_EQ(serial[p].metrics.partition_bins_touched,
+              parallel[p].metrics.partition_bins_touched)
+        << "point " << p;
+    EXPECT_GT(serial[p].metrics.trial_latency_us.count(), 0u);
+    EXPECT_EQ(serial[p].metrics.trial_latency_us.count(),
+              parallel[p].metrics.trial_latency_us.count());
+  }
+}
+
+TEST(SweepMetricsTest, MetricsOffLeavesPointsEmpty) {
+  SweepConfig cfg;
+  cfg.m = 2;
+  cfg.normalized_utils = {0.5};
+  cfg.trials = 4;
+  cfg.num_threads = 1;
+  cfg.base.num_tasks = 4;
+  cfg.base.period_min = 50;
+  cfg.base.period_max = 500;
+  auto points = run_acceptance_sweep(cfg, standard_algorithms());
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_TRUE(points[0].metrics.empty());
+}
+
+}  // namespace
+}  // namespace fedcons

@@ -1,0 +1,121 @@
+// Every machine-readable report the repo emits carries "schema_version" and
+// parses as JSON. These tests run each writer on a small real input and
+// assert the version plus the structural keys consumers rely on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fedcons/conform/harness.h"
+#include "fedcons/conform/oracle.h"
+#include "fedcons/expr/acceptance.h"
+#include "fedcons/expr/reports.h"
+#include "fedcons/expr/speedup_experiment.h"
+#include "test_json.h"
+
+namespace fedcons {
+namespace {
+
+TEST(ReportSchemaTest, SweepReportCarriesSchemaVersion) {
+  SweepConfig cfg;
+  cfg.m = 2;
+  cfg.normalized_utils = {0.4, 0.8};
+  cfg.trials = 6;
+  cfg.seed = 11;
+  cfg.num_threads = 1;
+  cfg.base.num_tasks = 4;
+  cfg.base.period_min = 50;
+  cfg.base.period_max = 500;
+  auto algorithms = standard_algorithms();
+  auto points = run_acceptance_sweep(cfg, algorithms);
+
+  const std::string json = sweep_report_json(
+      "e3_acceptance_vs_util", cfg.seed, algorithms,
+      {SweepSection{"m=2", cfg.m, points}});
+  auto doc = testjson::parse(json);
+  EXPECT_EQ(doc->at("schema_version").number, 1.0);
+  EXPECT_EQ(doc->at("experiment").string, "e3_acceptance_vs_util");
+  EXPECT_EQ(doc->at("algorithms").array.size(), algorithms.size());
+  const auto& sweeps = doc->at("sweeps");
+  ASSERT_EQ(sweeps.array.size(), 1u);
+  const auto& pts = sweeps.array[0]->at("points");
+  ASSERT_EQ(pts.array.size(), 2u);
+  for (const auto& pt : pts.array) {
+    EXPECT_TRUE(pt->has("normalized_util"));
+    EXPECT_TRUE(pt->has("trials"));
+    EXPECT_TRUE(pt->has("accepted"));
+    EXPECT_TRUE(pt->has("counters"));
+    // Metrics were not requested, so the key must be absent (byte-stability
+    // of default reports).
+    EXPECT_FALSE(pt->has("metrics"));
+  }
+}
+
+TEST(ReportSchemaTest, SweepReportIncludesMetricsOnlyWhenCollected) {
+  SweepConfig cfg;
+  cfg.m = 2;
+  cfg.normalized_utils = {0.5};
+  cfg.trials = 4;
+  cfg.seed = 3;
+  cfg.num_threads = 1;
+  cfg.collect_metrics = true;
+  cfg.base.num_tasks = 4;
+  cfg.base.period_min = 50;
+  cfg.base.period_max = 500;
+  auto algorithms = standard_algorithms();
+  obs::set_metrics_enabled(true);
+  auto points = run_acceptance_sweep(cfg, algorithms);
+  obs::set_metrics_enabled(false);
+
+  const std::string json = sweep_report_json(
+      "e3_acceptance_vs_util", cfg.seed, algorithms,
+      {SweepSection{"m=2", cfg.m, points}});
+  auto doc = testjson::parse(json);
+  const auto& pt =
+      *doc->at("sweeps").array[0]->at("points").array[0];
+  ASSERT_TRUE(pt.has("metrics"));
+  EXPECT_TRUE(pt.at("metrics").at("trial_latency_us").has("p99"));
+}
+
+TEST(ReportSchemaTest, SpeedupReportCarriesSchemaVersion) {
+  SpeedupExperimentConfig cfg;
+  cfg.m = 4;
+  SpeedupExperimentResult result;
+  result.speeds = {1.0, 1.25, 2.5};
+  result.measured = 3;
+  result.accepted_at_unit = 1;
+  result.never_accepted = 0;
+
+  auto doc = testjson::parse(speedup_report_json("e4_speedup", cfg, result));
+  EXPECT_EQ(doc->at("schema_version").number, 1.0);
+  EXPECT_EQ(doc->at("experiment").string, "e4_speedup");
+  EXPECT_EQ(doc->at("m").number, 4.0);
+  EXPECT_EQ(doc->at("speeds").array.size(), 3u);
+  EXPECT_TRUE(doc->has("theoretical_bound"));
+}
+
+TEST(ReportSchemaTest, ConformReportCarriesSchemaVersion) {
+  ConformConfig config = default_conform_config();
+  config.trials = 3;
+  config.num_threads = 1;
+  config.m = 4;
+  config.sim.horizon = 500;
+  auto entries = builtin_conformance_entries();
+  ConformReport report = run_conformance(config, entries);
+
+  auto doc = testjson::parse(conform_report_json(report));
+  EXPECT_EQ(doc->at("schema_version").number, 1.0);
+  EXPECT_EQ(doc->at("trials").number, 3.0);
+  ASSERT_TRUE(doc->at("entries").is_array());
+  ASSERT_EQ(doc->at("entries").array.size(), entries.size());
+  for (const auto& e : doc->at("entries").array) {
+    EXPECT_TRUE(e->has("name"));
+    EXPECT_TRUE(e->has("supported"));
+    EXPECT_TRUE(e->has("admitted"));
+    EXPECT_TRUE(e->has("violations"));
+  }
+  EXPECT_TRUE(doc->at("counters").has("conform_trials"));
+}
+
+}  // namespace
+}  // namespace fedcons

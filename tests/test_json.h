@@ -1,0 +1,221 @@
+// Minimal recursive-descent JSON parser for schema assertions in tests.
+//
+// The repo's report writers emit JSON by hand (deterministic bytes, no
+// dependency); the tests on this side need the inverse — enough of a parser
+// to assert structure ("every traceEvents element has ph/pid/tid/name/cat/
+// ts/dur", "schema_version == 1") without adding a library dependency.
+// Supports the full JSON grammar the writers use: objects, arrays, strings
+// with \"\\nt escapes, integers/decimals (incl. negative), true/false/null.
+// Throws std::runtime_error with position info on malformed input, so a
+// writer regression fails loudly.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fedcons {
+namespace testjson {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<ValuePtr> array;
+  std::map<std::string, ValuePtr> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return is_object() && object.count(key) != 0;
+  }
+  /// Object member access; throws when absent (schema assertion failure).
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    if (!is_object()) throw std::runtime_error("not an object");
+    auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return *it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON error at offset " + std::to_string(pos_) +
+                             ": " + why);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  ValuePtr parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto v = std::make_shared<Value>();
+        v->kind = Value::Kind::kString;
+        v->string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        auto v = std::make_shared<Value>();
+        v->kind = Value::Kind::kBool;
+        if (consume_literal("true")) {
+          v->boolean = true;
+        } else if (consume_literal("false")) {
+          v->boolean = false;
+        } else {
+          fail("bad literal");
+        }
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return std::make_shared<Value>();
+      }
+      default: return parse_number();
+    }
+  }
+
+  ValuePtr parse_object() {
+    expect('{');
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v->object[key] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  ValuePtr parse_array() {
+    expect('[');
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v->array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c == '\\') {
+        char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: fail("unsupported escape");
+        }
+        continue;
+      }
+      out += c;
+    }
+  }
+
+  ValuePtr parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kNumber;
+    try {
+      v->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number: " + text_.substr(start, pos_ - start));
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Parse or throw std::runtime_error.
+inline ValuePtr parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace testjson
+}  // namespace fedcons

@@ -63,6 +63,65 @@ TEST(TraceTest, EmptyTraceValidates) {
   EXPECT_EQ(tr.total_busy(), 0);
 }
 
+TEST(TraceTest, FirstViolationAdjacentSegmentsPass) {
+  // end == next start is legal on one processor, whatever the job identity:
+  // segments are half-open, so [0, 5) followed by [5, 9) never co-executes.
+  ExecutionTrace tr;
+  tr.add(0, 1, 0, 5);
+  tr.add(0, 2, 5, 9);
+  tr.add(1, 3, 4, 7);
+  tr.add(1, 4, 7, 8);
+  EXPECT_FALSE(tr.first_violation().has_value());
+}
+
+TEST(TraceTest, FirstViolationZeroGapSameUidSegmentsPass) {
+  // A preempted job resuming the instant its previous slice ends — same uid,
+  // zero gap — is a legal (if redundant) trace, on the same processor or
+  // after a migration.
+  ExecutionTrace tr;
+  tr.add(0, 7, 0, 3);
+  tr.add(0, 7, 3, 6);   // same processor, same uid, zero gap
+  tr.add(1, 7, 6, 10);  // migrates with zero gap
+  EXPECT_FALSE(tr.first_violation().has_value());
+  EXPECT_EQ(tr.executed(7), 10);
+}
+
+TEST(TraceTest, FirstViolationHonorsReleaseMap) {
+  ExecutionTrace tr;
+  tr.add(0, 1, 4, 6);
+  tr.add(0, 2, 6, 8);
+  std::map<std::uint64_t, Time> releases{{1, 4}, {2, 7}};
+  auto err = tr.first_violation(releases);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("job 2"), std::string::npos);
+  EXPECT_NE(err->find("release"), std::string::npos);
+  // Starting exactly at release is legal.
+  releases[2] = 6;
+  EXPECT_FALSE(tr.first_violation(releases).has_value());
+}
+
+TEST(TraceTest, FirstViolationUnmappedUidsAreUnconstrained) {
+  // Jobs absent from the releases map carry no release constraint — callers
+  // may validate a subset of jobs (e.g. one task's stream) without modeling
+  // the rest.
+  ExecutionTrace tr;
+  tr.add(0, 10, 0, 2);  // would "violate" any positive release, but unmapped
+  tr.add(0, 11, 2, 5);
+  std::map<std::uint64_t, Time> releases{{11, 1}};
+  EXPECT_FALSE(tr.first_violation(releases).has_value());
+  // An empty map degenerates to overlap checking only == validate().
+  EXPECT_FALSE(tr.first_violation({}).has_value());
+}
+
+TEST(TraceTest, FirstViolationStillCatchesOverlapWithReleases) {
+  ExecutionTrace tr;
+  tr.add(0, 1, 0, 5);
+  tr.add(0, 2, 4, 6);
+  auto err = tr.first_violation({{1, 0}, {2, 0}});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("overlaps"), std::string::npos);
+}
+
 TEST(TraceTest, ClusterReplayTraceIsLegal) {
   DagTask t = make_paper_example_task();
   TemplateSchedule sigma = list_schedule(t.graph(), 2);

@@ -4,7 +4,7 @@
 //   fedcons_cli --file=workload.tasks --m=8 [--simulate] [--horizon=100000]
 //               [--strategy=fedcons|arbfed|arbfed-clamp] [--algo=NAME]
 //               [--variant=full|literal] [--seed=1] [--dot] [--gantt]
-//               [--margins] [--json]
+//               [--margins] [--json] [--explain[=json]] [--trace-out=FILE]
 //   fedcons_cli --list-algos         # engine registry names + descriptions
 //   fedcons_cli --example            # print a sample workload file and exit
 //
@@ -19,6 +19,16 @@
 // measured across this run (perf counter deltas plus the thread's
 // workspace-reuse count). Exit status is unchanged.
 //
+// --explain (fedcons strategy only) records verdict provenance and appends
+// the full decision log to the report: each high-density task's μ-scan
+// trajectory with every LS probe's makespan against D_i, and each
+// low-density task's bin-attempt list with the failing DBF* breakpoint.
+// --explain=json emits the machine-readable provenance document instead of
+// the human report (mutually exclusive with --json: one document per run).
+//
+// --trace-out=FILE enables span tracing for the run and writes a Chrome
+// trace-event JSON (open in Perfetto / chrome://tracing) on exit.
+//
 // Exit status: 0 = schedulable (and, with --simulate, zero misses),
 //              1 = rejected / misses, 2 = usage or parse error.
 #include <fstream>
@@ -31,6 +41,8 @@
 #include "fedcons/federated/fedcons_algorithm.h"
 #include "fedcons/federated/sensitivity.h"
 #include "fedcons/listsched/ls_workspace.h"
+#include "fedcons/obs/provenance.h"
+#include "fedcons/obs/span_tracer.h"
 #include "fedcons/sim/gantt.h"
 #include "fedcons/sim/system_sim.h"
 #include "fedcons/util/check.h"
@@ -80,6 +92,7 @@ int usage() {
          "                   [--simulate] [--horizon=N] [--seed=N] [--dot]\n"
          "                   [--strategy=fedcons|arbfed|arbfed-clamp]\n"
          "                   [--algo=NAME] [--variant=full|literal] [--json]\n"
+         "                   [--explain[=json]] [--trace-out=FILE]\n"
          "       fedcons_cli --list-algos\n"
          "       fedcons_cli --example\n";
   return 2;
@@ -107,6 +120,7 @@ void print_json_report(std::ostream& os, const std::string& file, int m,
                        const PerfCounters& counters,
                        std::uint64_t workspace_reuses) {
   os << "{\n";
+  os << "  \"schema_version\": 1,\n";
   os << "  \"file\": \"" << json_escape(file) << "\",\n";
   os << "  \"m\": " << m << ",\n";
   os << "  \"strategy\": \"fedcons\",\n";
@@ -145,6 +159,20 @@ void print_json_report(std::ostream& os, const std::string& file, int m,
      << ", \"workspace_reuses\": " << workspace_reuses << "}\n";
   os << "}\n";
 }
+
+// Writes the Chrome trace on every exit path once --trace-out is set.
+struct TraceDump {
+  std::string path;
+  ~TraceDump() {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot write trace to '" << path << "'\n";
+      return;
+    }
+    obs::write_chrome_trace(out);
+  }
+};
 
 int list_algos() {
   const TestRegistry& reg = TestRegistry::global();
@@ -185,7 +213,23 @@ int main(int argc, char** argv) {
   }
 
   const bool json = flags.has("json");
-  if (!json) {
+  const bool explain = flags.has("explain");
+  // Bare --explain parses as "true"; --explain=json selects the document.
+  const bool explain_as_json =
+      explain && flags.get_string("explain", "true") == "json";
+  if (json && explain) {
+    std::cerr << "error: --json and --explain are mutually exclusive "
+                 "(each emits one document; use --explain=json for the "
+                 "machine-readable provenance)\n";
+    return 2;
+  }
+
+  TraceDump trace_dump;
+  trace_dump.path = flags.get_string("trace-out", "");
+  if (!trace_dump.path.empty()) obs::set_tracing_enabled(true);
+
+  const bool machine = json || explain_as_json;
+  if (!machine) {
     std::cout << system.summary() << "\n";
     if (flags.has("dot")) {
       for (std::size_t i = 0; i < system.size(); ++i) {
@@ -200,8 +244,9 @@ int main(int argc, char** argv) {
   }
 
   if (flags.has("algo")) {
-    if (json) {
-      std::cerr << "error: --json is only supported with --strategy=fedcons\n";
+    if (json || explain) {
+      std::cerr << "error: --json/--explain are only supported with "
+                   "--strategy=fedcons\n";
       return 2;
     }
     const std::string algo = flags.get_string("algo", "");
@@ -231,9 +276,11 @@ int main(int argc, char** argv) {
   if (flags.get_string("variant", "full") == "literal") {
     options.partition.variant = PartitionVariant::kPaperLiteral;
   }
+  options.record_provenance = explain;
 
-  if (json && strategy != "fedcons") {
-    std::cerr << "error: --json is only supported with --strategy=fedcons\n";
+  if ((json || explain) && strategy != "fedcons") {
+    std::cerr << "error: --json/--explain are only supported with "
+                 "--strategy=fedcons\n";
     return 2;
   }
 
@@ -255,7 +302,14 @@ int main(int argc, char** argv) {
                         workspace_reuse_count() - reuses_before);
       return schedulable ? 0 : 1;
     }
+    if (explain_as_json) {
+      std::cout << explain_json(system, *fed_result.provenance);
+      return schedulable ? 0 : 1;
+    }
     std::cout << fed_result.describe(system);
+    if (explain) {
+      std::cout << "\n" << explain_text(system, *fed_result.provenance);
+    }
     if (schedulable && flags.has("gantt")) {
       for (const auto& c : fed_result.clusters) {
         std::cout << "\nTemplate schedule sigma for task " << c.task + 1

@@ -14,6 +14,7 @@
 //                             FEDCONS@online-rerun may be named explicitly)
 //   --out-dir DIR            (write one JSON artifact per violation)
 //   --json                   (machine-readable report on stdout)
+//   --trace-out FILE         (span-trace the run; Chrome trace-event JSON)
 //
 // Exit codes: 0 — success (zero violations / artifact reproduced / demo
 // exhibited); 1 — violations found (or artifact failed to reproduce, or the
@@ -31,6 +32,7 @@
 #include "fedcons/conform/harness.h"
 #include "fedcons/conform/oracle.h"
 #include "fedcons/core/io.h"
+#include "fedcons/obs/span_tracer.h"
 #include "fedcons/util/flags.h"
 
 namespace {
@@ -96,27 +98,6 @@ int run_demo() {
   return exhibited ? 0 : 1;
 }
 
-void print_report_json(const ConformReport& report) {
-  std::cout << "{\n  \"trials\": " << report.trials
-            << ",\n  \"m\": " << report.m << ",\n  \"entries\": [\n";
-  for (std::size_t i = 0; i < report.entries.size(); ++i) {
-    const auto& e = report.entries[i];
-    std::cout << "    {\"name\": \"" << e.name
-              << "\", \"supported\": " << e.supported
-              << ", \"admitted\": " << e.admitted
-              << ", \"violations\": " << e.violations
-              << ", \"jobs_released\": " << e.jobs_released << "}"
-              << (i + 1 < report.entries.size() ? "," : "") << "\n";
-  }
-  std::cout << "  ],\n  \"counters\": {\"conform_trials\": "
-            << report.counters.conform_trials
-            << ", \"conform_violations\": "
-            << report.counters.conform_violations
-            << ", \"conform_shrink_steps\": "
-            << report.counters.conform_shrink_steps << "},\n"
-            << "  \"violations\": " << report.violations.size() << "\n}\n";
-}
-
 int run_harness(const Flags& flags) {
   ConformConfig config = default_conform_config();
   config.trials = static_cast<std::size_t>(flags.get_int("trials", 1000));
@@ -148,7 +129,7 @@ int run_harness(const Flags& flags) {
   const ConformReport report = run_conformance(config, entries);
 
   if (flags.get_bool("json", false)) {
-    print_report_json(report);
+    std::cout << conform_report_json(report);
   } else {
     std::cout << "conformance: " << report.trials << " trials, m=" << report.m
               << ", master_seed=" << config.master_seed
@@ -195,6 +176,9 @@ int run_harness(const Flags& flags) {
 int main(int argc, char** argv) {
   try {
     const Flags flags(argc, argv);
+    const std::string trace_out = flags.get_string("trace-out", "");
+    if (!trace_out.empty()) obs::set_tracing_enabled(true);
+    int rc;
     if (flags.get_bool("list", false)) {
       for (const auto& e : builtin_conformance_entries()) {
         std::cout << e.name << "\n";
@@ -202,13 +186,23 @@ int main(int argc, char** argv) {
       for (const auto& e : demonstration_conformance_entries()) {
         std::cout << e.name << " (demonstration)\n";
       }
-      return 0;
+      rc = 0;
+    } else if (flags.get_bool("demo-anomaly", false)) {
+      rc = run_demo();
+    } else if (flags.has("replay")) {
+      rc = run_replay(flags.get_string("replay", ""));
+    } else {
+      rc = run_harness(flags);
     }
-    if (flags.get_bool("demo-anomaly", false)) return run_demo();
-    if (flags.has("replay")) {
-      return run_replay(flags.get_string("replay", ""));
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::cerr << "error: cannot write trace to '" << trace_out << "'\n";
+        return 2;
+      }
+      obs::write_chrome_trace(out);
     }
-    return run_harness(flags);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
