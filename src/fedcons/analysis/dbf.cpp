@@ -10,15 +10,19 @@ namespace fedcons {
 Time dbf(const SporadicTask& task, Time t) {
   if (t < task.deadline) return 0;
   Time jobs = floor_div(t - task.deadline, task.period) + 1;
-  return checked_mul(jobs, task.wcet);
+  // Saturating, not checked: a demand beyond int64 means "unschedulable by
+  // saturation" (kTimeInfinity exceeds every supply comparison), never a
+  // wrap and never an abort mid-analysis.
+  return saturating_mul(jobs, task.wcet);
 }
 
 BigRational dbf_approx(const SporadicTask& task, Time t) {
   ++perf_counters().dbf_star_evaluations;
   if (t < task.deadline) return BigRational(0);
-  // vol + u·(t − D) = C·(T + t − D)/T.
+  // vol + u·(t − D) = C·(T + t − D)/T. The inner sum is formed in BigInt —
+  // T + (t − D) can exceed int64 for extreme parameters.
   BigInt num = BigInt(task.wcet) *
-               BigInt(checked_add(task.period, t - task.deadline));
+               (BigInt(task.period) + BigInt(t - task.deadline));
   return BigRational(std::move(num), BigInt(task.period));
 }
 
@@ -26,14 +30,15 @@ BigRational dbf_approx_k(const SporadicTask& task, Time t, int points) {
   FEDCONS_EXPECTS(points >= 1);
   ++perf_counters().dbf_star_evaluations;
   if (t < task.deadline) return BigRational(0);
-  // Last exact step instant covered by the k points.
-  const Time tail_start =
-      checked_add(task.deadline,
-                  checked_mul(static_cast<Time>(points - 1), task.period));
+  // Last exact step instant covered by the k points. A saturated tail start
+  // just means every representable t sits in the exact region.
+  const Time tail_start = saturating_add(
+      task.deadline,
+      saturating_mul(static_cast<Time>(points - 1), task.period));
   if (t < tail_start) return BigRational(dbf(task, t));  // exact region
-  // k·C + u·(t − tail_start).
+  // k·C + u·(t − tail_start), with the k·T product formed in BigInt.
   BigInt num = BigInt(task.wcet) *
-               (BigInt(checked_mul(static_cast<Time>(points), task.period)) +
+               (BigInt(static_cast<Time>(points)) * BigInt(task.period) +
                 BigInt(t - tail_start));
   return BigRational(std::move(num), BigInt(task.period));
 }
@@ -44,9 +49,10 @@ std::vector<Time> dbf_approx_breakpoints(std::span<const SporadicTask> tasks,
   std::vector<Time> out;
   for (const auto& task : tasks) {
     for (int i = 0; i < points; ++i) {
-      Time bp = checked_add(task.deadline,
-                            checked_mul(static_cast<Time>(i), task.period));
-      if (bp > 0 && bp <= horizon) out.push_back(bp);
+      // Saturated breakpoints exceed any finite horizon and drop out here.
+      Time bp = saturating_add(
+          task.deadline, saturating_mul(static_cast<Time>(i), task.period));
+      if (bp > 0 && bp <= horizon && bp != kTimeInfinity) out.push_back(bp);
     }
   }
   std::sort(out.begin(), out.end());
@@ -111,8 +117,11 @@ bool approx_demand_fits(std::span<const SporadicTask> tasks, Time t) {
 }
 
 Time total_dbf(std::span<const SporadicTask> tasks, Time t) {
+  // Saturating accumulation: an overflowing total reads as kTimeInfinity,
+  // which every "demand ≤ supply" comparison downstream rejects — the
+  // correct verdict (unschedulable by saturation), reached without UB.
   Time sum = 0;
-  for (const auto& task : tasks) sum = checked_add(sum, dbf(task, t));
+  for (const auto& task : tasks) sum = saturating_add(sum, dbf(task, t));
   return sum;
 }
 

@@ -108,8 +108,11 @@ EdfResult edf_schedulable_pdc(std::span<const SporadicTask> tasks,
     while (!heap.empty() && heap.top().t == t) {
       auto [pt, j] = heap.top();
       heap.pop();
-      demand = checked_add(demand, tasks[j].wcet);
-      Time next = checked_add(pt, tasks[j].period);
+      // Saturating: an overflowing running demand reads kTimeInfinity and
+      // fails the demand ≤ t check below — unschedulable by saturation. A
+      // saturated next-deadline point can never re-enter the heap.
+      demand = saturating_add(demand, tasks[j].wcet);
+      Time next = saturating_add(pt, tasks[j].period);
       if (next < bound) heap.push({next, j});
     }
     if (demand > t) return {false, t};

@@ -1,0 +1,50 @@
+// Minimal JSON helpers shared by the pinned-artifact readers/writers
+// (conform/artifact.h, fault/fault_artifact.h).
+//
+// The dialect is deliberately tiny: objects nested at most one level, string
+// and number values, no arrays. Writers emit exactly this subset with a fixed
+// field order (byte-deterministic for given inputs); the parser accepts
+// exactly this subset and raises ParseError (core/io.h) on anything else.
+// Anything richer belongs in a real serialization layer, not a repro pin.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "fedcons/sim/sim_config.h"
+
+namespace fedcons {
+
+/// Escape a string for embedding in a JSON document (ASCII control characters
+/// become \u escapes; the parser below round-trips the result).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Shortest round-trip decimal form ("%.17g") — artifacts must replay with
+/// the exact double the finder used.
+[[nodiscard]] std::string format_double(double v);
+
+/// Stable wire names for the sim-config enums ("periodic"/"sporadic",
+/// "wcet"/"uniform"), and their inverses. Parsers throw ParseError on an
+/// unknown name.
+[[nodiscard]] const char* release_model_name(ReleaseModel m) noexcept;
+[[nodiscard]] const char* exec_model_name(ExecModel m) noexcept;
+[[nodiscard]] ReleaseModel parse_release_model(const std::string& name);
+[[nodiscard]] ExecModel parse_exec_model(const std::string& name);
+
+/// Parse a document of the dialect into a flat "outer.inner" -> raw-value
+/// map (strings unescaped, numbers verbatim). Throws ParseError with an
+/// approximate line number on malformed input.
+[[nodiscard]] std::map<std::string, std::string> parse_mini_json(
+    const std::string& text);
+
+/// Fetch a required field from a parse_mini_json map; throws ParseError
+/// naming the field when absent.
+[[nodiscard]] const std::string& require_field(
+    const std::map<std::string, std::string>& fields, const std::string& key);
+
+/// Raw-value conversions for parse_mini_json results (strtoll/strtoull
+/// semantics; artifacts are written by us, so lenient parsing is fine).
+[[nodiscard]] std::int64_t mini_json_int(const std::string& raw);
+[[nodiscard]] std::uint64_t mini_json_uint(const std::string& raw);
+
+}  // namespace fedcons

@@ -23,15 +23,26 @@ std::string clean_line(const std::string& raw) {
 }
 
 Time parse_time(const std::string& token, int line_no, const char* what) {
+  Time v = 0;
   try {
     std::size_t pos = 0;
-    long long v = std::stoll(token, &pos);
+    v = static_cast<Time>(std::stoll(token, &pos));
     if (pos != token.size()) throw std::invalid_argument("trailing chars");
-    return static_cast<Time>(v);
   } catch (const std::exception&) {
+    // Covers empty/garbage tokens, NaN/inf spellings, and int64 overflow
+    // (std::out_of_range) — everything funnels into one diagnosable error
+    // instead of an abort or a wrapped value.
     throw ParseError(line_no, std::string("malformed ") + what + ": '" +
                                   token + "'");
   }
+  // Cap fields well below the int64 range so downstream products (C·T,
+  // k·T + D, ...) stay representable: 2^50 ticks is beyond any meaningful
+  // workload but leaves 13 bits of multiplicative headroom.
+  if (v > kMaxFieldValue) {
+    throw ParseError(line_no, std::string(what) + " exceeds the maximum "
+                                  "representable field value (2^50)");
+  }
+  return v;
 }
 
 }  // namespace
@@ -66,7 +77,14 @@ TaskSystem parse_task_system(std::istream& in) {
       throw ParseError(task_start_line,
                        "task '" + name + "' has cyclic edges");
     }
-    system.add(DagTask(std::move(graph), deadline, period, name));
+    try {
+      system.add(DagTask(std::move(graph), deadline, period, name));
+    } catch (const ContractViolation& e) {
+      // DagTask's own invariants (e.g. D ≤ T) become parse diagnostics, not
+      // aborts: malformed input is the caller's problem, reported politely.
+      throw ParseError(task_start_line,
+                       "task '" + name + "': " + e.what());
+    }
     graph = Dag{};
     deadline = period = -1;
     in_task = false;
@@ -140,6 +158,20 @@ TaskSystem parse_task_system(std::istream& in) {
 TaskSystem parse_task_system(const std::string& text) {
   std::istringstream in(text);
   return parse_task_system(in);
+}
+
+ParseResult try_parse_task_system(const std::string& text) {
+  ParseResult result;
+  try {
+    result.system = parse_task_system(text);
+    result.ok = true;
+  } catch (const ParseError& e) {
+    result.line = e.line();
+    result.error = e.what();
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  return result;
 }
 
 void serialize_task_system(const TaskSystem& system, std::ostream& out) {

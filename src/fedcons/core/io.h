@@ -40,11 +40,31 @@ class ParseError : public std::runtime_error {
   int line_;
 };
 
+/// Largest value accepted for any numeric field (deadline, period, WCET):
+/// 2^50 ticks. Rejecting larger inputs at the boundary leaves every
+/// downstream product (C·T, k·T + D, ...) 13 bits of headroom before int64
+/// overflow, which the saturating analysis arithmetic then absorbs.
+inline constexpr Time kMaxFieldValue = Time{1} << 50;
+
 /// Parse a task system from a stream. Throws ParseError on malformed input.
 [[nodiscard]] TaskSystem parse_task_system(std::istream& in);
 
 /// Parse from a string (convenience for tests and embedding).
 [[nodiscard]] TaskSystem parse_task_system(const std::string& text);
+
+/// Status-style non-throwing parse result: either a system or a diagnosis.
+struct ParseResult {
+  bool ok = false;
+  int line = 0;        ///< 1-based offending line (0 when not line-specific)
+  std::string error;   ///< empty when ok
+  TaskSystem system;   ///< valid only when ok
+};
+
+/// Parse without exceptions crossing the boundary: every failure mode —
+/// malformed numbers, NaN/negative/overflowing fields, bad edges, violated
+/// task invariants — comes back as {ok=false, line, message}. Tool frontends
+/// use this so malformed input exits with a message, never an abort.
+[[nodiscard]] ParseResult try_parse_task_system(const std::string& text);
 
 /// Serialize in the same format; parse(serialize(s)) reproduces s exactly
 /// (round-trip property-tested).

@@ -68,4 +68,15 @@ class TaskSystem {
   std::vector<DagTask> tasks_;
 };
 
+/// Canonical display name of τ_i: the task's own name, or "task{i+1}" when
+/// unnamed. Matches the name core/io.h assigns on serialization, so the
+/// display name is stable across serialize/parse round-trips — which is what
+/// lets the fault layer target tasks by name rather than by (shrink-unstable)
+/// index.
+[[nodiscard]] inline std::string task_display_name(const TaskSystem& system,
+                                                   TaskId i) {
+  const std::string& name = system[i].name();
+  return name.empty() ? "task" + std::to_string(i + 1) : name;
+}
+
 }  // namespace fedcons

@@ -1,0 +1,154 @@
+#include "fedcons/fault/degraded.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "fedcons/obs/span_tracer.h"
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+namespace {
+
+/// Build the subsystem containing exactly `ids` (original-system indices).
+TaskSystem subsystem(const TaskSystem& system, const std::vector<TaskId>& ids) {
+  std::vector<DagTask> tasks;
+  tasks.reserve(ids.size());
+  for (const TaskId id : ids) tasks.push_back(system[id]);
+  return TaskSystem(std::move(tasks));
+}
+
+/// The survivor (by position in `ids`) with the highest density — the
+/// fallback shedding victim when admission does not name an offender.
+std::size_t highest_density_position(const TaskSystem& system,
+                                     const std::vector<TaskId>& ids) {
+  std::size_t best = 0;
+  BigRational best_density(-1);
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    const BigRational d = system[ids[k]].density();
+    if (d > best_density) {
+      best_density = d;
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+DegradedModeReport degrade_on_processor_failure(const TaskSystem& system,
+                                                int m,
+                                                const ProcessorFailure& failure,
+                                                const FedconsOptions& options) {
+  FEDCONS_EXPECTS(m >= 1);
+  FEDCONS_EXPECTS(failure.processor >= 0 && failure.processor < m);
+  FEDCONS_SPAN("fault", "degrade");
+
+  DegradedModeReport report;
+  report.original_m = m;
+  report.failure = failure;
+  report.remaining_m = m - 1;
+  report.survivors.resize(system.size());
+  for (TaskId i = 0; i < system.size(); ++i) report.survivors[i] = i;
+
+  if (report.remaining_m < 1) {
+    // The platform is gone; everything is shed and there is nothing to admit.
+    for (const TaskId id : report.survivors) {
+      report.shed.push_back(
+          {id, task_display_name(system, id), "no processors remain"});
+    }
+    report.survivors.clear();
+    return report;
+  }
+
+  while (!report.survivors.empty()) {
+    const TaskSystem candidate = subsystem(system, report.survivors);
+    FedconsResult result =
+        fedcons_schedule(candidate, report.remaining_m, options);
+    if (result.success) {
+      report.result = std::move(result);
+      report.full_reschedule = report.shed.empty();
+      return report;
+    }
+    // Shed the task admission blames; fall back to the highest-density
+    // survivor when the failure carries no culprit.
+    std::size_t victim;
+    std::string reason;
+    if (result.failed_task.has_value() &&
+        *result.failed_task < report.survivors.size()) {
+      victim = *result.failed_task;
+      reason = std::string("admission failed in ") +
+               to_string(result.failure) + " phase";
+    } else {
+      victim = highest_density_position(system, report.survivors);
+      reason = "highest-density survivor (no culprit reported)";
+    }
+    const TaskId original = report.survivors[victim];
+    report.shed.push_back(
+        {original, task_display_name(system, original), std::move(reason)});
+    report.survivors.erase(
+        report.survivors.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  // Every task shed and still nothing to schedule (survivor set empty).
+  return report;
+}
+
+std::string DegradedModeReport::describe(const TaskSystem& system) const {
+  std::ostringstream out;
+  out << "Degraded mode: processor " << failure.processor << " failed at t="
+      << failure.at << "; re-admitting on " << remaining_m << " of "
+      << original_m << " processor(s)\n";
+  if (remaining_m < 1) {
+    out << "  platform exhausted: all " << shed.size() << " task(s) shed\n";
+    return out.str();
+  }
+  out << "  survivors: " << survivors.size() << "/" << system.size()
+      << (full_reschedule ? " (full reschedule, nothing shed)" : "") << "\n";
+  for (const TaskId id : survivors) {
+    out << "    + " << task_display_name(system, id) << "\n";
+  }
+  for (const auto& s : shed) {
+    out << "    - SHED " << s.name << " (" << s.reason << ")\n";
+  }
+  if (result.success) {
+    out << "  degraded allocation: " << result.clusters.size()
+        << " cluster(s), " << result.shared_processors
+        << " shared processor(s)\n";
+  } else {
+    out << "  no feasible degraded allocation\n";
+  }
+  return out.str();
+}
+
+std::string degraded_report_json(const TaskSystem& system,
+                                 const DegradedModeReport& report) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema_version\": 1,\n"
+     << "  \"report\": \"degraded-mode\",\n"
+     << "  \"failed_processor\": " << report.failure.processor << ",\n"
+     << "  \"failed_at\": " << report.failure.at << ",\n"
+     << "  \"original_m\": " << report.original_m << ",\n"
+     << "  \"remaining_m\": " << report.remaining_m << ",\n"
+     << "  \"full_reschedule\": " << (report.full_reschedule ? "true" : "false")
+     << ",\n"
+     << "  \"schedulable\": " << (report.result.success ? "true" : "false")
+     << ",\n"
+     << "  \"survivors\": [";
+  for (std::size_t k = 0; k < report.survivors.size(); ++k) {
+    os << (k ? ", " : "") << "\""
+       << task_display_name(system, report.survivors[k]) << "\"";
+  }
+  os << "],\n"
+     << "  \"shed\": [\n";
+  for (std::size_t k = 0; k < report.shed.size(); ++k) {
+    os << "    {\"task\": \"" << report.shed[k].name << "\", \"reason\": \""
+       << report.shed[k].reason << "\"}"
+       << (k + 1 < report.shed.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace fedcons

@@ -1,0 +1,69 @@
+// Graceful degradation on processor failure.
+//
+// Federated scheduling has no online migration story: clusters own their
+// processors and partitioned tasks are pinned. When a processor dies, the
+// honest system-level response is to RE-ADMIT — re-run FEDCONS on the
+// surviving m−1 processors and, if the full task set no longer fits, shed
+// tasks (criticality-blind here: the shedding policy drops whichever task
+// admission blames, falling back to the highest-density survivor) until the
+// remainder is schedulable again. This module computes that reconfiguration
+// and reports it in a structured form: which tasks survive, which are shed,
+// and the fresh allocation for the survivors.
+//
+// The report is a *planning* artifact (what the system should switch to),
+// not a tick-level simulation of the failure transient — mode-change
+// protocols are out of scope and called out in DESIGN.md §11.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fedcons/core/task_system.h"
+#include "fedcons/fault/fault_plan.h"
+#include "fedcons/federated/fedcons_algorithm.h"
+
+namespace fedcons {
+
+/// Why a task was shed during degradation.
+struct ShedDecision {
+  TaskId task = 0;          ///< index in the ORIGINAL system
+  std::string name;         ///< display name
+  std::string reason;       ///< e.g. "admission blamed task" / "highest density"
+};
+
+/// Outcome of re-admission after a processor failure.
+struct DegradedModeReport {
+  int original_m = 0;
+  ProcessorFailure failure;
+  int remaining_m = 0;  ///< max(original_m − 1, 0)
+
+  /// Survivor TaskIds in the ORIGINAL system, in system order. The subsystem
+  /// handed to FEDCONS lists exactly these tasks in this order, so
+  /// result.clusters[k].task indexes into `survivors`.
+  std::vector<TaskId> survivors;
+  std::vector<ShedDecision> shed;  ///< in shedding order
+
+  /// True when every original task survived (re-admission on m−1 succeeded
+  /// without shedding).
+  bool full_reschedule = false;
+
+  /// FEDCONS result for the survivor subsystem on remaining_m processors.
+  /// success == false only when remaining_m == 0 (nothing can run) or the
+  /// survivor set is empty.
+  FedconsResult result;
+
+  [[nodiscard]] std::string describe(const TaskSystem& system) const;
+};
+
+/// Compute the degraded-mode plan (see header comment). Preconditions:
+/// m >= 1; failure.processor in [0, m).
+[[nodiscard]] DegradedModeReport degrade_on_processor_failure(
+    const TaskSystem& system, int m, const ProcessorFailure& failure,
+    const FedconsOptions& options = {});
+
+/// Machine-readable degraded-mode document (fedcons_cli --inject=proc:…
+/// --json). Fixed key order; byte-deterministic for given inputs.
+[[nodiscard]] std::string degraded_report_json(const TaskSystem& system,
+                                               const DegradedModeReport& report);
+
+}  // namespace fedcons

@@ -1,28 +1,35 @@
-#include "fedcons/conform/artifact.h"
+#include "fedcons/fault/fault_artifact.h"
 
-#include <cstdint>
 #include <cstdlib>
 #include <sstream>
-#include <string>
 
 #include "fedcons/conform/mini_json.h"
 #include "fedcons/core/io.h"
+#include "fedcons/fault/isolation.h"
 #include "fedcons/util/check.h"
 
 namespace fedcons {
 
 namespace {
 
-constexpr const char* kSchema = "fedcons-conformance-repro-v1";
+constexpr const char* kSchema = "fedcons-fault-repro-v1";
+
+SupervisionMode parse_supervision(const std::string& name) {
+  if (name == "none") return SupervisionMode::kNone;
+  if (name == "enforce") return SupervisionMode::kEnforce;
+  throw ParseError(1, "artifact JSON: unknown supervision mode " + name);
+}
 
 }  // namespace
 
-std::string to_json(const ViolationArtifact& artifact) {
+std::string to_json(const FaultArtifact& artifact) {
   std::ostringstream out;
   out << "{\n"
       << "  \"schema\": \"" << kSchema << "\",\n"
-      << "  \"algorithm\": \"" << json_escape(artifact.algorithm) << "\",\n"
       << "  \"m\": " << artifact.m << ",\n"
+      << "  \"supervision\": \"" << to_string(artifact.supervision) << "\",\n"
+      << "  \"plan\": \"" << json_escape(format_fault_plan(artifact.plan))
+      << "\",\n"
       << "  \"sim\": {\n"
       << "    \"horizon\": " << artifact.sim.horizon << ",\n"
       << "    \"release\": \"" << release_model_name(artifact.sim.release)
@@ -47,15 +54,17 @@ std::string to_json(const ViolationArtifact& artifact) {
   return out.str();
 }
 
-ViolationArtifact parse_artifact(const std::string& json) {
+FaultArtifact parse_fault_artifact(const std::string& json) {
   const auto fields = parse_mini_json(json);
   if (require_field(fields, "schema") != kSchema) {
     throw ParseError(1, "artifact JSON: unknown schema \"" +
                             require_field(fields, "schema") + "\"");
   }
-  ViolationArtifact artifact;
-  artifact.algorithm = require_field(fields, "algorithm");
+  FaultArtifact artifact;
   artifact.m = static_cast<int>(mini_json_int(require_field(fields, "m")));
+  artifact.supervision =
+      parse_supervision(require_field(fields, "supervision"));
+  artifact.plan = parse_fault_plan(require_field(fields, "plan"));
   artifact.sim.horizon = mini_json_int(require_field(fields, "sim.horizon"));
   artifact.sim.release =
       parse_release_model(require_field(fields, "sim.release"));
@@ -80,8 +89,9 @@ ViolationArtifact parse_artifact(const std::string& json) {
   return artifact;
 }
 
-ConformanceOutcome replay_artifact(const ViolationArtifact& artifact) {
-  const ConformanceEntry entry = find_conformance_entry(artifact.algorithm);
+ConformanceOutcome replay_fault_artifact(const FaultArtifact& artifact) {
+  const ConformanceEntry entry =
+      make_isolation_entry(artifact.plan, artifact.supervision);
   const TaskSystem system = parse_task_system(artifact.system_text);
   return entry.run(system, artifact.m, artifact.sim);
 }

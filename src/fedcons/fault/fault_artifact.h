@@ -1,0 +1,65 @@
+// Pinned isolation-violation repro artifacts (JSON).
+//
+// When the isolation fuzzer (fault/isolation.h) catches a cross-task deadline
+// miss — a fault plan targeting task X making some OTHER task miss — the
+// shrunken witness is serialized into a small self-contained document so it
+// can be committed to the corpus and replayed forever after:
+//
+//   {
+//     "schema": "fedcons-fault-repro-v1",
+//     "m": 2,
+//     "supervision": "none",                    // or "enforce"
+//     "plan": "task:a,overrun:4000;seed:7",     // fault_plan.h grammar
+//     "sim": { "horizon": 64, "release": "periodic", "jitter_frac": 0,
+//              "exec": "wcet", "exec_lo": 0.5, "seed": 1 },
+//     "note": "free-form provenance",
+//     "observed": { "jobs_released": 4, "deadline_misses": 1,
+//                   "max_lateness": 1, "max_response_time": 17 },
+//     "system": "task a\n  deadline 9\n  ...\nend\n"  // core/io.h format
+//   }
+//
+// `observed` records the CROSS-TASK statistics the finder saw (misses of
+// every task the plan does not target) — informational provenance; replay
+// re-derives the violation from scratch via the isolation oracle and only
+// asserts that a cross-task miss occurs. The JSON dialect is the shared
+// mini-JSON subset (conform/mini_json.h).
+#pragma once
+
+#include <string>
+
+#include "fedcons/conform/oracle.h"
+#include "fedcons/fault/fault_plan.h"
+
+namespace fedcons {
+
+/// One pinned isolation-violation repro (see header comment).
+struct FaultArtifact {
+  int m = 1;
+  SupervisionMode supervision = SupervisionMode::kNone;
+  FaultPlan plan;
+  SimConfig sim;  ///< base simulation config; its faults/supervision fields
+                  ///< are ignored — `plan` and `supervision` above are
+                  ///< authoritative at replay
+  std::string note;
+  SimStats observed;        ///< finder-side CROSS-TASK stats (provenance only)
+  std::string system_text;  ///< core/io.h workload text
+};
+
+/// Serialize (stable field order; byte-deterministic for given inputs).
+[[nodiscard]] std::string to_json(const FaultArtifact& artifact);
+
+/// Parse an artifact. Throws ParseError (core/io.h) on malformed JSON, an
+/// unknown schema tag, or a malformed plan; the embedded system text is
+/// validated by parsing.
+[[nodiscard]] FaultArtifact parse_fault_artifact(const std::string& json);
+
+/// Re-run the artifact's isolation oracle on its embedded system: FEDCONS
+/// admission, then full-system replay with the plan injected under the
+/// artifact's supervision mode. The returned outcome's sim statistics cover
+/// ONLY the tasks the plan does not target, so outcome.violation() == "a
+/// neighbour of the faulted task missed a deadline". A faithful artifact
+/// yields outcome.violation() == true.
+[[nodiscard]] ConformanceOutcome replay_fault_artifact(
+    const FaultArtifact& artifact);
+
+}  // namespace fedcons

@@ -1,0 +1,247 @@
+#include "fedcons/fault/fault_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "fedcons/core/io.h"
+#include "fedcons/util/check.h"
+
+namespace fedcons {
+
+namespace {
+
+/// SplitMix64 finalizer — the same mixer rng.cpp seeds through, reused here
+/// as a standalone hash so jitter draws are independent of any RNG stream.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_name(std::string_view name) {
+  // FNV-1a; collisions only weaken jitter diversity, never determinism.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* to_string(SupervisionMode m) noexcept {
+  switch (m) {
+    case SupervisionMode::kNone: return "none";
+    case SupervisionMode::kEnforce: return "enforce";
+  }
+  return "?";
+}
+
+std::uint32_t TaskFaultSpec::permille_for(std::uint32_t v) const noexcept {
+  std::uint32_t p = overrun_permille;
+  for (const auto& [vertex, permille] : vertex_overrides) {
+    if (vertex == v) p = permille;  // later entries win
+  }
+  return p;
+}
+
+bool TaskFaultSpec::trivial() const noexcept {
+  if (early_release_max != 0) return false;
+  if (overrun_permille != 1000) return false;
+  return std::all_of(vertex_overrides.begin(), vertex_overrides.end(),
+                     [](const auto& e) { return e.second == 1000; });
+}
+
+bool FaultPlan::empty() const noexcept {
+  if (processor_failure.processor >= 0) return false;
+  return std::all_of(tasks.begin(), tasks.end(),
+                     [](const TaskFaultSpec& s) { return s.trivial(); });
+}
+
+const TaskFaultSpec* FaultPlan::find(std::string_view name) const noexcept {
+  for (const auto& spec : tasks) {
+    if (spec.task == name) return &spec;
+  }
+  return nullptr;
+}
+
+Time scale_permille(Time exec, std::uint32_t permille) {
+  FEDCONS_EXPECTS(exec >= 0);
+  if (permille == 1000 || exec == 0) return exec;
+  const Time scaled =
+      saturating_mul(exec, static_cast<Time>(permille));
+  if (scaled == kTimeInfinity) return kTimeInfinity;
+  return ceil_div(scaled, 1000);
+}
+
+Time fault_early_shift(std::uint64_t seed, std::string_view task,
+                       std::uint64_t index, Time max_shift) {
+  FEDCONS_EXPECTS(max_shift >= 0);
+  if (max_shift == 0) return 0;
+  const std::uint64_t h =
+      mix64(mix64(seed ^ hash_name(task)) ^ (index * 0x9e3779b97f4a7c15ULL));
+  // Modulo bias is irrelevant here — shifts only need to be deterministic
+  // and well-spread, not uniform to cryptographic standards.
+  return static_cast<Time>(
+      h % static_cast<std::uint64_t>(max_shift + 1));
+}
+
+FaultPlan random_fault_plan(Rng& rng, const TaskSystem& system, TaskId target,
+                            const FaultPlanParams& params) {
+  FEDCONS_EXPECTS(target < system.size());
+  FEDCONS_EXPECTS(params.overrun_lo <= params.overrun_hi);
+  FaultPlan plan;
+  plan.seed = rng.next_u64();
+
+  const DagTask& task = system[target];
+  TaskFaultSpec spec;
+  spec.task = task_display_name(system, target);
+  const auto factor = static_cast<std::uint32_t>(rng.uniform_int(
+      params.overrun_lo, params.overrun_hi));
+  if (rng.bernoulli(params.per_vertex_probability) &&
+      task.graph().num_vertices() > 0) {
+    const auto v = static_cast<std::uint32_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(task.graph().num_vertices()) - 1));
+    spec.vertex_overrides.emplace_back(v, factor);
+  } else {
+    spec.overrun_permille = factor;
+  }
+  if (rng.bernoulli(params.jitter_probability)) {
+    const Time cap = std::max<Time>(
+        1, static_cast<Time>(static_cast<double>(task.period()) *
+                             params.early_max_frac));
+    spec.early_release_max = rng.uniform_int(1, cap);
+  }
+  plan.tasks.push_back(std::move(spec));
+  return plan;
+}
+
+std::string format_fault_plan(const FaultPlan& plan) {
+  std::ostringstream out;
+  bool first = true;
+  auto clause = [&]() -> std::ostringstream& {
+    if (!first) out << ";";
+    first = false;
+    return out;
+  };
+  if (plan.seed != 0) clause() << "seed:" << plan.seed;
+  for (const auto& spec : plan.tasks) {
+    clause() << "task:" << spec.task;
+    if (spec.overrun_permille != 1000) {
+      out << ",overrun:" << spec.overrun_permille;
+    }
+    for (const auto& [vertex, permille] : spec.vertex_overrides) {
+      out << ",v" << vertex << ":" << permille;
+    }
+    if (spec.early_release_max != 0) {
+      out << ",early:" << spec.early_release_max;
+    }
+  }
+  if (plan.processor_failure.processor >= 0) {
+    clause() << "proc:" << plan.processor_failure.processor << "@"
+             << plan.processor_failure.at;
+  }
+  return out.str();
+}
+
+namespace {
+
+std::uint64_t parse_uint_field(const std::string& text, const char* what) {
+  // Full-uint64 range: jitter seeds are drawn via Rng::next_u64 and must
+  // round-trip through the text grammar, so int64 parsing is not enough.
+  // stoull silently wraps "-5"; reject any '-' up front instead.
+  if (text.find('-') != std::string::npos) {
+    throw ParseError(1, std::string("fault plan: ") + what +
+                            " must be non-negative: '" + text + "'");
+  }
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError(1, std::string("fault plan: malformed ") + what + ": '" +
+                            text + "'");
+  }
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, sep)) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  for (const std::string& clause : split(spec, ';')) {
+    if (clause.empty()) {
+      throw ParseError(1, "fault plan: empty clause");
+    }
+    const auto colon = clause.find(':');
+    if (colon == std::string::npos) {
+      throw ParseError(1, "fault plan: clause '" + clause +
+                              "' is missing ':'");
+    }
+    const std::string head = clause.substr(0, colon);
+    if (head == "seed") {
+      plan.seed = parse_uint_field(clause.substr(colon + 1), "seed");
+    } else if (head == "proc") {
+      const std::string body = clause.substr(colon + 1);
+      const auto at = body.find('@');
+      if (at == std::string::npos) {
+        throw ParseError(1, "fault plan: proc clause needs P@T: '" + clause +
+                                "'");
+      }
+      plan.processor_failure.processor = static_cast<int>(
+          parse_uint_field(body.substr(0, at), "processor index"));
+      plan.processor_failure.at =
+          static_cast<Time>(parse_uint_field(body.substr(at + 1),
+                                             "failure time"));
+    } else if (head == "task") {
+      TaskFaultSpec task_spec;
+      const std::vector<std::string> opts = split(clause.substr(colon + 1), ',');
+      if (opts.empty() || opts.front().empty()) {
+        throw ParseError(1, "fault plan: task clause needs a name");
+      }
+      task_spec.task = opts.front();
+      for (std::size_t i = 1; i < opts.size(); ++i) {
+        const std::string& opt = opts[i];
+        const auto oc = opt.find(':');
+        if (oc == std::string::npos) {
+          throw ParseError(1, "fault plan: task option '" + opt +
+                                  "' is missing ':'");
+        }
+        const std::string key = opt.substr(0, oc);
+        const std::string value = opt.substr(oc + 1);
+        if (key == "overrun") {
+          task_spec.overrun_permille = static_cast<std::uint32_t>(
+              parse_uint_field(value, "overrun permille"));
+        } else if (key == "early") {
+          task_spec.early_release_max =
+              static_cast<Time>(parse_uint_field(value, "early ticks"));
+        } else if (key.size() > 1 && key.front() == 'v') {
+          const auto vertex = static_cast<std::uint32_t>(
+              parse_uint_field(key.substr(1), "vertex index"));
+          task_spec.vertex_overrides.emplace_back(
+              vertex, static_cast<std::uint32_t>(
+                          parse_uint_field(value, "vertex permille")));
+        } else {
+          throw ParseError(1, "fault plan: unknown task option '" + key + "'");
+        }
+      }
+      plan.tasks.push_back(std::move(task_spec));
+    } else {
+      throw ParseError(1, "fault plan: unknown clause '" + head + "'");
+    }
+  }
+  return plan;
+}
+
+}  // namespace fedcons

@@ -1,0 +1,135 @@
+// Deterministic, seeded fault plans — the workload-perturbation half of the
+// fault-injection layer (fedcons/fault/).
+//
+// A FaultPlan describes misbehaviour to inject into a simulation run:
+//   * WCET overruns: a task's actual execution times are scaled by a permille
+//     factor (uniformly, or per vertex), so jobs may exceed the budgets the
+//     analysis certified;
+//   * release jitter: releases may arrive EARLY by up to early_release_max
+//     ticks, violating the sporadic minimum-separation assumption;
+//   * processor failure: processor p dies at time t (interpreted by the
+//     degradation layer, fault/degraded.h — admission is re-run on the
+//     surviving processors).
+//
+// Determinism contract: injection is a pure function of (plan, generated
+// jobs). Overrun scaling is exact integer arithmetic; jitter shifts are drawn
+// from a hash of (plan.seed, task name, release index) — NEVER from the
+// simulation RNG stream — so an empty plan leaves every simulation draw, and
+// therefore every report byte, untouched, and the same plan perturbs the same
+// jobs identically regardless of thread count or evaluation order.
+//
+// Tasks are targeted by DISPLAY NAME (core/task_system.h), not TaskId:
+// names survive the serialize/parse round-trips the shrinker performs, while
+// indices shift when a task is dropped. A spec naming no task in the system,
+// or overriding a vertex index beyond the task's graph, is inert — shrinker
+// moves can weaken a plan's reach but never silently retarget it.
+//
+// Plans have a canonical one-line text form (parse_fault_plan /
+// format_fault_plan) shared by `fedcons_cli --inject=SPEC` and the pinned
+// fault artifacts:
+//
+//     task:NAME,overrun:2500,v1:4000,early:30;seed:7;proc:2@1000
+//
+// Clauses are ';'-separated: `seed:` (jitter hash seed), `proc:P@T`
+// (processor failure), and one `task:` clause per targeted task with
+// ','-separated options `overrun:` (uniform permille, 1000 = 1.0x),
+// `vN:` (per-vertex permille override), `early:` (max early-arrival ticks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "fedcons/core/task_system.h"
+#include "fedcons/util/rng.h"
+#include "fedcons/util/time_types.h"
+
+namespace fedcons {
+
+/// Runtime-supervision switch carried by SimConfig.
+enum class SupervisionMode {
+  kNone,     ///< faults (if any) run unchecked — demonstrates cascades
+  kEnforce,  ///< budget + arrival-guard + template-slot enforcement
+};
+
+[[nodiscard]] const char* to_string(SupervisionMode m) noexcept;
+
+/// Faults targeting one task (matched by display name).
+struct TaskFaultSpec {
+  std::string task;  ///< display name (core/task_system.h)
+
+  /// Uniform execution-time scale in permille (1000 = 1.0x, 2500 = 2.5x).
+  /// Applied as exec' = ⌈exec · p / 1000⌉ to every vertex without an
+  /// explicit override below. Values < 1000 model underruns.
+  std::uint32_t overrun_permille = 1000;
+
+  /// Sparse per-vertex overrides: (vertex index, permille). Entries whose
+  /// index is outside the task's graph are inert (shrinker-safe). Later
+  /// entries for the same vertex win.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> vertex_overrides;
+
+  /// Maximum number of ticks a release may arrive EARLY (0 = releases are
+  /// untouched). Actual shifts come from the plan-seed hash.
+  Time early_release_max = 0;
+
+  /// Effective permille factor for vertex v.
+  [[nodiscard]] std::uint32_t permille_for(std::uint32_t v) const noexcept;
+
+  /// True when this spec perturbs nothing (identity scale, no jitter).
+  [[nodiscard]] bool trivial() const noexcept;
+};
+
+/// A processor failing at an instant (processor < 0 = no failure).
+struct ProcessorFailure {
+  int processor = -1;
+  Time at = 0;
+};
+
+/// A complete deterministic fault plan (see header comment).
+struct FaultPlan {
+  std::uint64_t seed = 0;  ///< drives the jitter-shift hash
+  std::vector<TaskFaultSpec> tasks;
+  ProcessorFailure processor_failure;
+
+  /// True when applying the plan is guaranteed to be the identity.
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// The spec targeting `name`, or nullptr.
+  [[nodiscard]] const TaskFaultSpec* find(std::string_view name) const noexcept;
+};
+
+/// exec' = ⌈exec · permille / 1000⌉, saturating (never wraps); preserves 0.
+[[nodiscard]] Time scale_permille(Time exec, std::uint32_t permille);
+
+/// Deterministic early-arrival shift in [0, max_shift] for release `index`
+/// of task `task` under plan seed `seed`. A pure hash — independent of the
+/// simulation RNG stream and of evaluation order.
+[[nodiscard]] Time fault_early_shift(std::uint64_t seed, std::string_view task,
+                                     std::uint64_t index, Time max_shift);
+
+/// Knobs for random_fault_plan.
+struct FaultPlanParams {
+  std::uint32_t overrun_lo = 1200;  ///< inclusive permille range for the
+  std::uint32_t overrun_hi = 5000;  ///< injected overrun factor
+  double per_vertex_probability = 0.5;  ///< else the factor applies uniformly
+  double jitter_probability = 0.5;      ///< chance of also injecting jitter
+  double early_max_frac = 0.75;  ///< early_release_max ≤ frac · T_target
+};
+
+/// Draw a random single-target plan against task `target` of `system`.
+/// Deterministic in (rng state, system, target, params); the plan's own
+/// jitter seed is drawn from `rng`.
+[[nodiscard]] FaultPlan random_fault_plan(Rng& rng, const TaskSystem& system,
+                                          TaskId target,
+                                          const FaultPlanParams& params = {});
+
+/// Canonical one-line text form (round-trips through parse_fault_plan).
+[[nodiscard]] std::string format_fault_plan(const FaultPlan& plan);
+
+/// Parse the --inject grammar (header comment). Throws ParseError
+/// (core/io.h) with a position hint on malformed input.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
+
+}  // namespace fedcons

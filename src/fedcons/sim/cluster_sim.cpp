@@ -4,6 +4,7 @@
 
 #include "fedcons/listsched/list_scheduler.h"
 #include "fedcons/util/check.h"
+#include "fedcons/util/perf_counters.h"
 
 namespace fedcons {
 
@@ -25,16 +26,33 @@ SimStats simulate_cluster(const DagTask& task, const TemplateSchedule& sigma,
   Time executed = 0;
   const std::uint64_t verts = task.graph().num_vertices();
   std::uint64_t job_index = 0;
+  // Slot enforcement is a template-replay feature: the dispatcher owns the σ
+  // table, so it can cut a vertex off at its reserved slot end. kOnlineRerun
+  // has no slots to enforce (that is precisely its anomaly).
+  const bool enforce = config.supervision == SupervisionMode::kEnforce &&
+                       dispatch == ClusterDispatch::kTemplateReplay;
   for (const auto& job : releases) {
     FEDCONS_EXPECTS(job.exec_times.size() == task.graph().num_vertices());
     Time completion = job.release;
     if (dispatch == ClusterDispatch::kTemplateReplay) {
       // Lookup-table dispatch: start times are fixed by σ; early completion
-      // just idles the processor (paper, footnote 2).
+      // just idles the processor (paper, footnote 2). Under enforcement an
+      // overrunning vertex is clamped at its σ slot (the overrun is counted,
+      // the excess work dropped), so replay can never leave the template.
       for (const auto& slot : sigma.jobs()) {
         const Time start = checked_add(job.release, slot.start);
-        const Time finish = checked_add(start, job.exec_times[slot.vertex]);
+        Time exec = job.exec_times[slot.vertex];
+        if (enforce) {
+          const Time cap = slot.finish - slot.start;
+          if (exec > cap) {
+            exec = cap;
+            ++stats.slot_overruns;
+            ++perf_counters().fault_enforcements;
+          }
+        }
+        const Time finish = checked_add(start, exec);
         completion = std::max(completion, finish);
+        executed = checked_add(executed, exec);
         if (trace != nullptr) {
           trace->add(slot.processor, job_index * verts + slot.vertex, start,
                      finish);
@@ -54,7 +72,9 @@ SimStats simulate_cluster(const DagTask& task, const TemplateSchedule& sigma,
       }
     }
     ++job_index;
-    for (Time e : job.exec_times) executed = checked_add(executed, e);
+    if (dispatch != ClusterDispatch::kTemplateReplay) {
+      for (Time e : job.exec_times) executed = checked_add(executed, e);
+    }
 
     const Time abs_deadline = checked_add(job.release, task.deadline());
     ++stats.jobs_released;

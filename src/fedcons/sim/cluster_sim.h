@@ -33,6 +33,13 @@ enum class ClusterDispatch { kTemplateReplay, kOnlineRerun };
 /// releases are processed independently; for kOnlineRerun a dag-job is
 /// STILL started at its release (the overrun manifests purely as lateness),
 /// which is the standard miss-accounting convention.
+///
+/// Supervision: with SupervisionMode::kEnforce and kTemplateReplay dispatch,
+/// a vertex whose (possibly fault-inflated) execution exceeds its σ slot is
+/// clamped at the slot boundary — the overrun is counted in
+/// SimStats::slot_overruns and the excess work dropped, so replay never
+/// leaves the template and the dag-job still completes by release + makespan.
+/// kOnlineRerun has no slots to enforce (that is precisely its anomaly).
 /// `trace`, when non-null, records every executed segment (job_uid =
 /// release_index · |V| + vertex) for post-hoc validation (sim/trace.h).
 [[nodiscard]] SimStats simulate_cluster(const DagTask& task,

@@ -4,16 +4,27 @@
 #include <queue>
 
 #include "fedcons/util/check.h"
+#include "fedcons/util/perf_counters.h"
 
 namespace fedcons {
 
 namespace {
 
+/// A job after supervision preprocessing. Without enforcement, sched ==
+/// account == the generator's abs_deadline and exec is the drawn execution
+/// time — the simulation is bit-identical to the pre-supervision engine.
+struct SimJob {
+  Time release;
+  Time exec;
+  Time sched_deadline;    ///< EDF key (postponed for deferred arrivals)
+  Time account_deadline;  ///< miss accounting (always the job's real deadline)
+};
+
 struct PendingJob {
-  Time key;  // EDF: absolute deadline; FP: stream index (priority)
+  Time key;  // EDF: scheduling deadline; FP: stream index (priority)
   std::size_t stream;
   Time release;
-  Time abs_deadline;
+  Time account_deadline;
   Time remaining;
   std::uint64_t uid;  // (stream << 32) | per-stream release index
 
@@ -46,14 +57,49 @@ FpSimReport run_uniproc(std::span<const EdfTaskStream> streams,
                       "stream count exceeds the 32-bit uid packing field");
   FpSimReport report;
   report.max_response_per_stream.assign(streams.size(), 0);
+  report.per_stream.assign(streams.size(), SimStats{});
   SimStats& stats = report.stats;
+
+  // Supervision preprocessing (see EdfTaskStream): budget clamp + arrival
+  // guard with CBS-style scheduling-deadline postponement. With enforcement
+  // off (the default) this is the identity transform.
+  const bool enforce = config.supervision == SupervisionMode::kEnforce;
+  std::vector<std::vector<SimJob>> jobs(streams.size());
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    const EdfTaskStream& st = streams[s];
+    jobs[s].reserve(st.jobs.size());
+    Time prev_effective = 0;
+    bool has_prev = false;
+    for (const JobRelease& j : st.jobs) {
+      SimJob out{j.release, j.exec_time, j.abs_deadline, j.abs_deadline};
+      if (enforce) {
+        if (st.budget > 0 && out.exec > st.budget) {
+          out.exec = st.budget;
+          ++report.per_stream[s].budget_throttles;
+          ++perf_counters().fault_enforcements;
+        }
+        if (st.min_separation > 0 && has_prev &&
+            out.release < checked_add(prev_effective, st.min_separation)) {
+          out.release = checked_add(prev_effective, st.min_separation);
+          out.sched_deadline = checked_add(out.release, st.rel_deadline);
+          ++report.per_stream[s].arrival_deferrals;
+          ++perf_counters().fault_enforcements;
+        }
+        prev_effective = out.release;
+        has_prev = true;
+      }
+      jobs[s].push_back(out);
+    }
+    stats.budget_throttles += report.per_stream[s].budget_throttles;
+    stats.arrival_deferrals += report.per_stream[s].arrival_deferrals;
+  }
 
   std::priority_queue<FutureRelease, std::vector<FutureRelease>,
                       std::greater<>>
       future;
   for (std::size_t s = 0; s < streams.size(); ++s) {
-    if (!streams[s].jobs.empty()) {
-      future.push({streams[s].jobs.front().release, s, 0});
+    if (!jobs[s].empty()) {
+      future.push({jobs[s].front().release, s, 0});
     }
   }
   std::priority_queue<PendingJob, std::vector<PendingJob>, std::greater<>>
@@ -65,8 +111,8 @@ FpSimReport run_uniproc(std::span<const EdfTaskStream> streams,
     while (!future.empty() && future.top().release <= t) {
       auto [rel, s, idx] = future.top();
       future.pop();
-      const JobRelease& j = streams[s].jobs[idx];
-      const Time key = (policy == Policy::kEdf) ? j.abs_deadline
+      const SimJob& j = jobs[s][idx];
+      const Time key = (policy == Policy::kEdf) ? j.sched_deadline
                                                 : static_cast<Time>(s);
       // (stream << 32) | idx silently aliases uids once idx reaches 2^32 —
       // enforce the packing contract instead of wrapping.
@@ -74,21 +120,27 @@ FpSimReport run_uniproc(std::span<const EdfTaskStream> streams,
                           "release index exceeds the 32-bit uid packing field");
       const std::uint64_t uid =
           (static_cast<std::uint64_t>(s) << 32) | static_cast<std::uint64_t>(idx);
-      pending.push({key, s, j.release, j.abs_deadline, j.exec_time, uid});
+      pending.push({key, s, j.release, j.account_deadline, j.exec, uid});
       ++stats.jobs_released;
-      if (idx + 1 < streams[s].jobs.size()) {
-        future.push({streams[s].jobs[idx + 1].release, s, idx + 1});
+      ++report.per_stream[s].jobs_released;
+      if (idx + 1 < jobs[s].size()) {
+        future.push({jobs[s][idx + 1].release, s, idx + 1});
       }
     }
   };
 
   auto complete = [&](const PendingJob& job, Time at) {
-    if (at > job.abs_deadline) {
+    SimStats& mine = report.per_stream[job.stream];
+    if (at > job.account_deadline) {
       ++stats.deadline_misses;
-      stats.max_lateness = std::max(stats.max_lateness, at - job.abs_deadline);
+      ++mine.deadline_misses;
+      const Time late = at - job.account_deadline;
+      stats.max_lateness = std::max(stats.max_lateness, late);
+      mine.max_lateness = std::max(mine.max_lateness, late);
     }
     const Time response = at - job.release;
     stats.max_response_time = std::max(stats.max_response_time, response);
+    mine.max_response_time = std::max(mine.max_response_time, response);
     report.max_response_per_stream[job.stream] =
         std::max(report.max_response_per_stream[job.stream], response);
   };
@@ -151,6 +203,12 @@ FpSimReport simulate_fp_uniproc_detailed(
     std::span<const EdfTaskStream> streams, const SimConfig& config,
     ExecutionTrace* trace) {
   return run_uniproc(streams, config, Policy::kFixedPriority, trace);
+}
+
+FpSimReport simulate_edf_uniproc_detailed(
+    std::span<const EdfTaskStream> streams, const SimConfig& config,
+    ExecutionTrace* trace) {
+  return run_uniproc(streams, config, Policy::kEdf, trace);
 }
 
 }  // namespace fedcons

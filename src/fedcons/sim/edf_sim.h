@@ -19,8 +19,26 @@
 namespace fedcons {
 
 /// One task's stream of jobs for the EDF simulator.
+///
+/// The supervision fields describe the contract the stream's task was
+/// admitted under; they are consulted ONLY when the SimConfig carries
+/// SupervisionMode::kEnforce (all zero = unsupervised stream):
+///  * budget — per-job execution cap (the reserved vol_i). An overrunning
+///    job is throttled: it completes (for accounting) having executed only
+///    its budget; the excess is dropped, never billed to neighbours.
+///  * min_separation — sporadic minimum inter-arrival (T_i). A job arriving
+///    early is DEFERRED to prev_effective + T. Its SCHEDULING deadline moves
+///    to effective_release + rel_deadline (CBS-style postponement: the
+///    enforced stream is indistinguishable from a legal sporadic task, so
+///    the bin's DBF* admission certificate still covers every neighbour)
+///    while its ACCOUNTING deadline stays the raw release + D — any
+///    resulting miss is attributed to the faulting task itself.
+///  * rel_deadline — relative deadline (D_i) used for the postponement.
 struct EdfTaskStream {
   std::vector<JobRelease> jobs;  ///< sorted by release (generator order)
+  Time budget = 0;          ///< per-job execution cap under enforcement
+  Time min_separation = 0;  ///< sporadic arrival guard under enforcement
+  Time rel_deadline = 0;    ///< D for deferred-job deadline postponement
 };
 
 /// Simulate preemptive EDF of the given streams on one processor until all
@@ -44,14 +62,25 @@ struct EdfTaskStream {
     std::span<const EdfTaskStream> streams, const SimConfig& config,
     ExecutionTrace* trace = nullptr);
 
-/// Per-stream maximum observed response times from an FP simulation run
-/// (same semantics as simulate_fp_uniproc, richer output).
+/// Per-stream breakdown of a uniprocessor simulation run (same semantics as
+/// the aggregate entry points, richer output). per_stream[s] carries stream
+/// s's own releases/misses/lateness/supervision events (busy_fraction is a
+/// whole-processor quantity and stays 0 in per-stream entries) — the
+/// attribution the isolation checker needs to tell the faulting task's
+/// misses from a neighbour's.
 struct FpSimReport {
   SimStats stats;
   std::vector<Time> max_response_per_stream;
+  std::vector<SimStats> per_stream;
 };
 
 [[nodiscard]] FpSimReport simulate_fp_uniproc_detailed(
+    std::span<const EdfTaskStream> streams, const SimConfig& config,
+    ExecutionTrace* trace = nullptr);
+
+/// EDF flavour of the detailed report (used by the full-system composition
+/// to attribute misses per task).
+[[nodiscard]] FpSimReport simulate_edf_uniproc_detailed(
     std::span<const EdfTaskStream> streams, const SimConfig& config,
     ExecutionTrace* trace = nullptr);
 

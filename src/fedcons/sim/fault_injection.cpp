@@ -1,0 +1,90 @@
+#include "fedcons/sim/fault_injection.h"
+
+#include <algorithm>
+
+#include "fedcons/util/check.h"
+#include "fedcons/util/perf_counters.h"
+
+namespace fedcons {
+
+namespace {
+
+/// Shift `release` early by the plan-hash draw, clamped to keep the sequence
+/// non-decreasing from `floor` and non-negative. Returns the new release.
+Time shifted_release(const TaskFaultSpec& spec, std::uint64_t plan_seed,
+                     std::uint64_t index, Time release, Time floor) {
+  const Time shift =
+      fault_early_shift(plan_seed, spec.task, index, spec.early_release_max);
+  return std::max<Time>({release - shift, floor, 0});
+}
+
+}  // namespace
+
+void apply_dag_fault(const TaskFaultSpec& spec, std::uint64_t plan_seed,
+                     std::vector<DagJobRelease>& releases) {
+  if (spec.trivial()) return;
+  Time floor = 0;
+  for (std::size_t j = 0; j < releases.size(); ++j) {
+    DagJobRelease& job = releases[j];
+    bool modified = false;
+    for (std::size_t v = 0; v < job.exec_times.size(); ++v) {
+      const Time scaled = scale_permille(
+          job.exec_times[v], spec.permille_for(static_cast<std::uint32_t>(v)));
+      if (scaled != job.exec_times[v]) {
+        job.exec_times[v] = scaled;
+        modified = true;
+      }
+    }
+    const Time moved = shifted_release(spec, plan_seed, j, job.release, floor);
+    if (moved != job.release) {
+      job.release = moved;
+      modified = true;
+    }
+    floor = job.release;
+    if (modified) ++perf_counters().fault_injections;
+  }
+}
+
+Time faulted_volume(const DagTask& task, const TaskFaultSpec& spec) {
+  Time vol = 0;
+  for (VertexId v = 0; v < task.graph().num_vertices(); ++v) {
+    vol = saturating_add(
+        vol, scale_permille(task.graph().wcet(v),
+                            spec.permille_for(static_cast<std::uint32_t>(v))));
+  }
+  return vol;
+}
+
+void apply_sequential_fault(const TaskFaultSpec& spec, std::uint64_t plan_seed,
+                            Time vol, Time faulty_vol, Time rel_deadline,
+                            std::vector<JobRelease>& jobs) {
+  FEDCONS_EXPECTS(vol >= 1);
+  if (spec.trivial()) return;
+  Time floor = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    JobRelease& job = jobs[j];
+    bool modified = false;
+    if (faulty_vol != vol) {
+      // exec' = ⌈exec · faulty_vol / vol⌉ — maps a WCET draw (exec == vol)
+      // exactly onto the faulty volume and scales partial draws in
+      // proportion, saturating rather than wrapping on absurd factors.
+      const Time product = saturating_mul(job.exec_time, faulty_vol);
+      const Time scaled =
+          product == kTimeInfinity ? kTimeInfinity : ceil_div(product, vol);
+      if (scaled != job.exec_time) {
+        job.exec_time = scaled;
+        modified = true;
+      }
+    }
+    const Time moved = shifted_release(spec, plan_seed, j, job.release, floor);
+    if (moved != job.release) {
+      job.release = moved;
+      job.abs_deadline = checked_add(moved, rel_deadline);
+      modified = true;
+    }
+    floor = job.release;
+    if (modified) ++perf_counters().fault_injections;
+  }
+}
+
+}  // namespace fedcons

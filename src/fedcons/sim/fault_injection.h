@@ -1,0 +1,48 @@
+// Applying a FaultPlan to generated job releases.
+//
+// Injection is a POST-PASS over the release sequences the generators
+// produced: execution times are scaled by the spec's permille factors and
+// releases are shifted EARLY by deterministic hash draws (fault_plan.h). The
+// generators themselves are untouched, so a run with an empty plan consumes
+// exactly the same RNG stream — and produces exactly the same bytes — as a
+// run from before the fault layer existed.
+//
+// Monotonicity: early shifts are clamped so the release sequence stays
+// non-decreasing and non-negative (the simulators' event queues assume
+// sorted releases). The shifted sequence may violate the sporadic
+// minimum-separation contract — that is the fault being modelled; the
+// arrival guard in edf_sim (SupervisionMode::kEnforce) is what restores the
+// contract at run time.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fedcons/core/dag_task.h"
+#include "fedcons/fault/fault_plan.h"
+#include "fedcons/sim/release_generator.h"
+
+namespace fedcons {
+
+/// Perturb dag-job releases of the task `spec` targets: per-vertex execution
+/// scaling plus early-release shifts. Counts one fault_injections per
+/// modified job.
+void apply_dag_fault(const TaskFaultSpec& spec, std::uint64_t plan_seed,
+                     std::vector<DagJobRelease>& releases);
+
+/// The target's volume after execution scaling: Σ_v ⌈e_v · p_v / 1000⌉.
+/// This is the sequential-view WCET a faulty task can demand per job.
+[[nodiscard]] Time faulted_volume(const DagTask& task,
+                                  const TaskFaultSpec& spec);
+
+/// Perturb sequential-job releases (EDF-bin tasks): each drawn execution
+/// time is scaled by the task-level ratio faulty_vol/vol (exactly:
+/// exec' = ⌈exec · faulty_vol / vol⌉, so WCET draws map to faulty_vol), and
+/// releases shift early with abs_deadline recomputed as release' + D — an
+/// early job's real deadline moves with its real arrival. Counts one
+/// fault_injections per modified job. Preconditions: vol >= 1.
+void apply_sequential_fault(const TaskFaultSpec& spec, std::uint64_t plan_seed,
+                            Time vol, Time faulty_vol, Time rel_deadline,
+                            std::vector<JobRelease>& jobs);
+
+}  // namespace fedcons

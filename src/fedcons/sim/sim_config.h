@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "fedcons/fault/fault_plan.h"
 #include "fedcons/util/time_types.h"
 
 namespace fedcons {
@@ -32,6 +33,19 @@ struct SimConfig {
   ExecModel exec = ExecModel::kAlwaysWcet;
   double exec_lo = 0.5;      ///< lower bound fraction for kUniform
   std::uint64_t seed = 1;    ///< drives releases and execution times
+
+  /// Fault injection (fedcons/fault/): perturbations applied AFTER release
+  /// generation, so an empty plan (the default) leaves every RNG draw and
+  /// every report byte exactly as before the fault layer existed.
+  FaultPlan faults;
+  /// Runtime supervision. With kEnforce, EDF bins clamp per-job execution at
+  /// the reserved budget and defer early arrivals to the sporadic minimum
+  /// separation (postponing the job's SCHEDULING deadline CBS-style, so the
+  /// bin's admitted-demand certificate still covers every neighbour), and
+  /// template replay clamps each vertex at its σ slot. All enforcement
+  /// interventions are counted in SimStats; none fire on within-contract
+  /// behaviour.
+  SupervisionMode supervision = SupervisionMode::kNone;
 };
 
 /// Aggregated outcome of a simulation run.
@@ -45,6 +59,13 @@ struct SimStats {
   /// horizon, so overloaded runs stay ≤ 1 rather than exceeding it).
   double busy_fraction = 0.0;
 
+  // Supervision interventions (all zero unless SupervisionMode::kEnforce is
+  // active AND a fault actually pushed behaviour outside its contract — a
+  // clean run is byte-identical with enforcement on or off).
+  std::uint64_t budget_throttles = 0;    ///< EDF jobs clamped at vol_i
+  std::uint64_t arrival_deferrals = 0;   ///< early releases held to T-separation
+  std::uint64_t slot_overruns = 0;       ///< template-slot clamps in replay
+
   void merge(const SimStats& other) noexcept {
     jobs_released += other.jobs_released;
     deadline_misses += other.deadline_misses;
@@ -54,6 +75,9 @@ struct SimStats {
     // busy_fraction must be re-derived by the caller when merging pools of
     // different sizes; merge keeps the maximum as a conservative summary.
     if (other.busy_fraction > busy_fraction) busy_fraction = other.busy_fraction;
+    budget_throttles += other.budget_throttles;
+    arrival_deferrals += other.arrival_deferrals;
+    slot_overruns += other.slot_overruns;
   }
 };
 

@@ -1,10 +1,50 @@
 #include "fedcons/sim/system_sim.h"
 
+#include "fedcons/sim/fault_injection.h"
 #include "fedcons/sim/release_generator.h"
 #include "fedcons/util/check.h"
 #include "fedcons/util/rng.h"
 
 namespace fedcons {
+
+namespace {
+
+/// The fault spec targeting `id`, or nullptr. Matching is by display name so
+/// plans survive serialize/parse round-trips (the shrinker re-parses systems).
+const TaskFaultSpec* spec_for(const SimConfig& config, const TaskSystem& system,
+                              TaskId id) {
+  if (config.faults.empty()) return nullptr;
+  return config.faults.find(task_display_name(system, id));
+}
+
+/// Build the EDF streams for one shared processor: generate each assigned
+/// task's sequential releases, apply any fault spec as a post-pass, and
+/// attach the admitted contract (vol/T/D) the supervisor enforces.
+std::vector<EdfTaskStream> build_bin_streams(const TaskSystem& system,
+                                             std::span<const TaskId> assigned,
+                                             const SimConfig& config,
+                                             Rng& rng) {
+  std::vector<EdfTaskStream> streams;
+  streams.reserve(assigned.size());
+  for (TaskId t : assigned) {
+    const SporadicTask seq = system[t].to_sequential();
+    Rng stream_rng = rng.split();
+    EdfTaskStream stream{generate_sequential_releases(
+        seq.wcet, seq.deadline, seq.period, config, stream_rng)};
+    if (const TaskFaultSpec* spec = spec_for(config, system, t)) {
+      apply_sequential_fault(*spec, config.faults.seed, seq.wcet,
+                             faulted_volume(system[t], *spec), seq.deadline,
+                             stream.jobs);
+    }
+    stream.budget = seq.wcet;
+    stream.min_separation = seq.period;
+    stream.rel_deadline = seq.deadline;
+    streams.push_back(std::move(stream));
+  }
+  return streams;
+}
+
+}  // namespace
 
 SystemSimReport simulate_system(const TaskSystem& system,
                                 const FedconsResult& result,
@@ -13,6 +53,7 @@ SystemSimReport simulate_system(const TaskSystem& system,
   FEDCONS_EXPECTS_MSG(result.success,
                       "cannot simulate a rejected allocation");
   SystemSimReport report;
+  report.per_task.assign(system.size(), SimStats{});
   Rng rng(config.seed);
 
   // Dedicated clusters.
@@ -20,25 +61,25 @@ SystemSimReport simulate_system(const TaskSystem& system,
     const DagTask& task = system[cluster.task];
     Rng stream = rng.split();
     auto releases = generate_releases(task, config, stream);
+    if (const TaskFaultSpec* spec = spec_for(config, system, cluster.task)) {
+      apply_dag_fault(*spec, config.faults.seed, releases);
+    }
     SimStats s = simulate_cluster(task, cluster.sigma, releases, config,
                                   dispatch);
     report.total.merge(s);
+    report.per_task[cluster.task].merge(s);
     report.cluster_stats.push_back(std::move(s));
   }
 
   // Shared processors under preemptive EDF.
   for (const auto& assigned : result.shared_assignment) {
-    std::vector<EdfTaskStream> streams;
-    streams.reserve(assigned.size());
-    for (TaskId t : assigned) {
-      const SporadicTask seq = system[t].to_sequential();
-      Rng stream_rng = rng.split();
-      streams.push_back(EdfTaskStream{generate_sequential_releases(
-          seq.wcet, seq.deadline, seq.period, config, stream_rng)});
+    auto streams = build_bin_streams(system, assigned, config, rng);
+    FpSimReport det = simulate_edf_uniproc_detailed(streams, config);
+    for (std::size_t k = 0; k < assigned.size(); ++k) {
+      report.per_task[assigned[k]].merge(det.per_stream[k]);
     }
-    SimStats s = simulate_edf_uniproc(streams, config);
-    report.total.merge(s);
-    report.shared_stats.push_back(std::move(s));
+    report.total.merge(det.stats);
+    report.shared_stats.push_back(std::move(det.stats));
   }
   return report;
 }
@@ -49,17 +90,24 @@ SystemSimReport simulate_arbitrary_system(
   FEDCONS_EXPECTS_MSG(result.success,
                       "cannot simulate a rejected allocation");
   SystemSimReport report;
+  report.per_task.assign(system.size(), SimStats{});
   Rng rng(config.seed);
 
   // Pipelined clusters (k == 1 degenerates to plain template replay).
+  // Injection applies; slot enforcement does not (the pipelined replay keeps
+  // σ reservations via its watermark, so an overrun shows up as lateness).
   for (const auto& cluster : result.clusters) {
     const DagTask& task = system[cluster.task];
     Rng stream = rng.split();
     auto releases = generate_releases(task, config, stream);
+    if (const TaskFaultSpec* spec = spec_for(config, system, cluster.task)) {
+      apply_dag_fault(*spec, config.faults.seed, releases);
+    }
     SimStats s = simulate_pipelined_cluster(task, cluster.sigma,
                                             cluster.instances, releases,
                                             config);
     report.total.merge(s);
+    report.per_task[cluster.task].merge(s);
     report.cluster_stats.push_back(std::move(s));
   }
 
@@ -67,17 +115,13 @@ SystemSimReport simulate_arbitrary_system(
   // composition; jobs of the same task may overlap when D > T, which the
   // EDF engine handles naturally).
   for (const auto& assigned : result.shared_assignment) {
-    std::vector<EdfTaskStream> streams;
-    streams.reserve(assigned.size());
-    for (TaskId t : assigned) {
-      const SporadicTask seq = system[t].to_sequential();
-      Rng stream_rng = rng.split();
-      streams.push_back(EdfTaskStream{generate_sequential_releases(
-          seq.wcet, seq.deadline, seq.period, config, stream_rng)});
+    auto streams = build_bin_streams(system, assigned, config, rng);
+    FpSimReport det = simulate_edf_uniproc_detailed(streams, config);
+    for (std::size_t k = 0; k < assigned.size(); ++k) {
+      report.per_task[assigned[k]].merge(det.per_stream[k]);
     }
-    SimStats s = simulate_edf_uniproc(streams, config);
-    report.total.merge(s);
-    report.shared_stats.push_back(std::move(s));
+    report.total.merge(det.stats);
+    report.shared_stats.push_back(std::move(det.stats));
   }
   return report;
 }

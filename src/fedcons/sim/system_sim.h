@@ -22,10 +22,22 @@ struct SystemSimReport {
   SimStats total;                        ///< aggregated over all subsystems
   std::vector<SimStats> cluster_stats;   ///< one per dedicated cluster
   std::vector<SimStats> shared_stats;    ///< one per shared processor
+  /// Indexed by TaskId: each task's own releases/misses/supervision events.
+  /// This is the attribution the isolation checker relies on — a cluster
+  /// task's entry is its cluster run, an EDF task's entry is its stream's
+  /// slice of its bin (busy_fraction stays 0: it is a processor quantity).
+  std::vector<SimStats> per_task;
 };
 
 /// Simulate the whole platform for the given accepted allocation.
 /// Precondition: result.success.
+///
+/// Fault injection: config.faults specs are matched against task display
+/// names (core/task_system.h) and applied as a post-pass over the generated
+/// releases (sim/fault_injection.h); an empty plan changes nothing, byte for
+/// byte. With config.supervision == kEnforce, EDF streams carry their
+/// admitted contract (budget = vol_i, min_separation = T_i, rel_deadline =
+/// D_i) and template replay clamps overrunning vertices at their σ slots.
 [[nodiscard]] SystemSimReport simulate_system(
     const TaskSystem& system, const FedconsResult& result,
     const SimConfig& config,

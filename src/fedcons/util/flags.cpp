@@ -30,6 +30,22 @@ bool Flags::has(const std::string& key) const {
   return values_.count(key) != 0;
 }
 
+std::vector<std::string> Flags::unknown_keys(
+    std::span<const std::string_view> allowed) const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    bool known = false;
+    for (const std::string_view a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) out.push_back(key);
+  }
+  return out;
+}
+
 std::string Flags::get_string(const std::string& key,
                               const std::string& def) const {
   auto it = values_.find(key);

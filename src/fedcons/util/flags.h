@@ -6,7 +6,9 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace fedcons {
@@ -32,6 +34,12 @@ class Flags {
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;
   }
+
+  /// Flags present on the command line but absent from `allowed` — the tool
+  /// error path (every binary rejects unknown flags with a usage message
+  /// instead of silently ignoring a typo like --tirals=500).
+  [[nodiscard]] std::vector<std::string> unknown_keys(
+      std::span<const std::string_view> allowed) const;
 
  private:
   std::map<std::string, std::string> values_;

@@ -45,6 +45,17 @@ struct PerfCounters {
   /// Candidate reductions evaluated while minimizing violations (each costs
   /// one oracle re-run; see conform/shrinker.h).
   std::uint64_t conform_shrink_steps = 0;
+  /// Fault-injection layer (fedcons/fault/): jobs whose release or execution
+  /// time a FaultPlan perturbed — a pure function of (plan, generated jobs),
+  /// so deterministic per trial like every other logical counter.
+  std::uint64_t fault_injections = 0;
+  /// Supervision interventions: EDF budget throttles, arrival-guard
+  /// deferrals, and template-slot clamps (zero whenever no fault plan is in
+  /// effect — enforcement never fires on within-contract behaviour).
+  std::uint64_t fault_enforcements = 0;
+  /// Isolation-property evaluations: full-system replays under an active
+  /// fault plan (fault/isolation.h), including shrinker re-probes.
+  std::uint64_t fault_isolation_trials = 0;
 
   PerfCounters& operator+=(const PerfCounters& rhs) noexcept {
     ls_invocations += rhs.ls_invocations;
@@ -54,6 +65,9 @@ struct PerfCounters {
     conform_trials += rhs.conform_trials;
     conform_violations += rhs.conform_violations;
     conform_shrink_steps += rhs.conform_shrink_steps;
+    fault_injections += rhs.fault_injections;
+    fault_enforcements += rhs.fault_enforcements;
+    fault_isolation_trials += rhs.fault_isolation_trials;
     return *this;
   }
   /// Delta between two snapshots of the same thread's counters.
@@ -64,7 +78,10 @@ struct PerfCounters {
             ls_probes_pruned - rhs.ls_probes_pruned,
             conform_trials - rhs.conform_trials,
             conform_violations - rhs.conform_violations,
-            conform_shrink_steps - rhs.conform_shrink_steps};
+            conform_shrink_steps - rhs.conform_shrink_steps,
+            fault_injections - rhs.fault_injections,
+            fault_enforcements - rhs.fault_enforcements,
+            fault_isolation_trials - rhs.fault_isolation_trials};
   }
   [[nodiscard]] bool operator==(const PerfCounters&) const noexcept = default;
 };

@@ -42,14 +42,44 @@ inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
   return r;
 }
 
-/// Floor division for non-negative numerator and positive denominator.
-[[nodiscard]] constexpr Time floor_div(Time a, Time b) {
-  return (a >= 0) ? a / b : -((-a + b - 1) / b);
+/// Saturating addition for non-negative demand quantities: a sum that would
+/// exceed the representable range (or involves kTimeInfinity) collapses to
+/// kTimeInfinity instead of wrapping. Demand accumulation uses this so that
+/// pathological parameters yield "unschedulable by saturation" — an infinite
+/// demand fails every Σ DBF(t) ≤ t comparison — never a wrapped, silently
+/// wrong verdict. Preconditions: a >= 0, b >= 0.
+[[nodiscard]] inline Time saturating_add(Time a, Time b) {
+  FEDCONS_EXPECTS(a >= 0 && b >= 0);
+  if (a == kTimeInfinity || b == kTimeInfinity) return kTimeInfinity;
+  Time r{};
+  if (__builtin_add_overflow(a, b, &r)) return kTimeInfinity;
+  return r;
 }
 
-/// Ceiling division for positive denominator.
+/// Saturating multiplication (same convention as saturating_add).
+/// Preconditions: a >= 0, b >= 0.
+[[nodiscard]] inline Time saturating_mul(Time a, Time b) {
+  FEDCONS_EXPECTS(a >= 0 && b >= 0);
+  if ((a == kTimeInfinity && b != 0) || (b == kTimeInfinity && a != 0)) {
+    return kTimeInfinity;
+  }
+  Time r{};
+  if (__builtin_mul_overflow(a, b, &r)) return kTimeInfinity;
+  return r;
+}
+
+/// Floor division for positive denominator. Remainder-based so the
+/// intermediate never overflows, whatever the magnitudes: the textbook
+/// (a + b - 1) adjustment wraps for operands near the int64 edge, which once
+/// let busy_period collapse a huge-parameter testing bound to 0 and certify
+/// an unschedulable set.
+[[nodiscard]] constexpr Time floor_div(Time a, Time b) {
+  return a / b - static_cast<Time>(a % b != 0 && a < 0);
+}
+
+/// Ceiling division for positive denominator (overflow-free, see floor_div).
 [[nodiscard]] constexpr Time ceil_div(Time a, Time b) {
-  return (a >= 0) ? (a + b - 1) / b : -((-a) / b);
+  return a / b + static_cast<Time>(a % b != 0 && a > 0);
 }
 
 /// Greatest common divisor (non-negative result; gcd(0, 0) == 0).

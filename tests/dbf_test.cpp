@@ -249,5 +249,36 @@ TEST(TotalDbfTest, SumsExactDemands) {
   EXPECT_EQ(total_dbf(tasks, 15), 10);
 }
 
+TEST(DbfSaturationTest, HugeDemandSaturatesInsteadOfWrapping) {
+  // jobs · C overflows int64; the accumulation must pin at kTimeInfinity so
+  // any `demand <= supply` comparison fails safe ("unschedulable by
+  // saturation"), never wraps negative and passes.
+  const Time huge = Time{1} << 50;
+  SporadicTask t(huge, huge, 1);
+  EXPECT_EQ(dbf(t, kTimeInfinity / 2), kTimeInfinity);
+  // A sane instant is still exact.
+  EXPECT_EQ(dbf(t, huge), huge);
+}
+
+TEST(DbfSaturationTest, TotalDemandSaturatesAcrossTasks) {
+  const Time big = Time{1} << 61;  // 4 · big overflows int64 on its own
+  std::array<SporadicTask, 4> tasks{
+      SporadicTask(big, big, big * 2), SporadicTask(big, big, big * 2),
+      SporadicTask(big, big, big * 2), SporadicTask(big, big, big * 2)};
+  EXPECT_EQ(total_dbf(tasks, big), kTimeInfinity);
+}
+
+TEST(DbfSaturationTest, BreakpointsStopAtSaturation) {
+  // Breakpoint enumeration over near-overflow parameters terminates and
+  // never emits a wrapped (negative) instant: D + i·T points that saturate
+  // drop out instead of aliasing into the horizon.
+  const Time big = Time{1} << 60;
+  std::array<SporadicTask, 1> tasks{SporadicTask(1, big, big)};
+  for (Time bp : dbf_approx_breakpoints(tasks, 64, kTimeInfinity - 1)) {
+    EXPECT_GT(bp, 0);
+    EXPECT_LT(bp, kTimeInfinity);
+  }
+}
+
 }  // namespace
 }  // namespace fedcons

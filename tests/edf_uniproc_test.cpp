@@ -165,5 +165,22 @@ TEST_P(EdfCrossValidationTest, PdcEqualsQpaOnArbitraryDeadlines) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EdfCrossValidationTest,
                          ::testing::Values(101u, 202u, 303u, 404u));
 
+TEST(EdfSaturationTest, OverflowingDeadlinePointsSaturateNotWrap) {
+  // Two tasks with D and T both near 2^62: the scan's next deadline point
+  // D + T exceeds int64 and must saturate to kTimeInfinity (dropping out of
+  // the heap) rather than wrap negative, re-enter the scan, and loop. The
+  // set is genuinely unschedulable at its first deadline point — the verdict
+  // must say so with a positive witness, not crash or hang.
+  const Time big = Time{1} << 62;
+  std::vector<SporadicTask> tasks{SporadicTask(big / 2, big - 1, big + 8),
+                                  SporadicTask(big / 2, big - 1, big + 8)};
+  const EdfResult pdc = edf_schedulable_pdc(tasks);
+  EXPECT_FALSE(pdc.schedulable);
+  ASSERT_TRUE(pdc.violation_instant.has_value());
+  EXPECT_EQ(*pdc.violation_instant, big - 1);
+  // QPA stays guarded on the same inputs and agrees on the verdict.
+  EXPECT_FALSE(edf_schedulable_qpa(tasks).schedulable);
+}
+
 }  // namespace
 }  // namespace fedcons

@@ -1,0 +1,96 @@
+// Tests for graceful degradation on processor failure: re-admission on the
+// surviving processors, the shedding policy, and the structured report.
+#include "fedcons/fault/degraded.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "fedcons/core/builders.h"
+
+namespace fedcons {
+namespace {
+
+/// n identical light tasks with utilization u = c / 10 each.
+TaskSystem light_tasks(int n, Time c) {
+  TaskSystem sys;
+  for (int i = 0; i < n; ++i) {
+    sys.add(DagTask(make_chain(std::array<Time, 1>{c}), 10, 10,
+                    "tau" + std::to_string(i)));
+  }
+  return sys;
+}
+
+TEST(DegradedModeTest, FullRescheduleWhenSurvivorsFit) {
+  // Three U=0.1 tasks easily fit on the single surviving processor.
+  const TaskSystem sys = light_tasks(3, 1);
+  const DegradedModeReport rep =
+      degrade_on_processor_failure(sys, 2, {0, 100});
+  EXPECT_EQ(rep.original_m, 2);
+  EXPECT_EQ(rep.remaining_m, 1);
+  EXPECT_TRUE(rep.full_reschedule);
+  EXPECT_TRUE(rep.result.success);
+  EXPECT_EQ(rep.survivors.size(), 3u);
+  EXPECT_TRUE(rep.shed.empty());
+  const std::string text = rep.describe(sys);
+  EXPECT_NE(text.find("full reschedule"), std::string::npos);
+}
+
+TEST(DegradedModeTest, ShedsUntilTheRemainderFits) {
+  // Two U=0.8 tasks fit on two processors but not on one: exactly one must
+  // be shed and the survivor must be admitted.
+  const TaskSystem sys = light_tasks(2, 8);
+  ASSERT_TRUE(fedcons_schedule(sys, 2).success);
+  const DegradedModeReport rep =
+      degrade_on_processor_failure(sys, 2, {1, 500});
+  EXPECT_FALSE(rep.full_reschedule);
+  EXPECT_TRUE(rep.result.success);
+  EXPECT_EQ(rep.survivors.size(), 1u);
+  ASSERT_EQ(rep.shed.size(), 1u);
+  EXPECT_FALSE(rep.shed[0].reason.empty());
+  // The shed entry names a task of the original system.
+  EXPECT_LT(rep.shed[0].task, sys.size());
+  const std::string text = rep.describe(sys);
+  EXPECT_NE(text.find("SHED"), std::string::npos);
+}
+
+TEST(DegradedModeTest, LastProcessorFailureShedsEverything) {
+  const TaskSystem sys = light_tasks(2, 1);
+  const DegradedModeReport rep =
+      degrade_on_processor_failure(sys, 1, {0, 0});
+  EXPECT_EQ(rep.remaining_m, 0);
+  EXPECT_TRUE(rep.survivors.empty());
+  EXPECT_EQ(rep.shed.size(), 2u);
+  EXPECT_FALSE(rep.result.success);
+  EXPECT_FALSE(rep.full_reschedule);
+  EXPECT_NE(rep.describe(sys).find("platform exhausted"), std::string::npos);
+}
+
+TEST(DegradedModeTest, SurvivorOrderFollowsTheOriginalSystem) {
+  const TaskSystem sys = light_tasks(4, 1);
+  const DegradedModeReport rep =
+      degrade_on_processor_failure(sys, 3, {2, 42});
+  ASSERT_TRUE(rep.result.success);
+  for (std::size_t k = 1; k < rep.survivors.size(); ++k) {
+    EXPECT_LT(rep.survivors[k - 1], rep.survivors[k]);
+  }
+  EXPECT_EQ(rep.failure.processor, 2);
+  EXPECT_EQ(rep.failure.at, 42);
+}
+
+TEST(DegradedModeTest, JsonReportIsDeterministicAndStructured) {
+  const TaskSystem sys = light_tasks(2, 8);
+  const DegradedModeReport rep =
+      degrade_on_processor_failure(sys, 2, {1, 500});
+  const std::string a = degraded_report_json(sys, rep);
+  const std::string b = degraded_report_json(sys, rep);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"report\": \"degraded-mode\""), std::string::npos);
+  EXPECT_NE(a.find("\"failed_processor\": 1"), std::string::npos);
+  EXPECT_NE(a.find("\"remaining_m\": 1"), std::string::npos);
+  EXPECT_NE(a.find("\"full_reschedule\": false"), std::string::npos);
+  EXPECT_NE(a.find("\"shed\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedcons

@@ -1,0 +1,270 @@
+// Tests for runtime supervision (SupervisionMode::kEnforce) and the fault
+// post-pass: EDF budget throttling, the sporadic arrival guard with its
+// CBS-style scheduling/accounting deadline split, template-slot clamping in
+// cluster replay, and the no-fault byte-identity contract.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "fedcons/core/builders.h"
+#include "fedcons/federated/fedcons_algorithm.h"
+#include "fedcons/gen/taskset_gen.h"
+#include "fedcons/sim/edf_sim.h"
+#include "fedcons/sim/fault_injection.h"
+#include "fedcons/sim/system_sim.h"
+#include "fedcons/util/rng.h"
+
+namespace fedcons {
+namespace {
+
+void expect_stats_eq(const SimStats& a, const SimStats& b) {
+  EXPECT_EQ(a.jobs_released, b.jobs_released);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.max_lateness, b.max_lateness);
+  EXPECT_EQ(a.max_response_time, b.max_response_time);
+  EXPECT_DOUBLE_EQ(a.busy_fraction, b.busy_fraction);
+  EXPECT_EQ(a.budget_throttles, b.budget_throttles);
+  EXPECT_EQ(a.arrival_deferrals, b.arrival_deferrals);
+  EXPECT_EQ(a.slot_overruns, b.slot_overruns);
+}
+
+TEST(BudgetEnforcementTest, ThrottleProtectsTheNeighbour) {
+  // Stream 0 was admitted with budget 5 but its job tries to run 20 ticks;
+  // stream 1 is a well-behaved neighbour sharing the processor and deadline.
+  SimConfig cfg;
+  cfg.horizon = 100;
+  std::vector<EdfTaskStream> streams(2);
+  streams[0].jobs = {{0, 20, 10}};
+  streams[0].budget = 5;
+  streams[1].jobs = {{0, 5, 10}};
+
+  // Unsupervised: the overrun starves the neighbour past its deadline.
+  const FpSimReport loose = simulate_edf_uniproc_detailed(streams, cfg);
+  EXPECT_GT(loose.per_stream[1].deadline_misses, 0u);
+  EXPECT_EQ(loose.stats.budget_throttles, 0u);
+
+  // Enforced: the job is clamped at its budget and both streams meet.
+  cfg.supervision = SupervisionMode::kEnforce;
+  const FpSimReport tight = simulate_edf_uniproc_detailed(streams, cfg);
+  EXPECT_EQ(tight.per_stream[0].budget_throttles, 1u);
+  EXPECT_EQ(tight.per_stream[0].deadline_misses, 0u);
+  EXPECT_EQ(tight.per_stream[1].deadline_misses, 0u);
+  EXPECT_EQ(tight.stats.deadline_misses, 0u);
+}
+
+TEST(BudgetEnforcementTest, WithinBudgetJobsAreUntouched) {
+  SimConfig cfg;
+  cfg.horizon = 100;
+  cfg.supervision = SupervisionMode::kEnforce;
+  std::vector<EdfTaskStream> streams(1);
+  streams[0].jobs = {{0, 5, 10}, {10, 3, 20}};
+  streams[0].budget = 5;
+  streams[0].min_separation = 10;
+  streams[0].rel_deadline = 10;
+  const FpSimReport rep = simulate_edf_uniproc_detailed(streams, cfg);
+  EXPECT_EQ(rep.stats.budget_throttles, 0u);
+  EXPECT_EQ(rep.stats.arrival_deferrals, 0u);
+  EXPECT_EQ(rep.stats.deadline_misses, 0u);
+}
+
+TEST(ArrivalGuardTest, DeferralSplitsSchedulingFromAccounting) {
+  // Job 2 of stream 0 arrives at t=3, seven ticks early for a T=10 task.
+  // The guard defers it to t=10; its scheduling deadline moves to 10 + D,
+  // but its ACCOUNTING deadline stays the raw 3 + D = 8 — so the resulting
+  // miss lands on the faulting stream itself.
+  SimConfig cfg;
+  cfg.horizon = 100;
+  cfg.supervision = SupervisionMode::kEnforce;
+  std::vector<EdfTaskStream> streams(1);
+  streams[0].jobs = {{0, 2, 5}, {3, 2, 8}};
+  streams[0].min_separation = 10;
+  streams[0].rel_deadline = 5;
+  const FpSimReport rep = simulate_edf_uniproc_detailed(streams, cfg);
+  EXPECT_EQ(rep.per_stream[0].arrival_deferrals, 1u);
+  // Deferred job runs [10, 12): finish 12 vs accounting deadline 8.
+  EXPECT_EQ(rep.per_stream[0].deadline_misses, 1u);
+  EXPECT_EQ(rep.per_stream[0].max_lateness, 4);
+}
+
+TEST(ArrivalGuardTest, DeferredJobCannotPreemptTheNeighbour) {
+  // Stream 0 floods early releases; stream 1 is a legal neighbour whose
+  // deadline the early jobs would beat under plain EDF. With the guard on,
+  // the early job waits out the separation and the neighbour is untouched.
+  SimConfig cfg;
+  cfg.horizon = 100;
+  std::vector<EdfTaskStream> streams(2);
+  streams[0].jobs = {{0, 4, 6}, {1, 4, 7}};  // second release 9 ticks early
+  streams[0].min_separation = 10;
+  streams[0].rel_deadline = 6;
+  streams[0].budget = 4;
+  streams[1].jobs = {{0, 4, 10}};
+
+  const FpSimReport loose = simulate_edf_uniproc_detailed(streams, cfg);
+  EXPECT_GT(loose.per_stream[1].deadline_misses, 0u);
+
+  cfg.supervision = SupervisionMode::kEnforce;
+  const FpSimReport tight = simulate_edf_uniproc_detailed(streams, cfg);
+  EXPECT_EQ(tight.per_stream[0].arrival_deferrals, 1u);
+  EXPECT_EQ(tight.per_stream[1].deadline_misses, 0u);
+}
+
+/// A two-task system: one high-density task (gets a dedicated cluster) and
+/// one light task (lands on a shared EDF processor).
+TaskSystem mixed_system() {
+  TaskSystem sys;
+  sys.add(DagTask(make_independent(std::array<Time, 2>{4, 4}), 5, 10,
+                  "heavy"));
+  sys.add(DagTask(make_chain(std::array<Time, 1>{1}), 10, 10, "light"));
+  return sys;
+}
+
+TEST(SlotEnforcementTest, TemplateReplayClampsOverrunningVertices) {
+  const TaskSystem sys = mixed_system();
+  const FedconsResult result = fedcons_schedule(sys, 4);
+  ASSERT_TRUE(result.success);
+
+  SimConfig cfg;
+  cfg.horizon = 100;
+  cfg.faults = parse_fault_plan("task:heavy,overrun:3000");
+
+  // Unsupervised replay: 3x-inflated vertices run past their slots and the
+  // faulted task misses; the light task is on its own processor and is safe
+  // either way (federated isolation outside the shared pool is structural).
+  SystemSimReport loose = simulate_system(sys, result, cfg);
+  EXPECT_GT(loose.per_task[0].deadline_misses, 0u);
+  EXPECT_EQ(loose.per_task[0].slot_overruns, 0u);
+  EXPECT_EQ(loose.per_task[1].deadline_misses, 0u);
+
+  // Enforced replay: every overrunning vertex is clamped at its sigma slot,
+  // so the dag-job still completes by release + makespan <= deadline.
+  cfg.supervision = SupervisionMode::kEnforce;
+  SystemSimReport tight = simulate_system(sys, result, cfg);
+  EXPECT_GT(tight.per_task[0].slot_overruns, 0u);
+  EXPECT_EQ(tight.per_task[0].deadline_misses, 0u);
+  EXPECT_EQ(tight.total.deadline_misses, 0u);
+}
+
+TEST(SlotEnforcementTest, OnlineRerunHasNoSlotsToEnforce) {
+  const TaskSystem sys = mixed_system();
+  const FedconsResult result = fedcons_schedule(sys, 4);
+  ASSERT_TRUE(result.success);
+  SimConfig cfg;
+  cfg.horizon = 100;
+  // Jitter-only fault: online rerun feeds ACTUAL execution times back into
+  // LS, whose contract requires exec <= WCET — an overrun fault is outside
+  // that dispatch mode's domain (it throws, loudly). Early releases are fine.
+  cfg.faults = parse_fault_plan("task:heavy,early:3;seed:9");
+  cfg.supervision = SupervisionMode::kEnforce;
+  SystemSimReport rep =
+      simulate_system(sys, result, cfg, ClusterDispatch::kOnlineRerun);
+  // No template slots exist in online rerun, so nothing can be clamped —
+  // that dispatch mode IS the anomaly demonstration.
+  EXPECT_EQ(rep.per_task[0].slot_overruns, 0u);
+}
+
+TEST(NoFaultIdentityTest, EnforcementIsInvisibleWithoutFaults) {
+  // The headline determinism contract: with an empty plan, a supervised run
+  // is indistinguishable from an unsupervised one — same RNG draws, same
+  // statistics, field for field — across a batch of random systems.
+  Rng rng(2026);
+  TaskSetParams params;
+  params.num_tasks = 6;
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskSystem sys = generate_task_system(rng, params);
+    const FedconsResult result = fedcons_schedule(sys, 8);
+    if (!result.success) continue;
+    SimConfig cfg;
+    cfg.horizon = 2000;
+    cfg.release = ReleaseModel::kSporadic;
+    cfg.exec = ExecModel::kUniform;
+    cfg.seed = 42 + static_cast<std::uint64_t>(trial);
+
+    const SystemSimReport plain = simulate_system(sys, result, cfg);
+    cfg.supervision = SupervisionMode::kEnforce;
+    const SystemSimReport watched = simulate_system(sys, result, cfg);
+
+    expect_stats_eq(plain.total, watched.total);
+    ASSERT_EQ(plain.per_task.size(), watched.per_task.size());
+    for (std::size_t i = 0; i < plain.per_task.size(); ++i) {
+      expect_stats_eq(plain.per_task[i], watched.per_task[i]);
+    }
+    EXPECT_EQ(watched.total.budget_throttles, 0u);
+    EXPECT_EQ(watched.total.arrival_deferrals, 0u);
+    EXPECT_EQ(watched.total.slot_overruns, 0u);
+  }
+}
+
+TEST(FaultInjectionTest, SequentialScalingIsExactAndDeadlinePreserving) {
+  TaskFaultSpec spec;
+  spec.task = "tau";
+  spec.overrun_permille = 2000;
+  std::vector<JobRelease> jobs = {{0, 4, 5}, {10, 3, 15}};
+  // vol 4 → faulty_vol 8: exec' = ⌈exec · 8 / 4⌉.
+  apply_sequential_fault(spec, 1, 4, 8, 5, jobs);
+  EXPECT_EQ(jobs[0].exec_time, 8);
+  EXPECT_EQ(jobs[1].exec_time, 6);
+  // No jitter in the spec: releases and absolute deadlines are untouched.
+  EXPECT_EQ(jobs[0].release, 0);
+  EXPECT_EQ(jobs[1].release, 10);
+  EXPECT_EQ(jobs[0].abs_deadline, 5);
+  EXPECT_EQ(jobs[1].abs_deadline, 15);
+}
+
+TEST(FaultInjectionTest, EarlyShiftsStaySortedAndMoveDeadlines) {
+  TaskFaultSpec spec;
+  spec.task = "tau";
+  spec.early_release_max = 8;
+  std::vector<JobRelease> jobs;
+  for (Time r = 0; r < 100; r += 10) jobs.push_back({r, 2, r + 5});
+  std::vector<JobRelease> again = jobs;
+  apply_sequential_fault(spec, 99, 2, 2, 5, jobs);
+  apply_sequential_fault(spec, 99, 2, 2, 5, again);
+  Time prev = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    // Deterministic: the same plan perturbs the same jobs identically.
+    EXPECT_EQ(jobs[i].release, again[i].release);
+    // Monotone and non-negative (the simulators assume sorted releases).
+    EXPECT_GE(jobs[i].release, prev);
+    prev = jobs[i].release;
+    // A shifted job's real deadline moves with its real arrival.
+    EXPECT_EQ(jobs[i].abs_deadline, jobs[i].release + 5);
+    EXPECT_LE(jobs[i].release, static_cast<Time>(i) * 10);
+  }
+}
+
+TEST(FaultInjectionTest, OutOfRangeVertexOverridesAreInert) {
+  // Shrinker safety: an override naming a vertex the task does not have
+  // perturbs nothing (and the spec may become a no-op as a result).
+  TaskFaultSpec spec;
+  spec.task = "tau";
+  spec.vertex_overrides = {{7, 3000}};
+  std::vector<DagJobRelease> releases = {{0, {2, 3}}, {10, {2, 3}}};
+  apply_dag_fault(spec, 5, releases);
+  for (const auto& r : releases) {
+    EXPECT_EQ(r.exec_times[0], 2);
+    EXPECT_EQ(r.exec_times[1], 3);
+  }
+}
+
+TEST(FaultInjectionTest, DagFaultScalesOnlyTheOverriddenVertex) {
+  TaskFaultSpec spec;
+  spec.task = "tau";
+  spec.vertex_overrides = {{1, 3000}};
+  std::vector<DagJobRelease> releases = {{0, {2, 3}}};
+  apply_dag_fault(spec, 5, releases);
+  EXPECT_EQ(releases[0].exec_times[0], 2);
+  EXPECT_EQ(releases[0].exec_times[1], 9);
+}
+
+TEST(FaultInjectionTest, FaultedVolumeSumsScaledVertices) {
+  const DagTask task(make_chain(std::array<Time, 3>{2, 3, 1}), 10, 12, "tau");
+  TaskFaultSpec spec;
+  spec.task = "tau";
+  spec.overrun_permille = 2000;
+  spec.vertex_overrides = {{2, 1000}};  // last vertex unscaled
+  EXPECT_EQ(faulted_volume(task, spec), 4 + 6 + 1);
+}
+
+}  // namespace
+}  // namespace fedcons

@@ -210,5 +210,56 @@ TEST_P(IoFuzzTest, RandomBytesNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzzTest, ::testing::Values(7u, 8u));
 
+TEST(IoHardeningTest, RejectsFieldsBeyondTheRepresentableCap) {
+  // Within int64 but above the 2^50 field cap: diagnosed, not accepted.
+  try {
+    (void)parse_task_system(std::string(
+        "task a\n deadline 1234567890123456789\n period 5\n vertex 1\nend\n"));
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("2^50"), std::string::npos);
+  }
+  // Beyond int64 entirely: stoll overflow funnels into "malformed".
+  EXPECT_THROW(parse_task_system(std::string(
+                   "task a\n deadline 99999999999999999999999\n period 5\n "
+                   "vertex 1\nend\n")),
+               ParseError);
+  // The cap itself is still accepted (boundary inclusive).
+  TaskSystem ok = parse_task_system(std::string(
+      "task a\n deadline 1125899906842624\n period 1125899906842624\n "
+      "vertex 1\nend\n"));
+  EXPECT_EQ(ok[0].deadline(), Time{1} << 50);
+}
+
+TEST(IoHardeningTest, RejectsNonIntegerNumericSpellings) {
+  EXPECT_THROW(parse_task_system(std::string(
+                   "task a\n deadline nan\n period 5\n vertex 1\nend\n")),
+               ParseError);
+  EXPECT_THROW(parse_task_system(std::string(
+                   "task a\n deadline inf\n period 5\n vertex 1\nend\n")),
+               ParseError);
+  EXPECT_THROW(parse_task_system(std::string(
+                   "task a\n deadline 5\n period 5\n vertex 2.5\nend\n")),
+               ParseError);
+  EXPECT_THROW(parse_task_system(std::string(
+                   "task a\n deadline -7\n period 5\n vertex 1\nend\n")),
+               ParseError);
+}
+
+TEST(IoHardeningTest, TryParseReportsInsteadOfThrowing) {
+  const ParseResult good =
+      try_parse_task_system("task a\n deadline 5\n period 5\n vertex 1\nend\n");
+  EXPECT_TRUE(good.ok);
+  EXPECT_EQ(good.system.size(), 1u);
+  EXPECT_TRUE(good.error.empty());
+
+  const ParseResult bad =
+      try_parse_task_system("task a\n deadline 5\n bogus 1\n");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.line, 3);
+  EXPECT_NE(bad.error.find("bogus"), std::string::npos);
+  EXPECT_TRUE(bad.system.empty());
+}
+
 }  // namespace
 }  // namespace fedcons

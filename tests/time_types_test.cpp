@@ -69,6 +69,20 @@ TEST(TimeTypesTest, Gcd) {
   EXPECT_EQ(gcd_time(7, 13), 1);
 }
 
+TEST(TimeTypesTest, DivisionNeverOverflowsNearTheInt64Edge) {
+  // Regression: ceil_div's textbook (a + b - 1)/b form wrapped when a and b
+  // were both near 2^62, silently collapsing busy_period (and with it the
+  // PDC testing bound) to 0 — a wrong-side schedulability verdict.
+  const Time max = std::numeric_limits<Time>::max();
+  EXPECT_EQ(ceil_div(max, max), 1);
+  EXPECT_EQ(ceil_div(max - 1, max), 1);
+  EXPECT_EQ(ceil_div(max, max - 1), 2);
+  EXPECT_EQ(ceil_div(Time{1} << 62, (Time{1} << 62) + 8), 1);
+  EXPECT_EQ(floor_div(max, max), 1);
+  EXPECT_EQ(floor_div(max - 1, max), 0);
+  EXPECT_EQ(floor_div(-max, max - 1), -2);
+}
+
 TEST(TimeTypesTest, Lcm) {
   EXPECT_EQ(checked_lcm(4, 6), 12);
   EXPECT_EQ(checked_lcm(1, 9), 9);

@@ -1,0 +1,96 @@
+// CLI error-path tests: all three tools must exit 2 with usage on unknown or
+// malformed flags, and nonzero on malformed input — never crash or silently
+// succeed. Binaries are injected as compile definitions by CMake.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#ifdef _WIN32
+#error "this suite drives tools through POSIX wait-status decoding"
+#endif
+#include <sys/wait.h>
+
+namespace {
+
+/// Run a shell command with all output discarded; return its exit code.
+int exit_code(const std::string& command) {
+  const int status = std::system((command + " >/dev/null 2>&1").c_str());
+  if (status == -1) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -2;  // killed by a signal — always a test failure
+}
+
+const std::string kCli = FEDCONS_CLI_BIN;
+const std::string kGen = FEDCONS_GEN_BIN;
+const std::string kConform = FEDCONS_CONFORM_BIN;
+
+TEST(ToolsErrorsTest, UnknownFlagsExitTwo) {
+  EXPECT_EQ(exit_code(kCli + " --no-such-flag"), 2);
+  EXPECT_EQ(exit_code(kGen + " --no-such-flag"), 2);
+  EXPECT_EQ(exit_code(kConform + " --no-such-flag"), 2);
+  // A typo'd known flag must not fall through to a default mode.
+  EXPECT_EQ(exit_code(kCli + " --exmple"), 2);
+  EXPECT_EQ(exit_code(kGen + " --presets=avionics"), 2);
+  EXPECT_EQ(exit_code(kConform + " --trails=10"), 2);
+}
+
+TEST(ToolsErrorsTest, StrayPositionalArgumentsExitTwo) {
+  // A bare token BEFORE any flag is unambiguously positional (one following
+  // a flag is consumed as that flag's space-separated value).
+  EXPECT_EQ(exit_code(kCli + " stray --example"), 2);
+  EXPECT_EQ(exit_code(kGen + " stray --list-presets"), 2);
+  EXPECT_EQ(exit_code(kConform + " stray --list"), 2);
+}
+
+TEST(ToolsErrorsTest, MalformedFlagValuesExitTwo) {
+  // --m is read before the workload file is even opened.
+  EXPECT_EQ(exit_code(kCli + " --file=whatever --m=banana"), 2);
+  EXPECT_EQ(exit_code(kGen + " --tasks=banana"), 2);
+  EXPECT_EQ(exit_code(kConform + " --isolation --trials=banana"), 2);
+}
+
+/// A minimal valid workload on disk, for exercising post-parse flag errors.
+std::string valid_workload_path() {
+  static const std::string path = [] {
+    const std::string p = ::testing::TempDir() + "/tools_errors_ok.tasks";
+    std::ofstream out(p);
+    out << "task a\n  deadline 5\n  period 5\n  vertex 1\nend\n"
+        << "task b\n  deadline 5\n  period 5\n  vertex 1\nend\n";
+    return p;
+  }();
+  return path;
+}
+
+TEST(ToolsErrorsTest, MalformedInjectSpecsExitTwo) {
+  const std::string base = kCli + " --file=" + valid_workload_path() + " --m=2";
+  EXPECT_EQ(exit_code(base + " --inject=bogus:1"), 2);
+  EXPECT_EQ(exit_code(base + " --inject=task:"), 2);
+  EXPECT_EQ(exit_code(base + " --inject=task:a,overrun:3000 --enforce=banana"),
+            2);
+  // Processor failures must name a processor the platform actually has.
+  EXPECT_EQ(exit_code(base + " --inject=proc:9@100"), 2);
+  // The happy paths behind the same flags still work.
+  EXPECT_EQ(exit_code(base + " --inject=task:a,overrun:3000 --enforce=on"), 0);
+  EXPECT_EQ(exit_code(base + " --inject=proc:1@100"), 0);
+}
+
+TEST(ToolsErrorsTest, MalformedWorkloadFilesFailCleanly) {
+  const std::string path = ::testing::TempDir() + "/tools_errors_bad.tasks";
+  {
+    std::ofstream out(path);
+    out << "task broken\n  deadline nan\n  period 5\n  vertex 1\nend\n";
+  }
+  EXPECT_NE(exit_code(kCli + " --file=" + path), 0);
+  EXPECT_NE(exit_code(kCli + " --file=/nonexistent/no.tasks"), 0);
+}
+
+TEST(ToolsErrorsTest, ValidInvocationsStillExitZero) {
+  // Guard against over-eager rejection: the documented happy paths work.
+  EXPECT_EQ(exit_code(kCli + " --example"), 0);
+  EXPECT_EQ(exit_code(kGen + " --list-presets"), 0);
+  EXPECT_EQ(exit_code(kConform + " --list"), 0);
+}
+
+}  // namespace

@@ -5,8 +5,23 @@
 //               [--strategy=fedcons|arbfed|arbfed-clamp] [--algo=NAME]
 //               [--variant=full|literal] [--seed=1] [--dot] [--gantt]
 //               [--margins] [--json] [--explain[=json]] [--trace-out=FILE]
+//               [--inject=SPEC] [--enforce=on|off]
 //   fedcons_cli --list-algos         # engine registry names + descriptions
 //   fedcons_cli --example            # print a sample workload file and exit
+//
+// --inject=SPEC runs the fault-injection flow (fault/fault_plan.h grammar,
+// e.g. "task:a,overrun:2500,early:10;seed:7" or "proc:2@1000"):
+//  * a `proc:P@T` clause computes the degraded-mode plan — FEDCONS re-run on
+//    m−1 processors, shedding tasks only if re-admission fails. Exit 0 when
+//    every task survives, 1 when tasks were shed. --json emits the
+//    structured degraded-mode document.
+//  * `task:` clauses replay the admitted allocation with the faults
+//    injected. --enforce=on (default) turns runtime supervision on; the run
+//    reports per-task misses and enforcement events, and exits 0 iff no
+//    NON-targeted task missed a deadline (the isolation property), 1
+//    otherwise.
+//
+// All three tools reject unknown or malformed flags with usage + exit 2.
 //
 // --algo=NAME runs any test from the engine registry (verdict only; the
 // FEDCONS-specific cluster report, --gantt, --margins, and --simulate need
@@ -37,6 +52,8 @@
 #include "fedcons/analysis/feasibility.h"
 #include "fedcons/core/io.h"
 #include "fedcons/engine/registry.h"
+#include "fedcons/fault/degraded.h"
+#include "fedcons/fault/fault_plan.h"
 #include "fedcons/federated/arbitrary.h"
 #include "fedcons/federated/fedcons_algorithm.h"
 #include "fedcons/federated/sensitivity.h"
@@ -93,6 +110,7 @@ int usage() {
          "                   [--strategy=fedcons|arbfed|arbfed-clamp]\n"
          "                   [--algo=NAME] [--variant=full|literal] [--json]\n"
          "                   [--explain[=json]] [--trace-out=FILE]\n"
+         "                   [--inject=SPEC] [--enforce=on|off]\n"
          "       fedcons_cli --list-algos\n"
          "       fedcons_cli --example\n";
   return 2;
@@ -186,10 +204,61 @@ int list_algos() {
   return 0;
 }
 
-}  // namespace
+/// Per-task fault-injection replay: admit, inject, simulate, attribute.
+/// Exit 0 iff no task the plan does not target missed a deadline.
+int run_injection(const TaskSystem& system, int m, const FaultPlan& plan,
+                  const Flags& flags, const FedconsOptions& options) {
+  const std::string enforce_str = flags.get_string("enforce", "on");
+  if (enforce_str != "on" && enforce_str != "off") {
+    std::cerr << "error: --enforce takes 'on' or 'off'\n";
+    return 2;
+  }
+  const SupervisionMode supervision = enforce_str == "on"
+                                          ? SupervisionMode::kEnforce
+                                          : SupervisionMode::kNone;
+  const FedconsResult fed = fedcons_schedule(system, m, options);
+  if (!fed.success) {
+    std::cout << "FEDCONS rejected the system on m=" << m
+              << " — nothing to inject into\n";
+    return 1;
+  }
+  SimConfig cfg;
+  cfg.horizon = flags.get_int("horizon", 100000);
+  cfg.release = ReleaseModel::kSporadic;
+  cfg.exec = ExecModel::kUniform;
+  cfg.exec_lo = 0.5;
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  cfg.faults = plan;
+  cfg.supervision = supervision;
+  const SystemSimReport rep = simulate_system(system, fed, cfg);
 
-int main(int argc, char** argv) {
-  Flags flags(argc, argv);
+  std::cout << "Fault injection (" << format_fault_plan(plan)
+            << "), supervision " << to_string(supervision) << ", horizon "
+            << cfg.horizon << ":\n";
+  Table table({"task", "faulted", "released", "misses", "throttles",
+               "deferrals", "slot-overruns"});
+  std::uint64_t cross_misses = 0;
+  for (std::size_t t = 0; t < system.size(); ++t) {
+    const std::string name = task_display_name(system, t);
+    const bool targeted = plan.find(name) != nullptr;
+    const SimStats& s = rep.per_task[t];
+    if (!targeted) cross_misses += s.deadline_misses;
+    table.add_row({name, targeted ? "yes" : "no",
+                   std::to_string(s.jobs_released),
+                   std::to_string(s.deadline_misses),
+                   std::to_string(s.budget_throttles),
+                   std::to_string(s.arrival_deferrals),
+                   std::to_string(s.slot_overruns)});
+  }
+  table.print(std::cout);
+  std::cout << (cross_misses == 0
+                    ? "isolation held: no non-targeted task missed\n"
+                    : "ISOLATION VIOLATED: " + std::to_string(cross_misses) +
+                          " miss(es) on non-targeted tasks\n");
+  return cross_misses == 0 ? 0 : 1;
+}
+
+int run(const Flags& flags) {
   if (flags.has("example")) {
     std::cout << kExample;
     return 0;
@@ -227,6 +296,37 @@ int main(int argc, char** argv) {
   TraceDump trace_dump;
   trace_dump.path = flags.get_string("trace-out", "");
   if (!trace_dump.path.empty()) obs::set_tracing_enabled(true);
+
+  if (flags.has("inject")) {
+    FaultPlan plan;
+    try {
+      plan = parse_fault_plan(flags.get_string("inject", ""));
+    } catch (const ParseError& e) {
+      std::cerr << "error: bad --inject spec: " << e.what() << "\n";
+      return 2;
+    }
+    FedconsOptions inj_options;
+    if (flags.get_string("variant", "full") == "literal") {
+      inj_options.partition.variant = PartitionVariant::kPaperLiteral;
+    }
+    if (plan.processor_failure.processor >= 0) {
+      if (plan.processor_failure.processor >= m) {
+        std::cerr << "error: failed processor "
+                  << plan.processor_failure.processor
+                  << " out of range for m=" << m << "\n";
+        return 2;
+      }
+      const DegradedModeReport rep = degrade_on_processor_failure(
+          system, m, plan.processor_failure, inj_options);
+      if (json) {
+        std::cout << degraded_report_json(system, rep);
+      } else {
+        std::cout << rep.describe(system);
+      }
+      return rep.full_reschedule ? 0 : 1;
+    }
+    return run_injection(system, m, plan, flags, inj_options);
+  }
 
   const bool machine = json || explain_as_json;
   if (!machine) {
@@ -378,4 +478,34 @@ int main(int argc, char** argv) {
     if (rep.total.deadline_misses != 0) return 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags(argc, argv);
+    static constexpr std::string_view kAllowed[] = {
+        "example", "list-algos", "file",    "m",        "simulate",
+        "horizon", "seed",       "dot",     "gantt",    "margins",
+        "strategy", "algo",      "variant", "json",     "explain",
+        "trace-out", "inject",   "enforce",
+    };
+    const auto unknown = flags.unknown_keys(kAllowed);
+    if (!unknown.empty() || !flags.positional().empty()) {
+      for (const auto& key : unknown) {
+        std::cerr << "error: unknown flag --" << key << "\n";
+      }
+      for (const auto& arg : flags.positional()) {
+        std::cerr << "error: unexpected argument '" << arg << "'\n";
+      }
+      return usage();
+    }
+    return run(flags);
+  } catch (const std::exception& e) {
+    // Malformed flag syntax, contract violations from absurd parameter
+    // combinations, filesystem surprises: report and exit 2, never abort.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 }

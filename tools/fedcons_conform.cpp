@@ -4,8 +4,12 @@
 //   (default)        run the randomized harness over the built-in battery
 //   --demo-anomaly   build the Graham-anomaly exhibit (template replay vs
 //                    online LS rerun on the same seed)
-//   --replay=FILE    re-run a pinned violation artifact and verify it still
-//                    reproduces
+//   --isolation      fuzz the federated ISOLATION property: inject a fault
+//                    plan against one task per trial and check no OTHER task
+//                    misses (--enforce=on, default) or demonstrate the
+//                    cascade supervision prevents (--enforce=off)
+//   --replay=FILE    re-run a pinned violation artifact (conformance- or
+//                    fault-schema) and verify it still reproduces
 //   --list           print the available conformance entries
 //
 // Harness flags: --trials N --threads N --seed S --m M --horizon H
@@ -16,9 +20,10 @@
 //   --json                   (machine-readable report on stdout)
 //   --trace-out FILE         (span-trace the run; Chrome trace-event JSON)
 //
-// Exit codes: 0 — success (zero violations / artifact reproduced / demo
-// exhibited); 1 — violations found (or artifact failed to reproduce, or the
-// demo found no refuting seed); 2 — usage or input error.
+// Exit codes: 0 — success (zero violations / isolation held with
+// enforcement on / a cascade was exhibited with enforcement off / artifact
+// reproduced / demo exhibited); 1 — the run refuted its claim; 2 — usage or
+// input error. Unknown or malformed flags exit 2 with usage.
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -32,6 +37,8 @@
 #include "fedcons/conform/harness.h"
 #include "fedcons/conform/oracle.h"
 #include "fedcons/core/io.h"
+#include "fedcons/fault/fault_artifact.h"
+#include "fedcons/fault/isolation.h"
 #include "fedcons/obs/span_tracer.h"
 #include "fedcons/util/flags.h"
 
@@ -65,7 +72,28 @@ int run_replay(const std::string& path) {
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
-  const ViolationArtifact artifact = parse_artifact(buffer.str());
+  const std::string text = buffer.str();
+
+  // Dispatch on the schema tag: fault-isolation artifacts replay through the
+  // isolation oracle, conformance artifacts through their named entry.
+  if (text.find("fedcons-fault-repro-v1") != std::string::npos) {
+    const FaultArtifact artifact = parse_fault_artifact(text);
+    const ConformanceOutcome outcome = replay_fault_artifact(artifact);
+    std::cout << "fault artifact " << path << "\n"
+              << "  plan: " << format_fault_plan(artifact.plan) << "\n"
+              << "  supervision: " << to_string(artifact.supervision)
+              << "  m: " << artifact.m << "  sim seed: " << artifact.sim.seed
+              << "\n  note: " << artifact.note << "\n";
+    print_outcome(std::cout, "replay (cross-task)", outcome);
+    if (outcome.violation()) {
+      std::cout << "cross-task violation REPRODUCED\n";
+      return 0;
+    }
+    std::cout << "cross-task violation did NOT reproduce\n";
+    return 1;
+  }
+
+  const ViolationArtifact artifact = parse_artifact(text);
   const ConformanceOutcome outcome = replay_artifact(artifact);
   std::cout << "artifact " << path << "\n"
             << "  algorithm: " << artifact.algorithm << "\n"
@@ -78,6 +106,71 @@ int run_replay(const std::string& path) {
   }
   std::cout << "violation did NOT reproduce\n";
   return 1;
+}
+
+int run_isolation(const Flags& flags) {
+  IsolationConfig config = default_isolation_config();
+  config.trials = static_cast<std::size_t>(flags.get_int("trials", 500));
+  config.num_threads = static_cast<int>(flags.get_int("threads", 0));
+  config.master_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.m = static_cast<int>(flags.get_int("m", 8));
+  config.sim.horizon = flags.get_int("horizon", config.sim.horizon);
+  config.sim.exec_lo = flags.get_double("exec-lo", config.sim.exec_lo);
+  config.sim.jitter_frac = flags.get_double("jitter", config.sim.jitter_frac);
+  config.util_lo = flags.get_double("util-lo", config.util_lo);
+  config.util_hi = flags.get_double("util-hi", config.util_hi);
+  config.shrink_budget = static_cast<std::size_t>(flags.get_int(
+      "shrink-budget", static_cast<std::int64_t>(config.shrink_budget)));
+  const std::string enforce_str = flags.get_string("enforce", "on");
+  if (enforce_str != "on" && enforce_str != "off") {
+    std::cerr << "error: --enforce takes 'on' or 'off'\n";
+    return 2;
+  }
+  const bool enforcing = enforce_str == "on";
+  config.supervision =
+      enforcing ? SupervisionMode::kEnforce : SupervisionMode::kNone;
+
+  const IsolationReport report = run_isolation_fuzz(config);
+
+  if (flags.get_bool("json", false)) {
+    std::cout << isolation_report_json(report);
+  } else {
+    std::cout << "isolation: " << report.trials << " trials (" <<
+        report.admitted << " admitted), m=" << report.m << ", supervision "
+              << to_string(report.supervision) << ", master_seed="
+              << config.master_seed << "\n"
+              << "  target misses (faulted tasks):   "
+              << report.target_misses << "\n"
+              << "  cross misses (innocent tasks):   " << report.cross_misses
+              << "\n"
+              << "  enforcement events: "
+              << report.counters.fault_enforcements << " ("
+              << report.counters.fault_injections << " injected jobs)\n";
+  }
+
+  if (flags.has("out-dir") && !report.incidents.empty()) {
+    const std::filesystem::path dir(flags.get_string("out-dir", "."));
+    std::filesystem::create_directories(dir);
+    for (const auto& inc : report.incidents) {
+      const auto path =
+          dir / ("isolation-trial" + std::to_string(inc.trial) + ".json");
+      std::ofstream out(path);
+      out << to_json(inc.artifact);
+      std::cout << "wrote " << path.string() << "\n";
+    }
+  }
+  for (const auto& inc : report.incidents) {
+    std::cout << "INCIDENT trial " << inc.trial << " target " << inc.target
+              << " plan [" << format_fault_plan(inc.plan)
+              << "]: cross misses=" << inc.cross_observed.deadline_misses
+              << " minimized to m=" << inc.minimized_m << ", "
+              << parse_task_system(inc.minimized_text).size() << " task(s) in "
+              << inc.shrink_probes << " probes\n";
+  }
+  // Enforcement ON claims isolation (incidents refute it); enforcement OFF
+  // is the demonstration run — finding no cascade means the demo failed.
+  if (enforcing) return report.incidents.empty() ? 0 : 1;
+  return report.incidents.empty() ? 1 : 0;
 }
 
 int run_demo() {
@@ -176,6 +269,30 @@ int run_harness(const Flags& flags) {
 int main(int argc, char** argv) {
   try {
     const Flags flags(argc, argv);
+    static constexpr std::string_view kAllowed[] = {
+        "list",    "demo-anomaly", "replay",  "isolation",     "enforce",
+        "trials",  "threads",      "seed",    "m",             "horizon",
+        "exec-lo", "jitter",       "util-lo", "util-hi",       "shrink-budget",
+        "algos",   "out-dir",      "json",    "trace-out",
+    };
+    const auto unknown = flags.unknown_keys(kAllowed);
+    if (!unknown.empty() || !flags.positional().empty()) {
+      for (const auto& key : unknown) {
+        std::cerr << "error: unknown flag --" << key << "\n";
+      }
+      for (const auto& arg : flags.positional()) {
+        std::cerr << "error: unexpected argument '" << arg << "'\n";
+      }
+      std::cerr << "usage: fedcons_conform [--list | --demo-anomaly | "
+                   "--isolation | --replay=FILE]\n"
+                   "                       [--trials N] [--threads N] "
+                   "[--seed S] [--m M] [--enforce=on|off]\n"
+                   "                       [--util-lo F] [--util-hi F] "
+                   "[--shrink-budget N] [--algos A,B]\n"
+                   "                       [--out-dir DIR] [--json] "
+                   "[--trace-out FILE]\n";
+      return 2;
+    }
     const std::string trace_out = flags.get_string("trace-out", "");
     if (!trace_out.empty()) obs::set_tracing_enabled(true);
     int rc;
@@ -189,6 +306,8 @@ int main(int argc, char** argv) {
       rc = 0;
     } else if (flags.get_bool("demo-anomaly", false)) {
       rc = run_demo();
+    } else if (flags.get_bool("isolation", false)) {
+      rc = run_isolation(flags);
     } else if (flags.has("replay")) {
       rc = run_replay(flags.get_string("replay", ""));
     } else {

@@ -8,6 +8,8 @@
 // Generator knobs (override preset values when both given):
 //   --tasks=N --util=U --util-cap=C --period-min=P --period-max=P
 //   --dratio-min=R --dratio-max=R --topology=layered|fork-join|mixed
+//
+// Unknown or malformed flags exit 2 with usage.
 #include <iostream>
 
 #include "fedcons/core/io.h"
@@ -17,8 +19,19 @@
 
 using namespace fedcons;
 
-int main(int argc, char** argv) {
-  Flags flags(argc, argv);
+namespace {
+
+int usage() {
+  std::cerr << "usage: fedcons_gen [--preset=NAME] [--seed=N] [--tasks=N]\n"
+               "                   [--util=U] [--util-cap=C] "
+               "[--period-min=P] [--period-max=P]\n"
+               "                   [--dratio-min=R] [--dratio-max=R]\n"
+               "                   [--topology=layered|fork-join|mixed]\n"
+               "       fedcons_gen --list-presets\n";
+  return 2;
+}
+
+int run(const Flags& flags) {
   if (flags.has("list-presets")) {
     std::cout << describe_presets();
     return 0;
@@ -66,4 +79,31 @@ int main(int argc, char** argv) {
             << info.achieved_utilization << " ("
             << info.deadline_clamps << " deadline clamp(s))\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags(argc, argv);
+    static constexpr std::string_view kAllowed[] = {
+        "list-presets", "preset",     "tasks",      "util",
+        "util-cap",     "period-min", "period-max", "dratio-min",
+        "dratio-max",   "topology",   "seed",
+    };
+    const auto unknown = flags.unknown_keys(kAllowed);
+    if (!unknown.empty() || !flags.positional().empty()) {
+      for (const auto& key : unknown) {
+        std::cerr << "error: unknown flag --" << key << "\n";
+      }
+      for (const auto& arg : flags.positional()) {
+        std::cerr << "error: unexpected argument '" << arg << "'\n";
+      }
+      return usage();
+    }
+    return run(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 }
