@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Render the recorded BENCH_*.json artifacts as one throughput picture.
+
+Two generations of recording live at the repo root:
+
+  * BENCH_PR2.json — google-benchmark output of bench_perf_algorithms
+    (batch-analysis latency: MINPROCS scan and the full FEDCONS test at
+    several task-set sizes; see bench/run_perf.sh).
+  * BENCH_PR6.json — the custom document bench_online writes (steady-state
+    online churn: admissions/sec, memo hit rate, per-event latency split by
+    class, and the from-scratch re-analysis contrast per level).
+
+The script draws the batch curve (analyses/sec by task count) next to the
+online curve (admissions/sec by resident count) so the PR-2 → PR-6 story —
+throughput moving from per-batch to per-event — is one figure. With
+matplotlib available it writes bench/perf_curves.png; otherwise it falls
+back to an ASCII rendering on stdout (the container image carries no
+plotting stack, and installing one is out of scope).
+
+Usage: plot_perf.py [--repo-root DIR] [--out PNG]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_json(path):
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def batch_series(doc):
+    """BENCH_PR2: google-benchmark -> [(tasks, analyses_per_sec)] per family."""
+    if doc is None:
+        return {}
+    series = {}
+    for bench in doc.get("benchmarks", []):
+        # Prefer the _mean aggregate when repetitions were recorded; plain
+        # runs have no aggregate_name.
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") != "mean":
+                continue
+        name = bench.get("run_name", bench.get("name", ""))
+        if "/" not in name:
+            continue
+        family, _, arg = name.partition("/")
+        try:
+            tasks = int(arg)
+        except ValueError:
+            continue
+        ns = float(bench.get("real_time", 0.0))
+        if ns <= 0:
+            continue
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1e9, "us": 1e6, "ms": 1e3, "s": 1.0}.get(unit, 1e9)
+        per_sec = scale / ns
+        series.setdefault(family, {})[tasks] = per_sec
+    return {
+        family: sorted(points.items())
+        for family, points in series.items()
+    }
+
+
+def online_series(doc):
+    """BENCH_PR6: bench_online levels -> [(residents, admissions_per_sec)]."""
+    if doc is None:
+        return []
+    return sorted(
+        (int(level["residents"]), float(level["admissions_per_sec"]))
+        for level in doc.get("levels", [])
+    )
+
+
+def ascii_curve(title, points, unit):
+    if not points:
+        return ["  %s: (no recording)" % title]
+    width = 46
+    top = max(v for _, v in points)
+    lines = ["  %s" % title]
+    for x, v in points:
+        bar = "#" * max(1, int(round(width * v / top))) if top > 0 else ""
+        lines.append("    %6d  %-*s %12.0f %s" % (x, width, bar, v, unit))
+    return lines
+
+
+def render_ascii(batch, online, pr6):
+    out = ["perf curves (ASCII fallback — matplotlib not available)", ""]
+    for family, points in sorted(batch.items()):
+        out.extend(ascii_curve("%s (batch analyses/sec by task count)"
+                               % family, points, "/s"))
+        out.append("")
+    out.extend(ascii_curve(
+        "bench_online (admissions/sec by resident count)", online, "/s"))
+    if pr6 is not None:
+        out.append("")
+        out.append("  online flat-latency check: low-class admission ratio "
+                   "at 10x residents = %sx"
+                   % pr6.get("latency_ratio_10x", "?"))
+        contrast = [(int(l["residents"]),
+                     float(l.get("full_reanalysis_us", 0)),
+                     float(l.get("admit_mean_latency_us", 0)))
+                    for l in pr6.get("levels", [])]
+        for residents, full_us, event_us in sorted(contrast):
+            out.append("    %3d residents: full re-analysis %8.0f us, "
+                       "per-event %6.1f us" % (residents, full_us, event_us))
+    return "\n".join(out)
+
+
+def render_png(batch, online, out_path):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, (ax_batch, ax_online) = plt.subplots(1, 2, figsize=(11, 4.2))
+    for family, points in sorted(batch.items()):
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        ax_batch.plot(xs, ys, marker="o", label=family)
+    ax_batch.set_title("batch analyses/sec (BENCH_PR2)")
+    ax_batch.set_xlabel("tasks")
+    ax_batch.set_ylabel("analyses/sec")
+    ax_batch.set_xscale("log", base=2)
+    ax_batch.set_yscale("log")
+    ax_batch.legend(fontsize=8)
+
+    if online:
+        xs = [x for x, _ in online]
+        ys = [y for _, y in online]
+        ax_online.plot(xs, ys, marker="s", color="tab:green")
+    ax_online.set_title("online admissions/sec (BENCH_PR6)")
+    ax_online.set_xlabel("residents")
+    ax_online.set_ylabel("admissions/sec")
+
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=120)
+    return out_path
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo-root",
+                        default=os.path.dirname(os.path.dirname(
+                            os.path.abspath(__file__))))
+    parser.add_argument("--out", default=None,
+                        help="PNG path (default <repo>/bench/perf_curves.png)")
+    args = parser.parse_args()
+
+    pr2 = load_json(os.path.join(args.repo_root, "BENCH_PR2.json"))
+    pr6 = load_json(os.path.join(args.repo_root, "BENCH_PR6.json"))
+    if pr2 is None and pr6 is None:
+        print("no BENCH_*.json recordings under %s" % args.repo_root,
+              file=sys.stderr)
+        return 2
+
+    batch = batch_series(pr2)
+    online = online_series(pr6)
+
+    try:
+        out_path = args.out or os.path.join(args.repo_root, "bench",
+                                            "perf_curves.png")
+        print("wrote %s" % render_png(batch, online, out_path))
+    except ImportError:
+        print(render_ascii(batch, online, pr6))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -138,6 +138,53 @@ void DbfStarAggregate::insert(const SporadicTask& task) {
                          BigInt(task.period)));
   vol_.insert(vol_.begin() + static_cast<std::ptrdiff_t>(idx), task.wcet);
 
+  refresh_prefixes_from(idx);
+
+  const auto dpos = std::lower_bound(distinct_deadlines_.begin(),
+                                     distinct_deadlines_.end(), task.deadline);
+  if (dpos == distinct_deadlines_.end() || *dpos != task.deadline) {
+    distinct_deadlines_.insert(dpos, task.deadline);
+  }
+}
+
+void DbfStarAggregate::remove(const SporadicTask& task) {
+  // Locate a member with this exact (C, D, T) among the equal-deadline run.
+  // Tied members are value-identical in every array, so removing the first
+  // match yields the same arrays regardless of which duplicate departed.
+  auto lo = std::lower_bound(deadlines_.begin(), deadlines_.end(),
+                             task.deadline);
+  std::size_t idx = static_cast<std::size_t>(lo - deadlines_.begin());
+  bool found = false;
+  for (; idx < deadlines_.size() && deadlines_[idx] == task.deadline; ++idx) {
+    if (vol_[idx] == task.wcet && u_[idx] == make_ratio(task.wcet, task.period)) {
+      found = true;
+      break;
+    }
+  }
+  FEDCONS_EXPECTS_MSG(found, "DbfStarAggregate::remove: no such member");
+
+  const auto p = static_cast<std::ptrdiff_t>(idx);
+  deadlines_.erase(deadlines_.begin() + p);
+  u_.erase(u_.begin() + p);
+  ud_.erase(ud_.begin() + p);
+  vol_.erase(vol_.begin() + p);
+
+  prefix_vol_.resize(deadlines_.size());
+  prefix_u_.resize(deadlines_.size());
+  prefix_ud_.resize(deadlines_.size());
+  refresh_prefixes_from(idx);
+
+  // Drop the deadline from the breakpoint list when its last holder left.
+  const bool still_present =
+      std::binary_search(deadlines_.begin(), deadlines_.end(), task.deadline);
+  if (!still_present) {
+    const auto dpos = std::lower_bound(
+        distinct_deadlines_.begin(), distinct_deadlines_.end(), task.deadline);
+    distinct_deadlines_.erase(dpos);
+  }
+}
+
+void DbfStarAggregate::refresh_prefixes_from(std::size_t idx) {
   prefix_vol_.resize(deadlines_.size());
   prefix_u_.resize(deadlines_.size());
   prefix_ud_.resize(deadlines_.size());
@@ -151,12 +198,6 @@ void DbfStarAggregate::insert(const SporadicTask& task) {
       prefix_u_[i] = prefix_u_[i - 1] + u_[i];
       prefix_ud_[i] = prefix_ud_[i - 1] + ud_[i];
     }
-  }
-
-  const auto dpos = std::lower_bound(distinct_deadlines_.begin(),
-                                     distinct_deadlines_.end(), task.deadline);
-  if (dpos == distinct_deadlines_.end() || *dpos != task.deadline) {
-    distinct_deadlines_.insert(dpos, task.deadline);
   }
 }
 

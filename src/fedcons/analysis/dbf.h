@@ -84,6 +84,18 @@ class DbfStarAggregate {
   /// performs one insert per placement vs. many sum_at probes.
   void insert(const SporadicTask& task);
 
+  /// Remove one member matching (C, D, T) exactly — the rollback behind
+  /// online task departure (online/admission_session.h). Precondition: such
+  /// a member is present (ContractViolation otherwise).
+  ///
+  /// Rollback is exact to the bit, not merely to the value: the suffix
+  /// prefix sums are refreshed by the identical left-to-right fold insert
+  /// uses, so after remove every stored rational has the same representation
+  /// it would have had if the member had never been inserted (pinned by the
+  /// partition_state rollback property test). Subtracting from the prefix
+  /// sums instead would be value-equal but could normalize differently.
+  void remove(const SporadicTask& task);
+
   /// Σ_j DBF*(τ_j, t) over all members, exactly.
   [[nodiscard]] BigRational sum_at(Time t) const;
 
@@ -96,6 +108,11 @@ class DbfStarAggregate {
   }
 
  private:
+  /// Recompute prefix sums for indices [idx, size) by the canonical fold
+  /// prefix[i] = prefix[i-1] + term[i] — shared by insert and remove so both
+  /// histories land on identical representations.
+  void refresh_prefixes_from(std::size_t idx);
+
   // Parallel arrays, sorted by deadline (ties keep insertion order).
   std::vector<Time> deadlines_;
   std::vector<BigRational> u_;    ///< per member: C_j/T_j

@@ -5,9 +5,10 @@
 #include <sstream>
 #include <string>
 
-#include "fedcons/conform/mini_json.h"
 #include "fedcons/core/io.h"
+#include "fedcons/sim/sim_wire.h"
 #include "fedcons/util/check.h"
+#include "fedcons/util/mini_json.h"
 
 namespace fedcons {
 

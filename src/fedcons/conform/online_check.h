@@ -1,0 +1,86 @@
+// Differential conformance for the incremental admission engine.
+//
+// The AdmissionSession (online/admission_session.h) promises that after
+// every event its verdict is structurally identical to re-running the batch
+// analysis on the resident system. This module turns that promise into a
+// checked claim:
+//
+//   check_online_trace — replay one trace through a session, re-run
+//       fedcons_schedule on the residents after EVERY event, and compare
+//       field by field (success, failure, failed task, per-cluster μ and
+//       processor offsets, σ makespans, shared pool, per-bin membership).
+//
+//   run_online_fuzz — generate randomized event traces (admits of fresh and
+//       repeated content, releases of live residents, atomic swaps), run the
+//       check on each, and shrink any divergence to a minimal trace by
+//       greedy event removal (with session-id remapping, since ids are
+//       consumed sequentially by admit order).
+//
+// Divergences carry the minimized trace in the on-disk online-trace format,
+// ready to pin under tests/online_corpus/.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fedcons/online/admission_session.h"
+#include "fedcons/online/trace.h"
+
+namespace fedcons {
+
+/// Replay `trace` through a fresh session configured from `base` (processors
+/// taken from the trace header) and compare against the batch analysis after
+/// every event. Returns std::nullopt when every event conforms, otherwise a
+/// description of the first divergence. Throws ContractViolation if the
+/// trace itself is invalid (e.g. releases an id that is not resident).
+[[nodiscard]] std::optional<std::string> check_online_trace(
+    const OnlineTrace& trace, const AdmissionSession::Config& base = {});
+
+/// Knobs for the randomized differential fuzz.
+struct OnlineFuzzConfig {
+  std::size_t trials = 500;
+  int num_threads = 0;  ///< 0 = hardware concurrency
+  std::uint64_t master_seed = 1;
+
+  int m = 8;                           ///< processors per trial
+  std::size_t events_per_trial = 40;   ///< session events per trace
+  double util_lo = 0.3;                ///< per-admitted-task utilization range
+  double util_hi = 1.6;                ///< > 1 ⇒ a mix of high-density tasks
+  double repeat_fraction = 0.25;       ///< admits re-using earlier content
+  std::size_t memo_capacity = 64;      ///< small, so eviction is exercised
+  std::size_t shrink_budget = 400;     ///< candidate replays per divergence
+};
+
+/// One divergence, minimized.
+struct OnlineDivergence {
+  std::size_t trial = 0;
+  std::string detail;              ///< first mismatching field, human-readable
+  std::string trace_text;          ///< minimized trace (online-trace format)
+  std::size_t original_events = 0;
+  std::size_t minimized_events = 0;
+  std::size_t shrink_probes = 0;   ///< candidate traces evaluated
+};
+
+struct OnlineFuzzReport {
+  std::size_t trials = 0;
+  std::size_t events = 0;
+  std::size_t applied = 0;
+  std::size_t rejected = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  std::uint64_t bins_revalidated = 0;
+  std::vector<OnlineDivergence> divergences;
+
+  [[nodiscard]] bool ok() const noexcept { return divergences.empty(); }
+};
+
+/// Run the differential fuzz. Deterministic for a fixed (config, seed):
+/// trial i draws from trial_seed(master_seed, i) regardless of thread count.
+[[nodiscard]] OnlineFuzzReport run_online_fuzz(const OnlineFuzzConfig& config);
+
+/// Machine-readable summary (one flat JSON object, divergence count only).
+[[nodiscard]] std::string online_fuzz_report_json(const OnlineFuzzReport& r);
+
+}  // namespace fedcons

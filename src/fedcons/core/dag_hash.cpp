@@ -1,0 +1,128 @@
+#include "fedcons/core/dag_hash.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace fedcons {
+
+namespace {
+
+/// splitmix64 finalizer — the mixing primitive for every lane. Public-domain
+/// constants (Vigna); deterministic across platforms.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent accumulator: h' = mix(h ⊕ mix(v)) with lane separation.
+[[nodiscard]] std::uint64_t combine(std::uint64_t h, std::uint64_t v) noexcept {
+  return mix64(h ^ (mix64(v) + 0x632be59bd9b4e019ULL + (h << 6) + (h >> 2)));
+}
+
+/// Digest a sorted label sequence into one lane (order-dependent fold over a
+/// canonically ordered input = multiset hash).
+[[nodiscard]] std::uint64_t fold(std::vector<std::uint64_t>& labels,
+                                 std::uint64_t seed) noexcept {
+  std::sort(labels.begin(), labels.end());
+  std::uint64_t h = seed;
+  for (const std::uint64_t l : labels) h = combine(h, l);
+  return h;
+}
+
+/// One directed refinement pass: out[v] = H(e_v, sorted multiset of
+/// out[neighbour(v)]), neighbours taken from `edges` (predecessors for the
+/// downward pass over topo order, successors for the upward pass over the
+/// reverse). `order` must list every neighbour before the vertex itself.
+template <typename Neighbours>
+std::vector<std::uint64_t> refine(const Dag& dag,
+                                  const std::vector<VertexId>& order,
+                                  Neighbours neighbours, std::uint64_t seed) {
+  std::vector<std::uint64_t> label(dag.num_vertices(), 0);
+  std::vector<std::uint64_t> scratch;
+  for (const VertexId v : order) {
+    scratch.clear();
+    for (const VertexId n : neighbours(v)) scratch.push_back(label[n]);
+    std::uint64_t h = fold(scratch, seed);
+    h = combine(h, static_cast<std::uint64_t>(dag.wcet(v)));
+    label[v] = h;
+  }
+  return label;
+}
+
+}  // namespace
+
+std::string DagHash::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = kDigits[(hi >> (4 * i)) & 0xf];
+    out[31 - i] = kDigits[(lo >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+DagHash canonical_dag_hash(const Dag& dag) {
+  const std::size_t n = dag.num_vertices();
+  if (n == 0) return {mix64(1), mix64(2)};
+
+  const std::vector<VertexId>& topo = dag.topological_order();
+  std::vector<VertexId> rev(topo.rbegin(), topo.rend());
+
+  // Ancestor and descendant signatures, then two symmetrizing rounds.
+  const std::vector<std::uint64_t> down = refine(
+      dag, topo, [&](VertexId v) { return dag.predecessors(v); }, 0x11);
+  const std::vector<std::uint64_t> up = refine(
+      dag, rev, [&](VertexId v) { return dag.successors(v); }, 0x22);
+
+  std::vector<std::uint64_t> base(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    base[v] = combine(combine(0x33, down[v]), up[v]);
+  }
+
+  // One more neighbourhood round over the combined labels tightens ties the
+  // directional passes leave (e.g. siblings with equal subtrees).
+  std::vector<std::uint64_t> final_label(n);
+  std::vector<std::uint64_t> scratch;
+  for (std::size_t v = 0; v < n; ++v) {
+    const VertexId id = static_cast<VertexId>(v);
+    scratch.assign(dag.predecessors(id).begin(), dag.predecessors(id).end());
+    for (auto& x : scratch) x = base[static_cast<std::size_t>(x)];
+    std::uint64_t h = fold(scratch, 0x44);
+    scratch.assign(dag.successors(id).begin(), dag.successors(id).end());
+    for (auto& x : scratch) x = base[static_cast<std::size_t>(x)];
+    h = combine(h, fold(scratch, 0x55));
+    final_label[v] = combine(h, base[v]);
+  }
+
+  // Digest: counts, the label multiset, and the edge-pair multiset (edges as
+  // ordered (l(u), l(v)) pairs — direction matters).
+  std::vector<std::uint64_t> vertex_labels = final_label;
+  std::uint64_t hi = combine(combine(0x66, n), dag.num_edges());
+  hi = combine(hi, fold(vertex_labels, 0x77));
+
+  std::vector<std::uint64_t> edge_labels;
+  edge_labels.reserve(dag.num_edges());
+  for (std::size_t v = 0; v < n; ++v) {
+    const VertexId id = static_cast<VertexId>(v);
+    for (const VertexId w : dag.successors(id)) {
+      edge_labels.push_back(
+          combine(combine(0x88, final_label[v]), final_label[w]));
+    }
+  }
+  std::uint64_t lo = combine(combine(0x99, n), dag.num_edges());
+  lo = combine(lo, fold(edge_labels, 0xaa));
+  // Cross the lanes so each depends on both multisets.
+  return {combine(hi, lo), combine(lo, mix64(hi))};
+}
+
+DagHash canonical_task_hash(const DagTask& task) {
+  const DagHash g = canonical_dag_hash(task.graph());
+  const std::uint64_t d = static_cast<std::uint64_t>(task.deadline());
+  const std::uint64_t t = static_cast<std::uint64_t>(task.period());
+  return {combine(combine(g.hi, d), t),
+          combine(combine(g.lo, t), mix64(d))};
+}
+
+}  // namespace fedcons

@@ -1,0 +1,63 @@
+// Canonical, relabeling-invariant content hash for DAG tasks.
+//
+// The online admission layer memoizes MINPROCS by task *content*: two
+// DagTasks that are the same task — identical (D, T) and isomorphic graphs
+// with matching WCETs — must map to the same 128-bit key no matter how their
+// vertices happen to be numbered or their edges ordered, because MINPROCS is
+// a pure function of that content. The hash is computed by
+// Weisfeiler–Leman-style refinement oriented along the DAG:
+//
+//   down(v) = H(e_v, sorted multiset of down(pred))   — ancestor signature
+//   up(v)   = H(e_v, sorted multiset of up(succ))     — descendant signature
+//   base(v) = H(down(v), up(v))
+//   l(v)    = H(base(v), sorted in-neighbour base, sorted out-neighbour base)
+//
+// and digesting |V|, |E|, the sorted multiset of l(v), and the sorted
+// multiset of per-edge pairs H(l(u), l(v)). Every step is a function of the
+// unlabelled structure plus WCETs only, so any vertex permutation or edge
+// reordering yields the same digest; conversely any WCET, edge, D, or T
+// change reaches the digest through at least one lane.
+//
+// The digest is a *hash*, not a canonical form: distinct tasks collide with
+// probability ~2^-128 under random-oracle behaviour (plus the measure-zero
+// family of WL-indistinguishable DAGs with identical WCET multisets). The
+// memo cache treats equal keys as equal tasks; the online conformance fuzz
+// (incremental == full) would surface a collision as a verdict divergence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fedcons/core/dag_task.h"
+
+namespace fedcons {
+
+/// 128-bit content digest. Value type; ordered so it can key std::map too.
+struct DagHash {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] bool operator==(const DagHash&) const noexcept = default;
+  [[nodiscard]] auto operator<=>(const DagHash&) const noexcept = default;
+
+  /// 32 lowercase hex digits, hi lane first (stable across platforms).
+  [[nodiscard]] std::string to_hex() const;
+};
+
+/// Relabeling-invariant digest of the graph structure + WCETs alone.
+[[nodiscard]] DagHash canonical_dag_hash(const Dag& dag);
+
+/// Task content digest: canonical_dag_hash ⊕ (deadline, period). The task
+/// name is display metadata and deliberately excluded.
+[[nodiscard]] DagHash canonical_task_hash(const DagTask& task);
+
+}  // namespace fedcons
+
+template <>
+struct std::hash<fedcons::DagHash> {
+  [[nodiscard]] std::size_t operator()(
+      const fedcons::DagHash& h) const noexcept {
+    return static_cast<std::size_t>(h.hi ^ (h.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};

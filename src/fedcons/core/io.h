@@ -21,24 +21,12 @@
 #pragma once
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 
 #include "fedcons/core/task_system.h"
+#include "fedcons/util/parse_error.h"
 
 namespace fedcons {
-
-/// Raised on malformed input; what() includes the 1-based line number.
-class ParseError : public std::runtime_error {
- public:
-  ParseError(int line, const std::string& message)
-      : std::runtime_error("line " + std::to_string(line) + ": " + message),
-        line_(line) {}
-  [[nodiscard]] int line() const noexcept { return line_; }
-
- private:
-  int line_;
-};
 
 /// Largest value accepted for any numeric field (deadline, period, WCET):
 /// 2^50 ticks. Rejecting larger inputs at the boundary leaves every

@@ -3,10 +3,11 @@
 #include <cstdlib>
 #include <sstream>
 
-#include "fedcons/conform/mini_json.h"
 #include "fedcons/core/io.h"
 #include "fedcons/fault/isolation.h"
+#include "fedcons/sim/sim_wire.h"
 #include "fedcons/util/check.h"
+#include "fedcons/util/mini_json.h"
 
 namespace fedcons {
 

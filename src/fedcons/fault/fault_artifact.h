@@ -22,7 +22,7 @@
 // every task the plan does not target) — informational provenance; replay
 // re-derives the violation from scratch via the isolation oracle and only
 // asserts that a cross-task miss occurs. The JSON dialect is the shared
-// mini-JSON subset (conform/mini_json.h).
+// mini-JSON subset (util/mini_json.h).
 #pragma once
 
 #include <string>

@@ -5,7 +5,6 @@
 #include <utility>
 #include <vector>
 
-#include "fedcons/conform/mini_json.h"
 #include "fedcons/conform/shrinker.h"
 #include "fedcons/core/io.h"
 #include "fedcons/engine/batch_runner.h"
@@ -13,6 +12,7 @@
 #include "fedcons/obs/span_tracer.h"
 #include "fedcons/sim/system_sim.h"
 #include "fedcons/util/check.h"
+#include "fedcons/util/mini_json.h"
 
 namespace fedcons {
 

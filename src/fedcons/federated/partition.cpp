@@ -3,12 +3,10 @@
 #include <algorithm>
 #include <numeric>
 
-#include "fedcons/analysis/dbf.h"
 #include "fedcons/analysis/edf_uniproc.h"
-#include "fedcons/obs/metrics.h"
+#include "fedcons/federated/partition_state.h"
 #include "fedcons/obs/span_tracer.h"
 #include "fedcons/util/check.h"
-#include "fedcons/util/perf_counters.h"
 
 namespace fedcons {
 
@@ -38,150 +36,6 @@ const char* to_string(PartitionOrder o) noexcept {
   }
   return "?";
 }
-
-namespace {
-
-/// Per-processor bookkeeping during partitioning.
-struct Bin {
-  std::vector<std::size_t> tasks;    // indices into the input span
-  BigRational utilization;           // Σ u_j, exact
-  DbfStarAggregate demand;           // maintained only on the incremental paths
-};
-
-/// Whether the per-bin DBF* aggregate drives the probes. The aggregate
-/// models the 1-point approximation exactly, so kFull qualifies only at
-/// dbf_points == 1 (the default); larger point counts and the exact-EDF
-/// probe use the legacy paths.
-bool use_incremental(const PartitionOptions& options) {
-  if (!options.incremental) return false;
-  switch (options.variant) {
-    case PartitionVariant::kPaperLiteral: return true;
-    case PartitionVariant::kFull: return std::max(1, options.dbf_points) == 1;
-    case PartitionVariant::kExactEdf: return false;
-  }
-  return false;
-}
-
-/// The candidate's own DBF* term at bp ≥ its deadline: C·(T + bp − D)/T.
-BigRational candidate_dbf_star(const SporadicTask& t, Time bp) {
-  // Counted as one logical evaluation to match the dbf_approx_k call the
-  // legacy loop makes for the candidate at this breakpoint.
-  ++perf_counters().dbf_star_evaluations;
-  BigInt num =
-      BigInt(t.wcet) * BigInt(checked_add(t.period, bp - t.deadline));
-  return BigRational(std::move(num), BigInt(t.period));
-}
-
-/// Fill a demand-rejection diagnosis (no-op on nullptr): the failing DBF*
-/// breakpoint plus the exact demand-vs-capacity comparison.
-void diagnose_demand(BinAttemptRecord* diag, const BigRational& demand,
-                     Time breakpoint) {
-  if (diag == nullptr) return;
-  diag->reason = BinRejectReason::kDemand;
-  diag->breakpoint = breakpoint;
-  diag->detail = "DBF* demand " + demand.to_string() + " > capacity " +
-                 std::to_string(breakpoint) + " at breakpoint t=" +
-                 std::to_string(breakpoint);
-}
-
-/// The acceptance probe for placing `cand` on `bin`. `trial_scratch` is
-/// reused across probes by the exact-EDF variant (capacity persists).
-/// `diag`, when non-null, receives the rejection witness; the probe's
-/// decisions and counter increments are independent of it.
-bool fits(std::span<const SporadicTask> all, const Bin& bin,
-          std::size_t cand, const PartitionOptions& options,
-          std::vector<SporadicTask>& trial_scratch,
-          BinAttemptRecord* diag = nullptr) {
-  const SporadicTask& t = all[cand];
-
-  if (options.variant == PartitionVariant::kExactEdf) {
-    trial_scratch.clear();
-    trial_scratch.reserve(bin.tasks.size() + 1);
-    for (std::size_t j : bin.tasks) trial_scratch.push_back(all[j]);
-    trial_scratch.push_back(t);
-    if (edf_schedulable(trial_scratch)) return true;
-    if (diag != nullptr) {
-      diag->reason = BinRejectReason::kExactEdf;
-      diag->detail = "exact EDF test rejects bin ∪ {candidate}";
-    }
-    return false;
-  }
-
-  if (options.variant == PartitionVariant::kPaperLiteral) {
-    // The paper's Fig. 4 line 3, verbatim:
-    //   Σ_j DBF*(τ_j, D_i) + vol_i ≤ D_i.
-    BigRational sum(t.wcet);
-    if (use_incremental(options)) {
-      sum += bin.demand.sum_at(t.deadline);
-    } else {
-      for (std::size_t j : bin.tasks) sum += dbf_approx(all[j], t.deadline);
-    }
-    if (sum <= BigRational(t.deadline)) return true;
-    diagnose_demand(diag, sum, t.deadline);
-    return false;
-  }
-
-  // kFull — Baruah–Fisher with a k-point demand approximation:
-  // long-run capacity first…
-  if (bin.utilization + t.utilization() > BigRational(1)) {
-    if (diag != nullptr) {
-      diag->reason = BinRejectReason::kUtilization;
-      diag->detail = "utilization " +
-                     (bin.utilization + t.utilization()).to_string() +
-                     " > 1 with candidate";
-    }
-    return false;
-  }
-  // …then the demand condition at every slope breakpoint of the summed
-  // k-point approximation over bin ∪ {candidate}. Between breakpoints the
-  // sum is linear with slope ≤ Σu ≤ 1 (checked above), so breakpoint
-  // verification certifies all t. Breakpoints strictly below the candidate's
-  // deadline are unchanged by the placement (the candidate contributes 0
-  // there) and were certified when their tasks were admitted.
-  if (use_incremental(options)) {
-    // points == 1: breakpoints are exactly the deadlines of bin ∪ {cand},
-    // and the legacy loop evaluates those ≥ D_cand in ascending order —
-    // D_cand itself (dedup'd with equal member deadlines), then every
-    // member deadline above it, stopping at the first violation.
-    const auto check_at = [&](Time bp) {
-      BigRational sum = bin.demand.sum_at(bp);
-      sum += candidate_dbf_star(t, bp);
-      if (sum <= BigRational(bp)) return true;
-      diagnose_demand(diag, sum, bp);
-      return false;
-    };
-    if (!check_at(t.deadline)) return false;
-    for (Time bp : bin.demand.distinct_deadlines()) {
-      if (bp <= t.deadline) continue;
-      if (!check_at(bp)) return false;
-    }
-    return true;
-  }
-  const int points = std::max(1, options.dbf_points);
-  std::vector<SporadicTask> members;
-  members.reserve(bin.tasks.size() + 1);
-  for (std::size_t j : bin.tasks) members.push_back(all[j]);
-  members.push_back(t);
-  Time horizon = 0;
-  for (const auto& task : members) {
-    horizon = std::max(
-        horizon, checked_add(task.deadline,
-                             checked_mul(static_cast<Time>(points - 1),
-                                         task.period)));
-  }
-  for (Time bp : dbf_approx_breakpoints(members, points, horizon)) {
-    if (bp < t.deadline) continue;
-    BigRational sum;
-    for (const auto& task : members) sum += dbf_approx_k(task, bp, points);
-    if (sum > BigRational(bp)) {
-      diagnose_demand(diag, sum, bp);
-      return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
 
 PartitionResult partition_tasks(std::span<const SporadicTask> tasks,
                                 int num_processors,
@@ -235,8 +89,9 @@ PartitionResult partition_tasks(std::span<const SporadicTask> tasks,
       break;
   }
 
-  std::vector<Bin> bins(static_cast<std::size_t>(num_processors));
-  std::vector<SporadicTask> trial_scratch;  // exact-EDF probe reuse
+  // The probe logic and per-bin aggregates live in PartitionState (shared
+  // with the online admission engine); this loop is the batch driver.
+  PartitionState state(num_processors, options);
   for (std::size_t i : order) {
     FEDCONS_SPAN_V("partition", "place", "task", i);
     PlacementRecord record;
@@ -245,56 +100,22 @@ PartitionResult partition_tasks(std::span<const SporadicTask> tasks,
       record.deadline = tasks[i].deadline;
       record.wcet = tasks[i].wcet;
     }
-    int probed = 0;
-    int chosen = -1;
-    for (int k = 0; k < num_processors; ++k) {
-      const Bin& bin = bins[static_cast<std::size_t>(k)];
-      BinAttemptRecord attempt;
-      attempt.bin = k;
-      ++probed;
-      const bool ok = fits(tasks, bin, i, options, trial_scratch,
-                           prov != nullptr ? &attempt : nullptr);
-      if (prov != nullptr) {
-        attempt.fits = ok;
-        record.attempts.push_back(std::move(attempt));
-      }
-      if (!ok) continue;
-      if (options.fit == FitStrategy::kFirstFit) {
-        chosen = k;
-        break;
-      }
-      if (chosen < 0) {
-        chosen = k;
-        continue;
-      }
-      const Bin& best = bins[static_cast<std::size_t>(chosen)];
-      if (options.fit == FitStrategy::kBestFit &&
-          best.utilization < bin.utilization) {
-        chosen = k;
-      } else if (options.fit == FitStrategy::kWorstFit &&
-                 bin.utilization < best.utilization) {
-        chosen = k;
-      }
-    }
-    obs::observe_partition_bins_touched(probed);
-    if (prov != nullptr) {
-      record.chosen_bin = chosen;
-      prov->placements.push_back(std::move(record));
-    }
+    const int chosen =
+        state.choose_bin(tasks[i], prov != nullptr ? &record : nullptr);
+    if (prov != nullptr) prov->placements.push_back(std::move(record));
     if (chosen < 0) {
       result.success = false;
       result.failed_task = i;
       return result;
     }
-    Bin& bin = bins[static_cast<std::size_t>(chosen)];
-    bin.tasks.push_back(i);
-    bin.utilization += tasks[i].utilization();
-    if (use_incremental(options)) bin.demand.insert(tasks[i]);
+    state.insert(chosen, i, tasks[i]);
   }
 
   result.success = true;
-  result.assignment.reserve(bins.size());
-  for (auto& bin : bins) result.assignment.push_back(std::move(bin.tasks));
+  result.assignment.reserve(static_cast<std::size_t>(state.num_bins()));
+  for (int k = 0; k < state.num_bins(); ++k) {
+    result.assignment.push_back(state.bin_ids(k));
+  }
   return result;
 }
 

@@ -85,6 +85,12 @@ Table MetricsRegistry::to_table() const {
   metric_row(t, "trial_latency_us", trial_latency_us);
   metric_row(t, "minprocs_mu", minprocs_mu);
   metric_row(t, "partition_bins_touched", partition_bins_touched);
+  if (memo_hits != 0 || memo_misses != 0) {
+    t.add_row({"memo_hits", fmt_int(static_cast<long long>(memo_hits)), "-",
+               "-", "-", "-", "-", "-"});
+    t.add_row({"memo_misses", fmt_int(static_cast<long long>(memo_misses)),
+               "-", "-", "-", "-", "-", "-"});
+  }
   return t;
 }
 
@@ -95,6 +101,8 @@ std::string MetricsRegistry::to_json() const {
   metric_json(out, "minprocs_mu", minprocs_mu);
   out += ", ";
   metric_json(out, "partition_bins_touched", partition_bins_touched);
+  out += ", \"memo_hits\": " + fmt_int(static_cast<long long>(memo_hits));
+  out += ", \"memo_misses\": " + fmt_int(static_cast<long long>(memo_misses));
   out += "}";
   return out;
 }

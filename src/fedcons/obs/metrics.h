@@ -60,20 +60,27 @@ class Histogram {
   std::uint64_t max_ = 0;
 };
 
-/// The batch aggregate: one histogram per tracked dimension.
+/// The batch aggregate: one histogram per tracked dimension, plus the
+/// online-layer MINPROCS memo-cache counters (plain counts — a hit/miss split
+/// has no distribution to bucket).
 struct MetricsRegistry {
   Histogram trial_latency_us;       ///< wall-clock per trial (physical)
   Histogram minprocs_mu;            ///< chosen μ per admitted MINPROCS scan
   Histogram partition_bins_touched; ///< bins probed per placement attempt
+  std::uint64_t memo_hits = 0;      ///< MINPROCS memo lookups served cached
+  std::uint64_t memo_misses = 0;    ///< MINPROCS memo lookups that ran a scan
 
   void merge(const MetricsRegistry& other) noexcept {
     trial_latency_us.merge(other.trial_latency_us);
     minprocs_mu.merge(other.minprocs_mu);
     partition_bins_touched.merge(other.partition_bins_touched);
+    memo_hits += other.memo_hits;
+    memo_misses += other.memo_misses;
   }
   [[nodiscard]] bool empty() const noexcept {
     return trial_latency_us.count() == 0 && minprocs_mu.count() == 0 &&
-           partition_bins_touched.count() == 0;
+           partition_bins_touched.count() == 0 && memo_hits == 0 &&
+           memo_misses == 0;
   }
 
   /// Human table: one row per metric (count, mean, p50/p90/p99, min, max).
@@ -98,9 +105,13 @@ void set_metrics_enabled(bool enabled);
 struct MetricsCollector {
   std::vector<std::uint32_t> minprocs_mu;
   std::vector<std::uint32_t> partition_bins_touched;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
   void clear() noexcept {
     minprocs_mu.clear();
     partition_bins_touched.clear();
+    memo_hits = 0;
+    memo_misses = 0;
   }
 };
 
@@ -116,6 +127,16 @@ inline void observe_partition_bins_touched(int bins) {
   if (metrics_enabled()) {
     metrics_collector().partition_bins_touched.push_back(
         static_cast<std::uint32_t>(bins));
+  }
+}
+inline void observe_memo_lookup(bool hit) {
+  if (metrics_enabled()) {
+    MetricsCollector& col = metrics_collector();
+    if (hit) {
+      ++col.memo_hits;
+    } else {
+      ++col.memo_misses;
+    }
   }
 }
 

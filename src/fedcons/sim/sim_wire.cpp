@@ -1,0 +1,27 @@
+#include "fedcons/sim/sim_wire.h"
+
+#include "fedcons/util/parse_error.h"
+
+namespace fedcons {
+
+const char* release_model_name(ReleaseModel m) noexcept {
+  return m == ReleaseModel::kPeriodic ? "periodic" : "sporadic";
+}
+
+const char* exec_model_name(ExecModel m) noexcept {
+  return m == ExecModel::kAlwaysWcet ? "wcet" : "uniform";
+}
+
+ReleaseModel parse_release_model(const std::string& name) {
+  if (name == "periodic") return ReleaseModel::kPeriodic;
+  if (name == "sporadic") return ReleaseModel::kSporadic;
+  throw ParseError(1, "artifact JSON: unknown release model " + name);
+}
+
+ExecModel parse_exec_model(const std::string& name) {
+  if (name == "wcet") return ExecModel::kAlwaysWcet;
+  if (name == "uniform") return ExecModel::kUniform;
+  throw ParseError(1, "artifact JSON: unknown exec model " + name);
+}
+
+}  // namespace fedcons

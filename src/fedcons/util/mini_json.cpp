@@ -1,10 +1,8 @@
-#include "fedcons/conform/mini_json.h"
+#include "fedcons/util/mini_json.h"
 
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
-
-#include "fedcons/core/io.h"
 
 namespace fedcons {
 
@@ -160,26 +158,6 @@ std::string format_double(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
-}
-
-const char* release_model_name(ReleaseModel m) noexcept {
-  return m == ReleaseModel::kPeriodic ? "periodic" : "sporadic";
-}
-
-const char* exec_model_name(ExecModel m) noexcept {
-  return m == ExecModel::kAlwaysWcet ? "wcet" : "uniform";
-}
-
-ReleaseModel parse_release_model(const std::string& name) {
-  if (name == "periodic") return ReleaseModel::kPeriodic;
-  if (name == "sporadic") return ReleaseModel::kSporadic;
-  throw ParseError(1, "artifact JSON: unknown release model " + name);
-}
-
-ExecModel parse_exec_model(const std::string& name) {
-  if (name == "wcet") return ExecModel::kAlwaysWcet;
-  if (name == "uniform") return ExecModel::kUniform;
-  throw ParseError(1, "artifact JSON: unknown exec model " + name);
 }
 
 std::map<std::string, std::string> parse_mini_json(const std::string& text) {

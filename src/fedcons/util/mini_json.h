@@ -1,17 +1,19 @@
 // Minimal JSON helpers shared by the pinned-artifact readers/writers
-// (conform/artifact.h, fault/fault_artifact.h).
+// (conform/artifact.h, fault/fault_artifact.h) and the online trace format
+// (online/trace.h).
 //
 // The dialect is deliberately tiny: objects nested at most one level, string
 // and number values, no arrays. Writers emit exactly this subset with a fixed
 // field order (byte-deterministic for given inputs); the parser accepts
-// exactly this subset and raises ParseError (core/io.h) on anything else.
-// Anything richer belongs in a real serialization layer, not a repro pin.
+// exactly this subset and raises ParseError on anything else. Anything richer
+// belongs in a real serialization layer, not a repro pin.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 
-#include "fedcons/sim/sim_config.h"
+#include "fedcons/util/parse_error.h"
 
 namespace fedcons {
 
@@ -22,14 +24,6 @@ namespace fedcons {
 /// Shortest round-trip decimal form ("%.17g") — artifacts must replay with
 /// the exact double the finder used.
 [[nodiscard]] std::string format_double(double v);
-
-/// Stable wire names for the sim-config enums ("periodic"/"sporadic",
-/// "wcet"/"uniform"), and their inverses. Parsers throw ParseError on an
-/// unknown name.
-[[nodiscard]] const char* release_model_name(ReleaseModel m) noexcept;
-[[nodiscard]] const char* exec_model_name(ExecModel m) noexcept;
-[[nodiscard]] ReleaseModel parse_release_model(const std::string& name);
-[[nodiscard]] ExecModel parse_exec_model(const std::string& name);
 
 /// Parse a document of the dialect into a flat "outer.inner" -> raw-value
 /// map (strings unescaped, numbers verbatim). Throws ParseError with an

@@ -1,0 +1,24 @@
+// ParseError — the exception type shared by every parser in the tree (task
+// system text format in core/io.h, the mini-JSON artifact dialect in
+// util/mini_json.h, tool flag handling). Lives in util so parsers below the
+// core layer can throw it without a dependency cycle.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fedcons {
+
+/// Raised on malformed input; what() includes the 1-based line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+}  // namespace fedcons

@@ -56,6 +56,20 @@ struct PerfCounters {
   /// Isolation-property evaluations: full-system replays under an active
   /// fault plan (fault/isolation.h), including shrinker re-probes.
   std::uint64_t fault_isolation_trials = 0;
+  /// Online admission layer (federated/minprocs_memo.h, online/): MINPROCS
+  /// memo-cache lookups answered from a cached scan vs. scans actually run.
+  /// Deterministic per event sequence — a memo instance is owned by one
+  /// session and never shared across threads, so hit/miss history is a pure
+  /// function of the events fed to that session (and its cache capacity).
+  /// Note the memo credits the *logical* scan counters above on every hit,
+  /// so ls_invocations / minprocs_scan_iterations stay invariant under
+  /// caching; these two only expose how much physical work the cache saved.
+  std::uint64_t minprocs_memo_hits = 0;
+  std::uint64_t minprocs_memo_misses = 0;
+  /// Partition placements re-probed by the online delta re-analysis: fits()
+  /// probes actually evaluated while replaying the invalidated suffix of the
+  /// placement order (clean-bin placements are reused without probing).
+  std::uint64_t partition_bins_revalidated = 0;
 
   PerfCounters& operator+=(const PerfCounters& rhs) noexcept {
     ls_invocations += rhs.ls_invocations;
@@ -68,6 +82,9 @@ struct PerfCounters {
     fault_injections += rhs.fault_injections;
     fault_enforcements += rhs.fault_enforcements;
     fault_isolation_trials += rhs.fault_isolation_trials;
+    minprocs_memo_hits += rhs.minprocs_memo_hits;
+    minprocs_memo_misses += rhs.minprocs_memo_misses;
+    partition_bins_revalidated += rhs.partition_bins_revalidated;
     return *this;
   }
   /// Delta between two snapshots of the same thread's counters.
@@ -81,7 +98,10 @@ struct PerfCounters {
             conform_shrink_steps - rhs.conform_shrink_steps,
             fault_injections - rhs.fault_injections,
             fault_enforcements - rhs.fault_enforcements,
-            fault_isolation_trials - rhs.fault_isolation_trials};
+            fault_isolation_trials - rhs.fault_isolation_trials,
+            minprocs_memo_hits - rhs.minprocs_memo_hits,
+            minprocs_memo_misses - rhs.minprocs_memo_misses,
+            partition_bins_revalidated - rhs.partition_bins_revalidated};
   }
   [[nodiscard]] bool operator==(const PerfCounters&) const noexcept = default;
 };

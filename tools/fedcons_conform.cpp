@@ -8,8 +8,14 @@
 //                    plan against one task per trial and check no OTHER task
 //                    misses (--enforce=on, default) or demonstrate the
 //                    cascade supervision prevents (--enforce=off)
-//   --replay=FILE    re-run a pinned violation artifact (conformance- or
-//                    fault-schema) and verify it still reproduces
+//   --online         differential fuzz of the incremental admission engine:
+//                    randomized admit/release/swap traces, with the session
+//                    verdict compared field-by-field against a full batch
+//                    re-analysis after EVERY event; divergences shrink to
+//                    minimal traces (--events N sets events per trial)
+//   --replay=FILE    re-run a pinned artifact: conformance-/fault-schema
+//                    artifacts must still reproduce their violation; online
+//                    trace artifacts must conform (incremental == batch)
 //   --list           print the available conformance entries
 //
 // Harness flags: --trials N --threads N --seed S --m M --horizon H
@@ -35,6 +41,7 @@
 #include "fedcons/conform/anomaly_demo.h"
 #include "fedcons/conform/artifact.h"
 #include "fedcons/conform/harness.h"
+#include "fedcons/conform/online_check.h"
 #include "fedcons/conform/oracle.h"
 #include "fedcons/core/io.h"
 #include "fedcons/fault/fault_artifact.h"
@@ -74,8 +81,24 @@ int run_replay(const std::string& path) {
   buffer << in.rdbuf();
   const std::string text = buffer.str();
 
-  // Dispatch on the schema tag: fault-isolation artifacts replay through the
-  // isolation oracle, conformance artifacts through their named entry.
+  // Dispatch on the schema tag: online traces replay through the incremental
+  // session and must CONFORM; fault-isolation artifacts replay through the
+  // isolation oracle, conformance artifacts through their named entry (both
+  // must still reproduce their violation).
+  if (text.find("fedcons-online-trace") != std::string::npos) {
+    const OnlineTrace trace = parse_online_trace(text);
+    std::cout << "online trace " << path << "\n  processors: "
+              << trace.processors << "  events: " << trace.events.size()
+              << "\n";
+    const std::optional<std::string> diff = check_online_trace(trace);
+    if (!diff.has_value()) {
+      std::cout << "incremental == batch after every event (conforms)\n";
+      return 0;
+    }
+    std::cout << "DIVERGENCE: " << *diff << "\n";
+    return 1;
+  }
+
   if (text.find("fedcons-fault-repro-v1") != std::string::npos) {
     const FaultArtifact artifact = parse_fault_artifact(text);
     const ConformanceOutcome outcome = replay_fault_artifact(artifact);
@@ -171,6 +194,55 @@ int run_isolation(const Flags& flags) {
   // is the demonstration run — finding no cascade means the demo failed.
   if (enforcing) return report.incidents.empty() ? 0 : 1;
   return report.incidents.empty() ? 1 : 0;
+}
+
+int run_online(const Flags& flags) {
+  OnlineFuzzConfig config;
+  config.trials = static_cast<std::size_t>(flags.get_int("trials", 500));
+  config.num_threads = static_cast<int>(flags.get_int("threads", 0));
+  config.master_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.m = static_cast<int>(flags.get_int("m", 8));
+  config.events_per_trial = static_cast<std::size_t>(flags.get_int(
+      "events", static_cast<std::int64_t>(config.events_per_trial)));
+  config.util_lo = flags.get_double("util-lo", config.util_lo);
+  config.util_hi = flags.get_double("util-hi", config.util_hi);
+  config.shrink_budget = static_cast<std::size_t>(flags.get_int(
+      "shrink-budget", static_cast<std::int64_t>(config.shrink_budget)));
+
+  const OnlineFuzzReport report = run_online_fuzz(config);
+
+  if (flags.get_bool("json", false)) {
+    std::cout << online_fuzz_report_json(report);
+  } else {
+    const std::uint64_t lookups = report.memo_hits + report.memo_misses;
+    std::cout << "online: " << report.trials << " trials, " << report.events
+              << " events (" << report.applied << " applied, "
+              << report.rejected << " rejected), m=" << config.m
+              << ", master_seed=" << config.master_seed << "\n"
+              << "  memo: " << report.memo_hits << " hits / " << lookups
+              << " lookups\n"
+              << "  partition probes replayed: " << report.bins_revalidated
+              << "\n";
+  }
+
+  if (flags.has("out-dir") && !report.divergences.empty()) {
+    const std::filesystem::path dir(flags.get_string("out-dir", "."));
+    std::filesystem::create_directories(dir);
+    for (const auto& d : report.divergences) {
+      const auto path =
+          dir / ("online-trial" + std::to_string(d.trial) + ".trace.json");
+      std::ofstream out(path);
+      out << d.trace_text;
+      std::cout << "wrote " << path.string() << "\n";
+    }
+  }
+  for (const auto& d : report.divergences) {
+    std::cout << "DIVERGENCE trial " << d.trial << ": " << d.detail
+              << " (minimized " << d.original_events << " -> "
+              << d.minimized_events << " events in " << d.shrink_probes
+              << " probes)\n";
+  }
+  return report.divergences.empty() ? 0 : 1;
 }
 
 int run_demo() {
@@ -273,7 +345,8 @@ int main(int argc, char** argv) {
         "list",    "demo-anomaly", "replay",  "isolation",     "enforce",
         "trials",  "threads",      "seed",    "m",             "horizon",
         "exec-lo", "jitter",       "util-lo", "util-hi",       "shrink-budget",
-        "algos",   "out-dir",      "json",    "trace-out",
+        "algos",   "out-dir",      "json",    "trace-out",     "online",
+        "events",
     };
     const auto unknown = flags.unknown_keys(kAllowed);
     if (!unknown.empty() || !flags.positional().empty()) {
@@ -284,7 +357,9 @@ int main(int argc, char** argv) {
         std::cerr << "error: unexpected argument '" << arg << "'\n";
       }
       std::cerr << "usage: fedcons_conform [--list | --demo-anomaly | "
-                   "--isolation | --replay=FILE]\n"
+                   "--isolation | --online | --replay=FILE]\n"
+                   "                       [--events N]  (online: events per "
+                   "trial)\n"
                    "                       [--trials N] [--threads N] "
                    "[--seed S] [--m M] [--enforce=on|off]\n"
                    "                       [--util-lo F] [--util-hi F] "
@@ -308,6 +383,8 @@ int main(int argc, char** argv) {
       rc = run_demo();
     } else if (flags.get_bool("isolation", false)) {
       rc = run_isolation(flags);
+    } else if (flags.get_bool("online", false)) {
+      rc = run_online(flags);
     } else if (flags.has("replay")) {
       rc = run_replay(flags.get_string("replay", ""));
     } else {
