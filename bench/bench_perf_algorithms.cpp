@@ -16,6 +16,7 @@
 #include "fedcons/listsched/list_scheduler.h"
 #include "fedcons/listsched/optimal_makespan.h"
 #include "fedcons/sim/system_sim.h"
+#include "fedcons/simd/dispatch.h"
 #include "fedcons/util/rng.h"
 
 namespace fedcons {
@@ -227,4 +228,23 @@ BENCHMARK(BM_SystemSimulation)->Arg(10000)->Arg(100000);
 }  // namespace
 }  // namespace fedcons
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamp the active SIMD backend and
+// the assertion mode into the benchmark context, so every emitted JSON
+// (BENCH_PR*.json) records what was actually measured — run_perf.sh refuses
+// non-Release builds, and these fields make the refusal auditable after the
+// fact.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "simd_backend",
+      fedcons::simd::to_string(fedcons::simd::active_backend()));
+#ifdef NDEBUG
+  benchmark::AddCustomContext("build_assertions", "off (NDEBUG)");
+#else
+  benchmark::AddCustomContext("build_assertions", "on (debug build?)");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

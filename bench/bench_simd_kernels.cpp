@@ -1,0 +1,271 @@
+// P2 — per-kernel microbenchmarks of the data-parallel analysis core
+// (DESIGN.md §13), each kernel pinned to one backend per benchmark instance
+// so BENCH_PR7.json records the scalar and AVX2 numbers side by side.
+//
+// Kernels:
+//   BM_DbfProbeScan        — the certified DBF* lane scan over n breakpoints
+//                            (the PARTITION acceptance probe's data plane)
+//   BM_ExactAggregateProbe — the BigRational probe the scan replaces (for
+//                            the certified-vs-exact contrast, not a backend)
+//   BM_PartitionFirstFit   — end-to-end first-fit over 128 tasks
+//   BM_LsBlockedProbe      — the blocked MINPROCS μ scan (fill-primitive
+//                            resets; probe count dominated by LS itself)
+//   BM_BatchRngFill        — 4-lane xoshiro256** block fill vs 4 scalar Rngs
+//   BM_GenBatch            — batched instance generation vs per-seed scalar
+//
+// Every instance's last Arg selects the backend (0 = scalar, 1 = avx2);
+// AVX2 instances report an error and skip when the CPU lacks it.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fedcons/analysis/dbf.h"
+#include "fedcons/federated/minprocs.h"
+#include "fedcons/federated/partition.h"
+#include "fedcons/gen/batch_gen.h"
+#include "fedcons/gen/dag_gen.h"
+#include "fedcons/gen/taskset_gen.h"
+#include "fedcons/listsched/list_scheduler.h"
+#include "fedcons/listsched/ls_workspace.h"
+#include "fedcons/simd/batch_rng.h"
+#include "fedcons/simd/dbf_kernel.h"
+#include "fedcons/simd/dispatch.h"
+#include "fedcons/util/rng.h"
+
+namespace fedcons {
+namespace {
+
+using simd::SimdBackend;
+
+/// Pin the backend named by the benchmark's last Arg for the duration of one
+/// benchmark run; skip AVX2 instances on CPUs without it.
+class BackendPin {
+ public:
+  BackendPin(benchmark::State& state, SimdBackend b) : ok_(true) {
+    if (!simd::backend_supported(b)) {
+      state.SkipWithError("backend not supported on this CPU");
+      ok_ = false;
+      return;
+    }
+    simd::force_backend(b);
+    state.SetLabel(simd::to_string(b));
+  }
+  ~BackendPin() { simd::force_backend(std::nullopt); }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  bool ok_;
+};
+
+SimdBackend arg_backend(const benchmark::State& state, int idx) {
+  return state.range(idx) == 0 ? SimdBackend::kScalar : SimdBackend::kAvx2;
+}
+
+std::vector<SporadicTask> random_sequential_tasks(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SporadicTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Time period = rng.uniform_int(50, 5000);
+    Time deadline = rng.uniform_int(10, period);
+    Time wcet = rng.uniform_int(1, std::max<Time>(1, deadline / 4));
+    tasks.emplace_back(wcet, deadline, period);
+  }
+  return tasks;
+}
+
+/// A light-utilization member set whose aggregate demand fits at every
+/// breakpoint, so the scan benchmark measures the full-length accept case
+/// (dense-reject workloads step one lane at a time and favor scalar early
+/// exit — the DESIGN.md §13 note).
+std::vector<SporadicTask> light_sequential_tasks(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SporadicTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Time deadline = rng.uniform_int(100, 5000);
+    tasks.emplace_back(1, deadline, deadline * 10);
+  }
+  return tasks;
+}
+
+// The certified lane scan across every breakpoint of an n-member aggregate —
+// all-fit lanes so the scan runs its full length (the common accept case).
+void BM_DbfProbeScan(benchmark::State& state) {
+  const BackendPin pin(state, arg_backend(state, 1));
+  if (!pin.ok()) return;
+  const int n = static_cast<int>(state.range(0));
+  DbfStarAggregate agg;
+  for (const auto& t : light_sequential_tasks(n, 21)) agg.insert(t);
+  const simd::DbfCand cand = simd::dbf_affine_term(1, 10, 5000);
+  const double eps_n = simd::kDbfEps * static_cast<double>(agg.size() + 16);
+  const auto bp = agg.soa_breakpoints();
+  const auto A = agg.soa_prefix_a();
+  const auto B = agg.soa_prefix_b();
+  const auto M = agg.soa_prefix_mag();
+  const int end = static_cast<int>(bp.size());
+  for (auto _ : state) {
+    simd::LaneClass cls;
+    int stop = 0;
+    int i = 0;
+    while (i < end) {
+      stop = simd::dbf_scan(bp.data(), A.data(), B.data(), M.data(), i, end,
+                            cand, eps_n, &cls);
+      if (stop == end) break;
+      i = stop + 1;  // fuzz-shaped restart; all-fit input never takes it
+    }
+    benchmark::DoNotOptimize(stop);
+  }
+  state.SetItemsProcessed(state.iterations() * end);
+}
+BENCHMARK(BM_DbfProbeScan)
+    ->Args({32, 0})->Args({32, 1})
+    ->Args({128, 0})->Args({128, 1})
+    ->Args({512, 0})->Args({512, 1});
+
+// The exact rational probe one certified scan replaces: Σ DBF* at every
+// breakpoint via the aggregate's exact prefixes. Not backend-dispatched —
+// this is the contrast line for the certified-vs-exact speedup.
+void BM_ExactAggregateProbe(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DbfStarAggregate agg;
+  for (const auto& t : random_sequential_tasks(n, 21)) agg.insert(t);
+  const auto dds = agg.distinct_deadlines();
+  for (auto _ : state) {
+    bool ok = true;
+    for (const Time bp : dds) {
+      ok = ok && (agg.sum_at_uncounted(bp) <= BigRational(bp));
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dds.size()));
+}
+BENCHMARK(BM_ExactAggregateProbe)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_PartitionFirstFit(benchmark::State& state) {
+  const BackendPin pin(state, arg_backend(state, 0));
+  if (!pin.ok()) return;
+  const auto tasks = random_sequential_tasks(128, 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_tasks(tasks, 32));
+  }
+}
+BENCHMARK(BM_PartitionFirstFit)->Arg(0)->Arg(1);
+
+void BM_LsBlockedProbe(benchmark::State& state) {
+  const BackendPin pin(state, arg_backend(state, 1));
+  if (!pin.ok()) return;
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(11);
+  LayeredDagParams p;
+  p.min_layers = 8;
+  p.max_layers = 8;
+  p.min_width = m;
+  p.max_width = m;
+  p.max_wcet = 40;
+  Dag g = generate_layered_dag(rng, p);
+  LsWorkspace& ws = thread_ls_workspace();
+  ls_prepare(ws, g, ListPolicy::kVertexOrder, /*use_reduced_graph=*/true);
+  std::vector<int> mus;
+  for (int mu = 1; mu <= m; ++mu) mus.push_back(mu);
+  std::vector<Time> makespans(mus.size());
+  for (auto _ : state) {
+    // fit_deadline 0: never fits, so every candidate is probed (worst case).
+    benchmark::DoNotOptimize(ls_run_blocked(ws, g, mus, 0, makespans));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(mus.size()));
+}
+BENCHMARK(BM_LsBlockedProbe)->Args({32, 0})->Args({32, 1})
+    ->Args({128, 0})->Args({128, 1});
+
+void BM_BatchRngFill(benchmark::State& state) {
+  const BackendPin pin(state, arg_backend(state, 0));
+  if (!pin.ok()) return;
+  const std::uint64_t seeds[4] = {1, 2, 3, 4};
+  simd::Xoshiro4 xo(seeds);
+  constexpr int kBlock = 1024;
+  std::vector<std::uint64_t> lanes[4];
+  std::uint64_t* out[4];
+  for (int l = 0; l < 4; ++l) {
+    lanes[l].resize(kBlock);
+    out[l] = lanes[l].data();
+  }
+  for (auto _ : state) {
+    xo.fill(out, kBlock);
+    benchmark::DoNotOptimize(lanes[0][kBlock - 1]);
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * kBlock);
+}
+BENCHMARK(BM_BatchRngFill)->Arg(0)->Arg(1);
+
+// The scalar contrast for BM_BatchRngFill: four independent Rngs drawing the
+// same total number of words one at a time.
+void BM_SerialRngFill(benchmark::State& state) {
+  Rng rngs[4] = {Rng(1), Rng(2), Rng(3), Rng(4)};
+  constexpr int kBlock = 1024;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (auto& rng : rngs) {
+      for (int i = 0; i < kBlock; ++i) sink ^= rng.next_u64();
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * kBlock);
+}
+BENCHMARK(BM_SerialRngFill);
+
+void BM_GenBatch(benchmark::State& state) {
+  const BackendPin pin(state, arg_backend(state, 0));
+  if (!pin.ok()) return;
+  TaskSetParams params;
+  params.num_tasks = 16;
+  params.total_utilization = 6.0;
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 16; ++s) seeds.push_back(s + 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_task_system_batch(seeds, params));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(seeds.size()));
+}
+BENCHMARK(BM_GenBatch)->Arg(0)->Arg(1);
+
+void BM_GenSerial(benchmark::State& state) {
+  TaskSetParams params;
+  params.num_tasks = 16;
+  params.total_utilization = 6.0;
+  for (auto _ : state) {
+    std::vector<TaskSystem> out;
+    out.reserve(16);
+    for (std::uint64_t s = 0; s < 16; ++s) {
+      Rng rng(s + 100);
+      out.push_back(generate_task_system(rng, params));
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_GenSerial);
+
+}  // namespace
+}  // namespace fedcons
+
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "simd_backend",
+      fedcons::simd::to_string(fedcons::simd::active_backend()));
+#ifdef NDEBUG
+  benchmark::AddCustomContext("build_assertions", "off (NDEBUG)");
+#else
+  benchmark::AddCustomContext("build_assertions", "on (debug build?)");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

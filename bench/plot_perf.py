@@ -1,21 +1,25 @@
 #!/usr/bin/env python3
-"""Render the recorded BENCH_*.json artifacts as one throughput picture.
+"""Render the recorded BENCH_*.json artifacts as one throughput trajectory.
 
-Two generations of recording live at the repo root:
+Three generations of recording live at the repo root:
 
-  * BENCH_PR2.json — google-benchmark output of bench_perf_algorithms
-    (batch-analysis latency: MINPROCS scan and the full FEDCONS test at
-    several task-set sizes; see bench/run_perf.sh).
+  * BENCH_PR2.json — google-benchmark output of bench_perf_algorithms at the
+    PR-2 optimization (bound-guided MINPROCS + workspace LS core).
   * BENCH_PR6.json — the custom document bench_online writes (steady-state
     online churn: admissions/sec, memo hit rate, per-event latency split by
     class, and the from-scratch re-analysis contrast per level).
+  * BENCH_PR7.json — the wrapper document bench/run_perf.sh writes at the
+    PR-7 optimization (data-parallel analysis core): the same
+    bench_perf_algorithms grid re-recorded, plus the per-kernel
+    scalar-vs-AVX2 microbenchmarks from bench_simd_kernels.
 
-The script draws the batch curve (analyses/sec by task count) next to the
-online curve (admissions/sec by resident count) so the PR-2 → PR-6 story —
-throughput moving from per-batch to per-event — is one figure. With
-matplotlib available it writes bench/perf_curves.png; otherwise it falls
-back to an ASCII rendering on stdout (the container image carries no
-plotting stack, and installing one is out of scope).
+The script overlays the PR-2 and PR-7 batch curves per benchmark family
+(analyses/sec by task count — the across-PRs throughput trajectory), draws
+the online curve (admissions/sec by resident count) beside them, and lists
+each SIMD kernel's scalar-vs-AVX2 contrast. With matplotlib available it
+writes bench/perf_curves.png; otherwise it falls back to an ASCII rendering
+on stdout (the container image carries no plotting stack, and installing
+one is out of scope).
 
 Usage: plot_perf.py [--repo-root DIR] [--out PNG]
 """
@@ -34,7 +38,7 @@ def load_json(path):
 
 
 def batch_series(doc):
-    """BENCH_PR2: google-benchmark -> [(tasks, analyses_per_sec)] per family."""
+    """google-benchmark doc -> {family: [(tasks, analyses_per_sec)]}."""
     if doc is None:
         return {}
     series = {}
@@ -65,14 +69,40 @@ def batch_series(doc):
     }
 
 
-def online_series(doc):
-    """BENCH_PR6: bench_online levels -> [(residents, admissions_per_sec)]."""
+def overlay_batch(pr2_doc, pr7_doc):
+    """Merge the two generations into {family: {gen: points}} for overlay."""
+    merged = {}
+    for gen, doc in (("PR2", pr2_doc), ("PR7", pr7_doc)):
+        for family, points in batch_series(doc).items():
+            merged.setdefault(family, {})[gen] = points
+    return merged
+
+
+def kernel_series(doc):
+    """bench_simd_kernels doc -> {instance: {backend_label: ns}}.
+
+    Backend instances carry a 'scalar'/'avx2' label (state.SetLabel); the
+    instance key is the run name with its trailing backend selector dropped,
+    so BM_DbfProbeScan/512/0 and /512/1 pair up. Unlabeled benchmarks (the
+    serial contrast lines) key under their own name with label 'serial'.
+    """
     if doc is None:
-        return []
-    return sorted(
-        (int(level["residents"]), float(level["admissions_per_sec"]))
-        for level in doc.get("levels", [])
-    )
+        return {}
+    series = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("run_name", bench.get("name", ""))
+        label = bench.get("label", "")
+        ns = float(bench.get("real_time", 0.0))
+        if ns <= 0:
+            continue
+        if label in ("scalar", "avx2"):
+            instance = name.rsplit("/", 1)[0]
+            series.setdefault(instance, {})[label] = ns
+        else:
+            series.setdefault(name, {})["serial"] = ns
+    return series
 
 
 def ascii_curve(title, points, unit):
@@ -87,12 +117,54 @@ def ascii_curve(title, points, unit):
     return lines
 
 
-def render_ascii(batch, online, pr6):
-    out = ["perf curves (ASCII fallback — matplotlib not available)", ""]
-    for family, points in sorted(batch.items()):
-        out.extend(ascii_curve("%s (batch analyses/sec by task count)"
-                               % family, points, "/s"))
-        out.append("")
+def ascii_overlay(family, gens):
+    """One family's PR2-vs-PR7 curves on a shared scale."""
+    all_points = [v for pts in gens.values() for _, v in pts]
+    if not all_points:
+        return []
+    width = 46
+    top = max(all_points)
+    lines = ["  %s (analyses/sec by task count)" % family]
+    for gen in sorted(gens):
+        for x, v in gens[gen]:
+            bar = "#" * max(1, int(round(width * v / top))) if top > 0 else ""
+            lines.append("    %s %6d  %-*s %12.0f /s"
+                         % (gen, x, width, bar, v))
+        lines.append("")
+    return lines
+
+
+def ascii_kernels(kernels):
+    if not kernels:
+        return []
+    out = ["  SIMD kernels, scalar vs AVX2 (BENCH_PR7; lower ns is better)"]
+    for instance in sorted(kernels):
+        backends = kernels[instance]
+        parts = []
+        for label in ("scalar", "avx2", "serial"):
+            if label in backends:
+                parts.append("%s %10.0f ns" % (label, backends[label]))
+        line = "    %-28s %s" % (instance, "   ".join(parts))
+        if "scalar" in backends and "avx2" in backends and backends["avx2"]:
+            line += "   (%.2fx)" % (backends["scalar"] / backends["avx2"])
+        out.append(line)
+    return out
+
+
+def online_series(doc):
+    """BENCH_PR6: bench_online levels -> [(residents, admissions_per_sec)]."""
+    if doc is None:
+        return []
+    return sorted(
+        (int(level["residents"]), float(level["admissions_per_sec"]))
+        for level in doc.get("levels", [])
+    )
+
+
+def render_ascii(batch_overlay_data, online, pr6, kernels, pr7):
+    out = ["perf trajectory (ASCII fallback — matplotlib not available)", ""]
+    for family in sorted(batch_overlay_data):
+        out.extend(ascii_overlay(family, batch_overlay_data[family]))
     out.extend(ascii_curve(
         "bench_online (admissions/sec by resident count)", online, "/s"))
     if pr6 is not None:
@@ -100,32 +172,38 @@ def render_ascii(batch, online, pr6):
         out.append("  online flat-latency check: low-class admission ratio "
                    "at 10x residents = %sx"
                    % pr6.get("latency_ratio_10x", "?"))
-        contrast = [(int(l["residents"]),
-                     float(l.get("full_reanalysis_us", 0)),
-                     float(l.get("admit_mean_latency_us", 0)))
-                    for l in pr6.get("levels", [])]
-        for residents, full_us, event_us in sorted(contrast):
-            out.append("    %3d residents: full re-analysis %8.0f us, "
-                       "per-event %6.1f us" % (residents, full_us, event_us))
+    out.append("")
+    out.extend(ascii_kernels(kernels))
+    if pr7 is not None and "fedcons_full_128_speedup_vs_pr2" in pr7:
+        out.append("")
+        out.append("  BM_FedconsFullTest/128 speedup vs PR2 recording: %sx "
+                   "(build=%s backend=%s)"
+                   % (pr7["fedcons_full_128_speedup_vs_pr2"],
+                      pr7.get("cmake_build_type", "?"),
+                      pr7.get("simd_backend", "?")))
     return "\n".join(out)
 
 
-def render_png(batch, online, out_path):
+def render_png(batch_overlay_data, online, kernels, out_path):
     import matplotlib
     matplotlib.use("Agg")
     import matplotlib.pyplot as plt
 
-    fig, (ax_batch, ax_online) = plt.subplots(1, 2, figsize=(11, 4.2))
-    for family, points in sorted(batch.items()):
-        xs = [x for x, _ in points]
-        ys = [y for _, y in points]
-        ax_batch.plot(xs, ys, marker="o", label=family)
-    ax_batch.set_title("batch analyses/sec (BENCH_PR2)")
+    fig, (ax_batch, ax_online, ax_kern) = plt.subplots(
+        1, 3, figsize=(15, 4.2))
+    styles = {"PR2": "--", "PR7": "-"}
+    for family in sorted(batch_overlay_data):
+        for gen, points in sorted(batch_overlay_data[family].items()):
+            xs = [x for x, _ in points]
+            ys = [y for _, y in points]
+            ax_batch.plot(xs, ys, styles.get(gen, "-"), marker="o",
+                          label="%s (%s)" % (family, gen))
+    ax_batch.set_title("batch analyses/sec (PR2 vs PR7)")
     ax_batch.set_xlabel("tasks")
     ax_batch.set_ylabel("analyses/sec")
     ax_batch.set_xscale("log", base=2)
     ax_batch.set_yscale("log")
-    ax_batch.legend(fontsize=8)
+    ax_batch.legend(fontsize=7)
 
     if online:
         xs = [x for x, _ in online]
@@ -134,6 +212,18 @@ def render_png(batch, online, out_path):
     ax_online.set_title("online admissions/sec (BENCH_PR6)")
     ax_online.set_xlabel("residents")
     ax_online.set_ylabel("admissions/sec")
+
+    paired = {k: v for k, v in kernels.items()
+              if "scalar" in v and "avx2" in v}
+    if paired:
+        names = sorted(paired)
+        ratios = [paired[n]["scalar"] / paired[n]["avx2"] for n in names]
+        ax_kern.barh(range(len(names)), ratios, color="tab:blue")
+        ax_kern.set_yticks(range(len(names)))
+        ax_kern.set_yticklabels(names, fontsize=7)
+        ax_kern.axvline(1.0, color="gray", linewidth=0.8)
+        ax_kern.set_title("kernel AVX2 speedup (BENCH_PR7)")
+        ax_kern.set_xlabel("scalar time / avx2 time")
 
     fig.tight_layout()
     fig.savefig(out_path, dpi=120)
@@ -151,20 +241,23 @@ def main():
 
     pr2 = load_json(os.path.join(args.repo_root, "BENCH_PR2.json"))
     pr6 = load_json(os.path.join(args.repo_root, "BENCH_PR6.json"))
-    if pr2 is None and pr6 is None:
+    pr7 = load_json(os.path.join(args.repo_root, "BENCH_PR7.json"))
+    if pr2 is None and pr6 is None and pr7 is None:
         print("no BENCH_*.json recordings under %s" % args.repo_root,
               file=sys.stderr)
         return 2
 
-    batch = batch_series(pr2)
+    pr7_algo = pr7.get("perf_algorithms") if pr7 else None
+    batch = overlay_batch(pr2, pr7_algo)
     online = online_series(pr6)
+    kernels = kernel_series(pr7.get("simd_kernels") if pr7 else None)
 
     try:
         out_path = args.out or os.path.join(args.repo_root, "bench",
                                             "perf_curves.png")
-        print("wrote %s" % render_png(batch, online, out_path))
+        print("wrote %s" % render_png(batch, online, kernels, out_path))
     except ImportError:
-        print(render_ascii(batch, online, pr6))
+        print(render_ascii(batch, online, pr6, kernels, pr7))
     return 0
 
 

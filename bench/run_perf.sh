@@ -1,35 +1,111 @@
 #!/usr/bin/env bash
-# Run the PR-2 performance comparison (bound-guided MINPROCS + workspace LS
-# core vs. the seed reference path) and emit BENCH_PR2.json.
+# Record the batch-analysis performance numbers (BENCH_PR7.json): the
+# MINPROCS / full-FEDCONS latency grid from bench_perf_algorithms plus the
+# per-kernel scalar-vs-AVX2 microbenchmarks from bench_simd_kernels.
 #
 # Usage: bench/run_perf.sh [build-dir] [output.json]
-#   build-dir    defaults to build        (must contain bench/bench_perf_algorithms)
-#   output.json  defaults to BENCH_PR2.json in the repo root
+#   build-dir    defaults to build-release  (the Release preset's binaryDir)
+#   output.json  defaults to BENCH_PR7.json in the repo root
 #
-# The acceptance bar recorded in ISSUE.md: BM_Minprocs/128 at least 3x faster
-# than BM_MinprocsReference/128 on the same instances. Both numbers land in
-# the JSON so the comparison is auditable.
+# The script REFUSES to record from a non-Release build: an earlier revision
+# defaulted to `build/` and happily captured whatever configuration lived
+# there, so recorded "speedups" could compare a debug binary against a
+# release one. Now CMakeCache.txt must say CMAKE_BUILD_TYPE=Release, and the
+# build type + active SIMD backend are stamped into the output document
+# (the benchmark binaries additionally stamp simd_backend / build_assertions
+# into their own context blocks).
+#
+# Acceptance bar recorded in ISSUE.md (PR 7): BM_FedconsFullTest/128 at
+# least 3x faster than the BENCH_PR2.json recording of the same benchmark.
+# The script computes that ratio when BENCH_PR2.json is present.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
-out_json="${2:-$repo_root/BENCH_PR2.json}"
-bench_bin="$build_dir/bench/bench_perf_algorithms"
+build_dir="${1:-$repo_root/build-release}"
+out_json="${2:-$repo_root/BENCH_PR7.json}"
 
-if [[ ! -x "$bench_bin" ]]; then
-  echo "error: $bench_bin not found — build first (cmake --build $build_dir)" >&2
+cache="$build_dir/CMakeCache.txt"
+if [[ ! -f "$cache" ]]; then
+  echo "error: $cache not found — configure first (cmake --preset release)" >&2
+  exit 1
+fi
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$cache")"
+if [[ "$build_type" != "Release" ]]; then
+  echo "error: $build_dir is a '$build_type' build; benchmarks are only" >&2
+  echo "recorded from CMAKE_BUILD_TYPE=Release (cmake --preset release &&" >&2
+  echo "cmake --build $repo_root/build-release)" >&2
   exit 1
 fi
 
+for bin in bench_perf_algorithms bench_simd_kernels; do
+  if [[ ! -x "$build_dir/bench/$bin" ]]; then
+    echo "error: $build_dir/bench/$bin not found — build first" >&2
+    exit 1
+  fi
+done
+
+tmp_algo="$(mktemp)"
+tmp_simd="$(mktemp)"
+trap 'rm -f "$tmp_algo" "$tmp_simd"' EXIT
+
 # Note: this google-benchmark build takes --benchmark_min_time as a plain
 # double (seconds), not the newer "0.1s" suffix form.
-"$bench_bin" \
+"$build_dir/bench/bench_perf_algorithms" \
   "--benchmark_filter=BM_Minprocs|BM_MinprocsReference|BM_FedconsFullTest" \
   --benchmark_min_time=0.2 \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
-  "--benchmark_out=$out_json" \
+  "--benchmark_out=$tmp_algo" \
   --benchmark_out_format=json
 
-echo
-echo "wrote $out_json"
+"$build_dir/bench/bench_simd_kernels" \
+  --benchmark_min_time=0.1 \
+  "--benchmark_out=$tmp_simd" \
+  --benchmark_out_format=json
+
+python3 - "$tmp_algo" "$tmp_simd" "$out_json" "$build_type" \
+          "$repo_root/BENCH_PR2.json" <<'PY'
+import json, sys
+
+algo_path, simd_path, out_path, build_type, pr2_path = sys.argv[1:6]
+algo = json.load(open(algo_path))
+simd = json.load(open(simd_path))
+
+def mean_ns(doc, name):
+    for b in doc.get("benchmarks", []):
+        if b.get("name") == name or (
+            b.get("run_name") == name and b.get("aggregate_name") == "mean"
+        ):
+            return float(b["real_time"])
+    return None
+
+doc = {
+    "schema_version": 1,
+    "benchmark": "pr7_data_parallel_core",
+    "cmake_build_type": build_type,
+    "simd_backend": algo.get("context", {}).get("simd_backend", "?"),
+    "build_assertions": algo.get("context", {}).get("build_assertions", "?"),
+    "perf_algorithms": algo,
+    "simd_kernels": simd,
+}
+
+head = mean_ns(algo, "BM_FedconsFullTest/128")
+doc["fedcons_full_128_ns"] = head
+try:
+    pr2 = json.load(open(pr2_path))
+    base = mean_ns(pr2, "BM_FedconsFullTest/128")
+    if base and head:
+        doc["fedcons_full_128_baseline_ns"] = base
+        doc["fedcons_full_128_speedup_vs_pr2"] = round(base / head, 2)
+except FileNotFoundError:
+    pass
+
+json.dump(doc, open(out_path, "w"), indent=1)
+print()
+print("wrote %s  (build=%s backend=%s)" % (
+    out_path, build_type, doc["simd_backend"]))
+if "fedcons_full_128_speedup_vs_pr2" in doc:
+    print("BM_FedconsFullTest/128: %.0f ns vs %.0f ns baseline -> %.2fx" % (
+        head, doc["fedcons_full_128_baseline_ns"],
+        doc["fedcons_full_128_speedup_vs_pr2"]))
+PY

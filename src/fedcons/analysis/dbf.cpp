@@ -1,7 +1,9 @@
 #include "fedcons/analysis/dbf.h"
 
 #include <algorithm>
+#include <limits>
 
+#include "fedcons/simd/dbf_kernel.h"
 #include "fedcons/util/check.h"
 #include "fedcons/util/perf_counters.h"
 
@@ -138,6 +140,13 @@ void DbfStarAggregate::insert(const SporadicTask& task) {
                          BigInt(task.period)));
   vol_.insert(vol_.begin() + static_cast<std::ptrdiff_t>(idx), task.wcet);
 
+  const simd::DbfCand term =
+      simd::dbf_affine_term(task.wcet, task.deadline, task.period);
+  term_a_.insert(term_a_.begin() + static_cast<std::ptrdiff_t>(idx), term.a);
+  term_b_.insert(term_b_.begin() + static_cast<std::ptrdiff_t>(idx), term.b);
+  term_mag_.insert(term_mag_.begin() + static_cast<std::ptrdiff_t>(idx),
+                   term.mag);
+
   refresh_prefixes_from(idx);
 
   const auto dpos = std::lower_bound(distinct_deadlines_.begin(),
@@ -145,6 +154,7 @@ void DbfStarAggregate::insert(const SporadicTask& task) {
   if (dpos == distinct_deadlines_.end() || *dpos != task.deadline) {
     distinct_deadlines_.insert(dpos, task.deadline);
   }
+  rebuild_soa();
 }
 
 void DbfStarAggregate::remove(const SporadicTask& task) {
@@ -168,6 +178,9 @@ void DbfStarAggregate::remove(const SporadicTask& task) {
   u_.erase(u_.begin() + p);
   ud_.erase(ud_.begin() + p);
   vol_.erase(vol_.begin() + p);
+  term_a_.erase(term_a_.begin() + p);
+  term_b_.erase(term_b_.begin() + p);
+  term_mag_.erase(term_mag_.begin() + p);
 
   prefix_vol_.resize(deadlines_.size());
   prefix_u_.resize(deadlines_.size());
@@ -182,28 +195,72 @@ void DbfStarAggregate::remove(const SporadicTask& task) {
         distinct_deadlines_.begin(), distinct_deadlines_.end(), task.deadline);
     distinct_deadlines_.erase(dpos);
   }
+  rebuild_soa();
 }
 
 void DbfStarAggregate::refresh_prefixes_from(std::size_t idx) {
   prefix_vol_.resize(deadlines_.size());
   prefix_u_.resize(deadlines_.size());
   prefix_ud_.resize(deadlines_.size());
+  pfx_a_.resize(deadlines_.size());
+  pfx_b_.resize(deadlines_.size());
+  pfx_mag_.resize(deadlines_.size());
   for (std::size_t i = idx; i < deadlines_.size(); ++i) {
     if (i == 0) {
       prefix_vol_[i] = BigRational(vol_[i]);
       prefix_u_[i] = u_[i];
       prefix_ud_[i] = ud_[i];
+      pfx_a_[i] = term_a_[i];
+      pfx_b_[i] = term_b_[i];
+      pfx_mag_[i] = term_mag_[i];
     } else {
       prefix_vol_[i] = prefix_vol_[i - 1] + BigRational(vol_[i]);
       prefix_u_[i] = prefix_u_[i - 1] + u_[i];
       prefix_ud_[i] = prefix_ud_[i - 1] + ud_[i];
+      // Single IEEE additions — deterministic in every TU, so the mirrors are
+      // a pure function of the member arrays and rollback restores them bit
+      // for bit, like the rationals above.
+      pfx_a_[i] = pfx_a_[i - 1] + term_a_[i];
+      pfx_b_[i] = pfx_b_[i - 1] + term_b_[i];
+      pfx_mag_[i] = pfx_mag_[i - 1] + term_mag_[i];
     }
   }
+}
+
+void DbfStarAggregate::rebuild_soa() {
+  soa_bp_.clear();
+  soa_a_.clear();
+  soa_b_.clear();
+  soa_mag_.clear();
+  soa_bp_.reserve(distinct_deadlines_.size());
+  soa_a_.reserve(distinct_deadlines_.size());
+  soa_b_.reserve(distinct_deadlines_.size());
+  soa_mag_.reserve(distinct_deadlines_.size());
+  // One entry per distinct deadline, taken at the last member holding it. A
+  // deadline beyond the kernel's validated range is not exactly representable
+  // as a double, so its lane is poisoned (+inf magnitude → always uncertain →
+  // exact fallback at the true Time breakpoint).
+  for (std::size_t i = 0; i < deadlines_.size(); ++i) {
+    if (i + 1 < deadlines_.size() && deadlines_[i + 1] == deadlines_[i]) {
+      continue;
+    }
+    soa_bp_.push_back(static_cast<double>(deadlines_[i]));
+    soa_a_.push_back(pfx_a_[i]);
+    soa_b_.push_back(pfx_b_[i]);
+    soa_mag_.push_back(deadlines_[i] > simd::kDbfMaxMagnitude
+                           ? std::numeric_limits<double>::infinity()
+                           : pfx_mag_[i]);
+  }
+  FEDCONS_EXPECTS(soa_bp_.size() == distinct_deadlines_.size());
 }
 
 BigRational DbfStarAggregate::sum_at(Time t) const {
   // Counter contract (see header): one logical DBF* evaluation per member.
   perf_counters().dbf_star_evaluations += deadlines_.size();
+  return sum_at_uncounted(t);
+}
+
+BigRational DbfStarAggregate::sum_at_uncounted(Time t) const {
   const auto pos = std::upper_bound(deadlines_.begin(), deadlines_.end(), t);
   if (pos == deadlines_.begin()) return BigRational(0);
   const auto k = static_cast<std::size_t>(pos - deadlines_.begin()) - 1;

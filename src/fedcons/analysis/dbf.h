@@ -78,6 +78,16 @@ namespace fedcons {
 /// Each prefix entry is a sum of at most size() reduce_fast-normalized terms,
 /// the same limb-growth bound as the transient per-probe sums (rational.h
 /// design note), so long-lived storage does not compound.
+///
+/// Alongside the exact prefixes the aggregate maintains double-precision SoA
+/// mirrors for the certified probe kernel (simd/dbf_kernel.h): per member the
+/// affine DBF* term (a_j = C_j − u_j·D_j, b_j = u_j) and a magnitude bound,
+/// folded by the identical canonical left fold (so rollback restores the
+/// exact double representations too), then gathered per distinct deadline.
+/// Members whose parameters exceed the kernel's validated range poison their
+/// magnitude prefix with +inf, which forces every affected lane onto the
+/// exact rational fallback — the mirrors can accelerate decisions but never
+/// change one.
 class DbfStarAggregate {
  public:
   /// Add one member. O(size) worst case (suffix prefix refresh); PARTITION
@@ -99,6 +109,10 @@ class DbfStarAggregate {
   /// Σ_j DBF*(τ_j, t) over all members, exactly.
   [[nodiscard]] BigRational sum_at(Time t) const;
 
+  /// sum_at without the counter credit — the exact fallback of the certified
+  /// probe, whose caller accounts breakpoints itself (partition_state.cpp).
+  [[nodiscard]] BigRational sum_at_uncounted(Time t) const;
+
   [[nodiscard]] std::size_t size() const noexcept { return deadlines_.size(); }
 
   /// Sorted, deduplicated member deadlines — the slope breakpoints of the
@@ -107,11 +121,32 @@ class DbfStarAggregate {
     return distinct_deadlines_;
   }
 
+  /// Double SoA mirrors for simd::dbf_scan, indexed like distinct_deadlines():
+  /// entry k holds double(distinct deadline k) and the inclusive double prefix
+  /// (A = Σa_j, B = Σb_j, M = Σmag_j) over all members with D_j ≤ that
+  /// deadline, so the aggregate demand at breakpoint bp_k is A_k + B_k·bp_k.
+  [[nodiscard]] std::span<const double> soa_breakpoints() const noexcept {
+    return soa_bp_;
+  }
+  [[nodiscard]] std::span<const double> soa_prefix_a() const noexcept {
+    return soa_a_;
+  }
+  [[nodiscard]] std::span<const double> soa_prefix_b() const noexcept {
+    return soa_b_;
+  }
+  [[nodiscard]] std::span<const double> soa_prefix_mag() const noexcept {
+    return soa_mag_;
+  }
+
  private:
   /// Recompute prefix sums for indices [idx, size) by the canonical fold
   /// prefix[i] = prefix[i-1] + term[i] — shared by insert and remove so both
-  /// histories land on identical representations.
+  /// histories land on identical representations. Folds the exact rationals
+  /// and the double mirrors in one pass.
   void refresh_prefixes_from(std::size_t idx);
+
+  /// Regather the distinct-deadline SoA views from the member prefixes.
+  void rebuild_soa();
 
   // Parallel arrays, sorted by deadline (ties keep insertion order).
   std::vector<Time> deadlines_;
@@ -123,6 +158,11 @@ class DbfStarAggregate {
   std::vector<BigRational> prefix_u_;
   std::vector<BigRational> prefix_ud_;
   std::vector<Time> distinct_deadlines_;
+  // Double mirrors: per-member affine terms (simd::dbf_affine_term) and their
+  // inclusive left folds, then one gathered entry per distinct deadline.
+  std::vector<double> term_a_, term_b_, term_mag_;
+  std::vector<double> pfx_a_, pfx_b_, pfx_mag_;
+  std::vector<double> soa_bp_, soa_a_, soa_b_, soa_mag_;
 };
 
 }  // namespace fedcons

@@ -1,10 +1,12 @@
 #include "fedcons/federated/partition_state.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 
 #include "fedcons/analysis/edf_uniproc.h"
 #include "fedcons/obs/metrics.h"
+#include "fedcons/simd/dbf_kernel.h"
 #include "fedcons/util/check.h"
 #include "fedcons/util/perf_counters.h"
 
@@ -25,16 +27,6 @@ bool partition_uses_aggregates(const PartitionOptions& options) {
 
 namespace {
 
-/// The candidate's own DBF* term at bp ≥ its deadline: C·(T + bp − D)/T.
-BigRational candidate_dbf_star(const SporadicTask& t, Time bp) {
-  // Counted as one logical evaluation to match the dbf_approx_k call the
-  // legacy loop makes for the candidate at this breakpoint.
-  ++perf_counters().dbf_star_evaluations;
-  BigInt num =
-      BigInt(t.wcet) * BigInt(checked_add(t.period, bp - t.deadline));
-  return BigRational(std::move(num), BigInt(t.period));
-}
-
 /// Fill a demand-rejection diagnosis (no-op on nullptr): the failing DBF*
 /// breakpoint plus the exact demand-vs-capacity comparison.
 void diagnose_demand(BinAttemptRecord* diag, const BigRational& demand,
@@ -45,6 +37,105 @@ void diagnose_demand(BinAttemptRecord* diag, const BigRational& demand,
   diag->detail = "DBF* demand " + demand.to_string() + " > capacity " +
                  std::to_string(breakpoint) + " at breakpoint t=" +
                  std::to_string(breakpoint);
+}
+
+/// Exact Σ_bin DBF* + candidate term at bp — the certified scan's fallback
+/// and diagnosis source. Uncounted: the scan owns every counter credit, so
+/// re-deriving a lane exactly cannot double-bill it.
+BigRational exact_probe_demand(const DbfStarAggregate& agg,
+                               const SporadicTask& t, Time bp,
+                               bool paper_literal) {
+  BigRational sum = agg.sum_at_uncounted(bp);
+  if (paper_literal) {
+    sum += BigRational(t.wcet);
+  } else {
+    BigInt num =
+        BigInt(t.wcet) * BigInt(checked_add(t.period, bp - t.deadline));
+    sum += BigRational(std::move(num), BigInt(t.period));
+  }
+  return sum;
+}
+
+/// The aggregate acceptance probe, decided through the certified-double
+/// kernel (simd/dbf_kernel.h). Walks the identical breakpoint sequence the
+/// exact loop walks — D_cand, then every distinct member deadline above it
+/// (kFull; kPaperLiteral checks D_cand only) — stopping at the first
+/// violation, with identical verdicts, rejection diagnoses, and
+/// dbf_star_evaluations credits (size()+1 per breakpoint checked for kFull,
+/// size() for kPaperLiteral: the candidate term is uncounted there, matching
+/// the legacy paths). Lanes the margin cannot separate fall back to the
+/// exact rational comparison, so only the arithmetic route — never the
+/// decision — depends on floating point.
+bool certified_demand_scan(const DbfStarAggregate& agg, const SporadicTask& t,
+                           bool paper_literal, BinAttemptRecord* diag) {
+  const std::size_t n = agg.size();
+  const std::uint64_t credit =
+      static_cast<std::uint64_t>(n) + (paper_literal ? 0 : 1);
+  const simd::DbfCand cand =
+      paper_literal ? simd::dbf_constant_term(t.wcet)
+                    : simd::dbf_affine_term(t.wcet, t.deadline, t.period);
+  const double eps_n = simd::kDbfEps * static_cast<double>(n + 16);
+
+  std::uint64_t checked = 0;
+  std::uint64_t vectorized = 0;
+  // Scan SoA lanes [begin, end); time_at maps a lane index to its exact Time
+  // breakpoint (lane doubles may be poisoned, the Times never are).
+  const auto scan = [&](const double* bp, const double* A, const double* B,
+                        const double* M, int begin, int end,
+                        auto time_at) -> bool {
+    int i = begin;
+    while (i < end) {
+      simd::LaneClass cls;
+      const int stop = simd::dbf_scan(bp, A, B, M, i, end, cand, eps_n, &cls);
+      checked += static_cast<std::uint64_t>(stop - i);
+      vectorized += static_cast<std::uint64_t>(stop - i);
+      if (stop == end) return true;  // every remaining lane certainly fits
+      ++checked;
+      const Time bpt = time_at(stop);
+      if (cls == simd::LaneClass::kReject) {
+        ++vectorized;
+        if (diag != nullptr) {
+          diagnose_demand(diag, exact_probe_demand(agg, t, bpt, paper_literal),
+                          bpt);
+        }
+        return false;
+      }
+      // Uncertain: decide this one lane exactly, then resume after it.
+      const BigRational sum = exact_probe_demand(agg, t, bpt, paper_literal);
+      if (!(sum <= BigRational(bpt))) {
+        diagnose_demand(diag, sum, bpt);
+        return false;
+      }
+      i = stop + 1;
+    }
+    return true;
+  };
+
+  // Head lane: bp = D_cand against the member prefix with D_j ≤ D_cand.
+  const auto dds = agg.distinct_deadlines();
+  const auto pa = agg.soa_prefix_a();
+  const auto pb = agg.soa_prefix_b();
+  const auto pm = agg.soa_prefix_mag();
+  const int k0 =
+      static_cast<int>(std::upper_bound(dds.begin(), dds.end(), t.deadline) -
+                       dds.begin()) -
+      1;
+  double hbp = static_cast<double>(t.deadline);
+  double ha = k0 >= 0 ? pa[static_cast<std::size_t>(k0)] : 0.0;
+  double hb = k0 >= 0 ? pb[static_cast<std::size_t>(k0)] : 0.0;
+  double hm = k0 >= 0 ? pm[static_cast<std::size_t>(k0)] : 0.0;
+  if (t.deadline < 0 || t.deadline > simd::kDbfMaxMagnitude) {
+    hm = std::numeric_limits<double>::infinity();  // bp not exact: poison
+  }
+  bool ok = scan(&hbp, &ha, &hb, &hm, 0, 1, [&](int) { return t.deadline; });
+  if (ok && !paper_literal) {
+    ok = scan(agg.soa_breakpoints().data(), pa.data(), pb.data(), pm.data(),
+              k0 + 1, static_cast<int>(dds.size()),
+              [&](int j) { return dds[static_cast<std::size_t>(j)]; });
+  }
+  perf_counters().dbf_star_evaluations += checked * credit;
+  perf_counters().simd_breakpoints_vectorized += vectorized;
+  return ok;
 }
 
 }  // namespace
@@ -88,12 +179,11 @@ bool PartitionState::fits(int bin, const SporadicTask& t,
   if (options_.variant == PartitionVariant::kPaperLiteral) {
     // The paper's Fig. 4 line 3, verbatim:
     //   Σ_j DBF*(τ_j, D_i) + vol_i ≤ D_i.
-    BigRational sum(t.wcet);
     if (partition_uses_aggregates(options_)) {
-      sum += b.demand.sum_at(t.deadline);
-    } else {
-      for (const SporadicTask& m : b.tasks) sum += dbf_approx(m, t.deadline);
+      return certified_demand_scan(b.demand, t, /*paper_literal=*/true, diag);
     }
+    BigRational sum(t.wcet);
+    for (const SporadicTask& m : b.tasks) sum += dbf_approx(m, t.deadline);
     if (sum <= BigRational(t.deadline)) return true;
     diagnose_demand(diag, sum, t.deadline);
     return false;
@@ -101,7 +191,26 @@ bool PartitionState::fits(int bin, const SporadicTask& t,
 
   // kFull — Baruah–Fisher with a k-point demand approximation:
   // long-run capacity first…
-  if (bin_utilization(bin) + t.utilization() > BigRational(1)) {
+  bool util_reject;
+  if (partition_uses_aggregates(options_)) {
+    // Certified-double screen over the bin's double utilization fold (same
+    // margin family as the demand kernel; exact fallback inside the band).
+    const double us =
+        (b.util_prefix_d.empty() ? 0.0 : b.util_prefix_d.back()) +
+        simd::util_term(t.wcet, t.period);
+    const double uerr = simd::kDbfEps *
+                        static_cast<double>(b.tasks.size() + 16) * us;
+    if (us + uerr <= 1.0) {
+      util_reject = false;
+    } else if (us - uerr > 1.0) {
+      util_reject = true;
+    } else {
+      util_reject = bin_utilization(bin) + t.utilization() > BigRational(1);
+    }
+  } else {
+    util_reject = bin_utilization(bin) + t.utilization() > BigRational(1);
+  }
+  if (util_reject) {
     if (diag != nullptr) {
       diag->reason = BinRejectReason::kUtilization;
       diag->detail = "utilization " +
@@ -118,22 +227,10 @@ bool PartitionState::fits(int bin, const SporadicTask& t,
   // there) and were certified when their tasks were admitted.
   if (partition_uses_aggregates(options_)) {
     // points == 1: breakpoints are exactly the deadlines of bin ∪ {cand},
-    // and the legacy loop evaluates those ≥ D_cand in ascending order —
-    // D_cand itself (dedup'd with equal member deadlines), then every
-    // member deadline above it, stopping at the first violation.
-    const auto check_at = [&](Time bp) {
-      BigRational sum = b.demand.sum_at(bp);
-      sum += candidate_dbf_star(t, bp);
-      if (sum <= BigRational(bp)) return true;
-      diagnose_demand(diag, sum, bp);
-      return false;
-    };
-    if (!check_at(t.deadline)) return false;
-    for (Time bp : b.demand.distinct_deadlines()) {
-      if (bp <= t.deadline) continue;
-      if (!check_at(bp)) return false;
-    }
-    return true;
+    // evaluated ≥ D_cand in ascending order — D_cand itself (dedup'd with
+    // equal member deadlines), then every member deadline above it, stopping
+    // at the first violation. Decided through the certified kernel.
+    return certified_demand_scan(b.demand, t, /*paper_literal=*/false, diag);
   }
   const int points = std::max(1, options_.dbf_points);
   std::vector<SporadicTask> members;
@@ -205,6 +302,9 @@ void PartitionState::insert(int bin, std::size_t id, const SporadicTask& t) {
   BigRational acc = b.util_prefix.empty() ? kZeroUtil : b.util_prefix.back();
   acc += t.utilization();
   b.util_prefix.push_back(std::move(acc));
+  b.util_prefix_d.push_back(
+      (b.util_prefix_d.empty() ? 0.0 : b.util_prefix_d.back()) +
+      simd::util_term(t.wcet, t.period));
   if (partition_uses_aggregates(options_)) b.demand.insert(t);
 }
 
@@ -228,10 +328,14 @@ void PartitionState::remove(int bin, std::size_t id) {
   // Refold the utilization prefix from the removal point with the identical
   // left-to-right accumulation, so representations match a fresh build.
   b.util_prefix.resize(b.tasks.size());
+  b.util_prefix_d.resize(b.tasks.size());
   for (std::size_t j = idx; j < b.tasks.size(); ++j) {
     BigRational acc = j == 0 ? kZeroUtil : b.util_prefix[j - 1];
     acc += b.tasks[j].utilization();
     b.util_prefix[j] = std::move(acc);
+    b.util_prefix_d[j] =
+        (j == 0 ? 0.0 : b.util_prefix_d[j - 1]) +
+        simd::util_term(b.tasks[j].wcet, b.tasks[j].period);
   }
   if (partition_uses_aggregates(options_)) b.demand.remove(departed);
 }

@@ -1,0 +1,38 @@
+#include "fedcons/gen/batch_gen.h"
+
+#include <algorithm>
+
+#include "fedcons/simd/batch_rng.h"
+
+namespace fedcons {
+
+std::vector<TaskSystem> generate_task_system_batch(
+    std::span<const std::uint64_t> seeds, const TaskSetParams& params,
+    std::vector<GenerationInfo>* infos) {
+  std::vector<TaskSystem> out;
+  out.reserve(seeds.size());
+  if (infos != nullptr) {
+    infos->clear();
+    infos->resize(seeds.size());
+  }
+  constexpr std::size_t kLanes = simd::BatchRng::kLanes;
+  for (std::size_t base = 0; base < seeds.size(); base += kLanes) {
+    const std::size_t group = std::min(kLanes, seeds.size() - base);
+    // Pad the final partial group by repeating its first seed: the padding
+    // lanes advance with the block fills but nothing ever reads them.
+    std::uint64_t lane_seeds[kLanes];
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      lane_seeds[l] = seeds[base + (l < group ? l : 0)];
+    }
+    simd::BatchRng batch(lane_seeds);
+    for (std::size_t l = 0; l < group; ++l) {
+      simd::LaneRng lane(batch, static_cast<int>(l));
+      GenerationInfo info;
+      out.push_back(generate_task_system(lane, params, &info));
+      if (infos != nullptr) (*infos)[base + l] = info;
+    }
+  }
+  return out;
+}
+
+}  // namespace fedcons

@@ -1,0 +1,28 @@
+// Batched task-system generation over lane-parallel RNG streams.
+//
+// A campaign draws thousands of independent systems, one seed each. The only
+// numeric recurrence in that loop is the per-trial xoshiro stream, so four
+// trials' streams advance together through simd::BatchRng (AVX2-backed when
+// available) while each system is materialized from its own lane — whose
+// draw sequence is bit-identical to Rng(seed), making the batch output
+// element-wise equal to the one-seed-at-a-time scalar generation (pinned by
+// tests/simd_gen_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fedcons/gen/taskset_gen.h"
+
+namespace fedcons {
+
+/// Generate one task system per seed, in order. Equivalent to
+///   for each seed: Rng rng(seed); generate_task_system(rng, params)
+/// but with the RNG streams advanced four lanes abreast. When `infos` is
+/// non-null it is resized to seeds.size() and filled per trial.
+[[nodiscard]] std::vector<TaskSystem> generate_task_system_batch(
+    std::span<const std::uint64_t> seeds, const TaskSetParams& params,
+    std::vector<GenerationInfo>* infos = nullptr);
+
+}  // namespace fedcons

@@ -1,0 +1,86 @@
+// Batched random-number generation: four independent xoshiro256** streams
+// advanced lane-parallel.
+//
+// A generation campaign consumes one RNG stream per trial. The streams are
+// independent by construction (per-trial seeds), so their state recurrences —
+// the only sequential dependency in generation's numeric core — can run four
+// abreast: Xoshiro4 keeps the states in structure-of-arrays form and the AVX2
+// backend advances all four with 256-bit integer ops. Lane l's output is
+// bit-identical to Rng(seeds[l])'s next_u64() sequence on every backend
+// (pinned by tests/simd_kernel_test.cpp).
+//
+// Divergence (different trials consuming different draw counts) is absorbed
+// by buffering, not masking: BatchRng block-fills all four lanes together and
+// each LaneRng replays its own buffer through the shared RngDistributions
+// algorithms — so a lane's uniform_int/uniform01/... sequence equals the
+// scalar generator's exactly, regardless of how the other lanes consume.
+// Memory holds the slowest lane's unconsumed tail (lanes in one batch draw
+// within a small factor of each other in practice).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fedcons/util/rng.h"
+
+namespace fedcons::simd {
+
+/// Four xoshiro256** states advanced in lockstep (SoA layout).
+class Xoshiro4 {
+ public:
+  static constexpr int kLanes = 4;
+
+  /// Lane l is seeded exactly like Rng(seeds[l]) (shared seeding rule).
+  explicit Xoshiro4(const std::uint64_t seeds[kLanes]);
+
+  /// Append the next n values of every lane's stream: out[l][i] receives the
+  /// i-th of lane l's next n draws. Dispatched (scalar / AVX2), bit-identical
+  /// per lane either way.
+  void fill(std::uint64_t* out[kLanes], int n) noexcept;
+
+ private:
+  // s_[k][l] = word k of lane l's state — one 4-lane vector per state word.
+  std::uint64_t s_[4][kLanes];
+};
+
+namespace detail {
+void xo4_fill_scalar(std::uint64_t s[4][Xoshiro4::kLanes],
+                     std::uint64_t* out[Xoshiro4::kLanes], int n) noexcept;
+void xo4_fill_avx2(std::uint64_t s[4][Xoshiro4::kLanes],
+                   std::uint64_t* out[Xoshiro4::kLanes], int n) noexcept;
+}  // namespace detail
+
+/// Four buffered lane streams over one Xoshiro4 core.
+class BatchRng {
+ public:
+  static constexpr int kLanes = Xoshiro4::kLanes;
+
+  explicit BatchRng(const std::uint64_t seeds[kLanes], int block = 256);
+
+  /// The next value of lane `lane`'s stream (== Rng(seeds[lane]) sequence).
+  std::uint64_t draw(int lane);
+
+ private:
+  void refill();
+
+  Xoshiro4 core_;
+  int block_;
+  std::vector<std::uint64_t> buf_[kLanes];
+  std::size_t pos_[kLanes] = {};
+};
+
+/// One lane of a BatchRng, with the full distribution surface of Rng.
+/// Drop-in RngT for the templated generators (gen/batch_gen.h).
+class LaneRng : public fedcons::RngDistributions<LaneRng> {
+ public:
+  LaneRng(BatchRng& parent, int lane) noexcept
+      : parent_(&parent), lane_(lane) {}
+
+  std::uint64_t next_u64() { return parent_->draw(lane_); }
+
+ private:
+  BatchRng* parent_;
+  int lane_;
+};
+
+}  // namespace fedcons::simd

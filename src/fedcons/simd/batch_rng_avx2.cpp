@@ -1,0 +1,68 @@
+// AVX2 backend of the 4-lane xoshiro256** fill (-mavx2 on this TU only).
+//
+// Pure 64-bit integer ops, so lane outputs are trivially identical to the
+// scalar recurrence: *5 and *9 become shift-and-add (x + (x<<2), x + (x<<3)),
+// rotl becomes shift/shift/or — all exact.
+
+#include "fedcons/simd/batch_rng.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+
+namespace fedcons::simd::detail {
+
+namespace {
+
+inline __m256i rotl64(__m256i x, int k) noexcept {
+  return _mm256_or_si256(_mm256_slli_epi64(x, k), _mm256_srli_epi64(x, 64 - k));
+}
+
+}  // namespace
+
+void xo4_fill_avx2(std::uint64_t s[4][Xoshiro4::kLanes],
+                   std::uint64_t* out[Xoshiro4::kLanes], int n) noexcept {
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s[0]));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s[1]));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s[2]));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s[3]));
+
+  alignas(32) std::uint64_t lanes[Xoshiro4::kLanes];
+  for (int i = 0; i < n; ++i) {
+    // result = rotl(s1 * 5, 7) * 9
+    const __m256i x5 = _mm256_add_epi64(s1, _mm256_slli_epi64(s1, 2));
+    const __m256i rot = rotl64(x5, 7);
+    const __m256i result = _mm256_add_epi64(rot, _mm256_slli_epi64(rot, 3));
+    const __m256i t = _mm256_slli_epi64(s1, 17);
+    s2 = _mm256_xor_si256(s2, s0);
+    s3 = _mm256_xor_si256(s3, s1);
+    s1 = _mm256_xor_si256(s1, s2);
+    s0 = _mm256_xor_si256(s0, s3);
+    s2 = _mm256_xor_si256(s2, t);
+    s3 = rotl64(s3, 45);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), result);
+    out[0][i] = lanes[0];
+    out[1][i] = lanes[1];
+    out[2][i] = lanes[2];
+    out[3][i] = lanes[3];
+  }
+
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s[0]), s0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s[1]), s1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s[2]), s2);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s[3]), s3);
+}
+
+}  // namespace fedcons::simd::detail
+
+#else
+
+namespace fedcons::simd::detail {
+
+void xo4_fill_avx2(std::uint64_t s[4][Xoshiro4::kLanes],
+                   std::uint64_t* out[Xoshiro4::kLanes], int n) noexcept {
+  xo4_fill_scalar(s, out, n);
+}
+
+}  // namespace fedcons::simd::detail
+
+#endif

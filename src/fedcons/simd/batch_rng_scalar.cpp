@@ -1,0 +1,79 @@
+#include "fedcons/simd/batch_rng.h"
+
+#include "fedcons/simd/dispatch.h"
+#include "fedcons/util/check.h"
+
+namespace fedcons::simd {
+
+namespace detail {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void xo4_fill_scalar(std::uint64_t s[4][Xoshiro4::kLanes],
+                     std::uint64_t* out[Xoshiro4::kLanes], int n) noexcept {
+  for (int i = 0; i < n; ++i) {
+    for (int l = 0; l < Xoshiro4::kLanes; ++l) {
+      // The Rng::next_u64 recurrence, verbatim, on lane l's state column.
+      const std::uint64_t result = rotl(s[1][l] * 5, 7) * 9;
+      const std::uint64_t t = s[1][l] << 17;
+      s[2][l] ^= s[0][l];
+      s[3][l] ^= s[1][l];
+      s[1][l] ^= s[2][l];
+      s[0][l] ^= s[3][l];
+      s[2][l] ^= t;
+      s[3][l] = rotl(s[3][l], 45);
+      out[l][i] = result;
+    }
+  }
+}
+
+}  // namespace detail
+
+Xoshiro4::Xoshiro4(const std::uint64_t seeds[kLanes]) {
+  for (int l = 0; l < kLanes; ++l) {
+    std::uint64_t st[4];
+    fedcons::detail::xoshiro_seed(seeds[l], st);
+    for (int k = 0; k < 4; ++k) s_[k][l] = st[k];
+  }
+}
+
+void Xoshiro4::fill(std::uint64_t* out[kLanes], int n) noexcept {
+  if (active_backend() == SimdBackend::kAvx2) {
+    detail::xo4_fill_avx2(s_, out, n);
+  } else {
+    detail::xo4_fill_scalar(s_, out, n);
+  }
+}
+
+BatchRng::BatchRng(const std::uint64_t seeds[kLanes], int block)
+    : core_(seeds), block_(block) {
+  FEDCONS_EXPECTS(block >= 1);
+}
+
+void BatchRng::refill() {
+  std::uint64_t* dst[kLanes];
+  for (int l = 0; l < kLanes; ++l) {
+    auto& buf = buf_[l];
+    // Compact the consumed prefix, then append one block to every lane —
+    // the lanes advance together so the core stays a pure 4-wide fill.
+    buf.erase(buf.begin(),
+              buf.begin() + static_cast<std::ptrdiff_t>(pos_[l]));
+    pos_[l] = 0;
+    const std::size_t old = buf.size();
+    buf.resize(old + static_cast<std::size_t>(block_));
+    dst[l] = buf.data() + old;
+  }
+  core_.fill(dst, block_);
+}
+
+std::uint64_t BatchRng::draw(int lane) {
+  FEDCONS_EXPECTS(lane >= 0 && lane < kLanes);
+  if (pos_[lane] == buf_[lane].size()) refill();
+  return buf_[lane][pos_[lane]++];
+}
+
+}  // namespace fedcons::simd

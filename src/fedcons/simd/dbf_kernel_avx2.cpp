@@ -1,0 +1,88 @@
+// AVX2 backend for the DBF* classification kernel. Compiled with -mavx2 (and
+// -ffp-contract=off) in this translation unit only; the dispatcher never
+// routes here unless CPUID reports AVX2.
+//
+// Lane math is the canonical sequence from dbf_kernel.h executed four lanes
+// at a time with explicit vaddpd/vmulpd intrinsics — each lane performs
+// exactly the scalar backend's IEEE-754 operations in the same order, so
+// per-lane results (and therefore classifications) are bit-identical. The
+// sub-4 tail runs the same sequence in scalar form, which rounds identically.
+
+#include "fedcons/simd/dbf_kernel.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+
+#include <bit>
+#include <cmath>
+
+namespace fedcons::simd::detail {
+
+namespace {
+
+// |x| as a bit-clear of the sign — exact, matching std::fabs.
+inline __m256d abs_pd(__m256d x) noexcept {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), x);
+}
+
+}  // namespace
+
+int dbf_scan_avx2(const double* bp, const double* A, const double* B,
+                  const double* M, int begin, int end, DbfCand cand,
+                  double eps_n, LaneClass* out_class) noexcept {
+  const __m256d va = _mm256_set1_pd(cand.a);
+  const __m256d vb = _mm256_set1_pd(cand.b);
+  const __m256d vm = _mm256_set1_pd(cand.mag);
+  const __m256d veps = _mm256_set1_pd(eps_n);
+
+  int i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m256d vbp = _mm256_loadu_pd(bp + i);
+    const __m256d t1 = _mm256_add_pd(_mm256_loadu_pd(A + i), va);
+    const __m256d t2 = _mm256_add_pd(_mm256_loadu_pd(B + i), vb);
+    const __m256d t3 = _mm256_mul_pd(t2, vbp);
+    const __m256d dem = _mm256_add_pd(t1, t3);
+    const __m256d mag = _mm256_add_pd(
+        _mm256_add_pd(_mm256_add_pd(_mm256_loadu_pd(M + i), vm), abs_pd(t1)),
+        abs_pd(t3));
+    const __m256d err = _mm256_mul_pd(veps, mag);
+    const __m256d fit =
+        _mm256_cmp_pd(_mm256_add_pd(dem, err), vbp, _CMP_LE_OQ);
+    const int fit_bits = _mm256_movemask_pd(fit);
+    if (fit_bits == 0xF) continue;
+    const int lane = std::countr_zero(static_cast<unsigned>(~fit_bits & 0xF));
+    const __m256d rej =
+        _mm256_cmp_pd(_mm256_sub_pd(dem, err), vbp, _CMP_GT_OQ);
+    const bool reject = (_mm256_movemask_pd(rej) >> lane) & 1;
+    *out_class = reject ? LaneClass::kReject : LaneClass::kUncertain;
+    return i + lane;
+  }
+  for (; i < end; ++i) {  // tail: same sequence, scalar
+    const double t1 = A[i] + cand.a;
+    const double t2 = B[i] + cand.b;
+    const double t3 = t2 * bp[i];
+    const double dem = t1 + t3;
+    const double mag = ((M[i] + cand.mag) + std::fabs(t1)) + std::fabs(t3);
+    const double err = eps_n * mag;
+    if (dem + err <= bp[i]) continue;
+    *out_class = (dem - err > bp[i]) ? LaneClass::kReject : LaneClass::kUncertain;
+    return i;
+  }
+  return end;
+}
+
+}  // namespace fedcons::simd::detail
+
+#else  // !__AVX2__ — e.g. a non-x86 target: keep the symbol linkable.
+
+namespace fedcons::simd::detail {
+
+int dbf_scan_avx2(const double* bp, const double* A, const double* B,
+                  const double* M, int begin, int end, DbfCand cand,
+                  double eps_n, LaneClass* out_class) noexcept {
+  return dbf_scan_scalar(bp, A, B, M, begin, end, cand, eps_n, out_class);
+}
+
+}  // namespace fedcons::simd::detail
+
+#endif

@@ -1,0 +1,78 @@
+#include "fedcons/simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "fedcons/util/check.h"
+#include "fedcons/util/log.h"
+
+namespace fedcons::simd {
+
+namespace {
+
+// -1 = unresolved; otherwise a SimdBackend value. Relaxed is enough: the
+// resolution is idempotent (every thread computes the same value).
+std::atomic<int> g_backend{-1};
+
+bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdBackend resolve() noexcept {
+  const char* forced = std::getenv("FEDCONS_FORCE_BACKEND");
+  if (forced != nullptr) {
+    if (std::strcmp(forced, "scalar") == 0) return SimdBackend::kScalar;
+    if (std::strcmp(forced, "avx2") == 0) {
+      if (cpu_has_avx2()) return SimdBackend::kAvx2;
+      LOG_WARN(
+          "FEDCONS_FORCE_BACKEND=avx2 but the CPU lacks AVX2; using scalar");
+      return SimdBackend::kScalar;
+    }
+    LOG_WARN("unrecognized FEDCONS_FORCE_BACKEND value ignored");
+  }
+  return cpu_has_avx2() ? SimdBackend::kAvx2 : SimdBackend::kScalar;
+}
+
+}  // namespace
+
+const char* to_string(SimdBackend b) noexcept {
+  switch (b) {
+    case SimdBackend::kScalar: return "scalar";
+    case SimdBackend::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+SimdBackend active_backend() noexcept {
+  int v = g_backend.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(resolve());
+    g_backend.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<SimdBackend>(v);
+}
+
+bool backend_supported(SimdBackend b) noexcept {
+  switch (b) {
+    case SimdBackend::kScalar: return true;
+    case SimdBackend::kAvx2: return cpu_has_avx2();
+  }
+  return false;
+}
+
+void force_backend(std::optional<SimdBackend> b) {
+  if (!b.has_value()) {
+    g_backend.store(-1, std::memory_order_relaxed);
+    return;
+  }
+  FEDCONS_EXPECTS_MSG(backend_supported(*b),
+                      "force_backend: backend not supported on this CPU");
+  g_backend.store(static_cast<int>(*b), std::memory_order_relaxed);
+}
+
+}  // namespace fedcons::simd

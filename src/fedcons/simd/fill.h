@@ -1,0 +1,36 @@
+// Dispatched integer fill/copy primitives for the LS per-probe reset.
+//
+// A blocked MINPROCS probe resets the run state of LsWorkspace (in-degree
+// image, ready/free/wheel bitmaps) once per μ candidate; these primitives are
+// that reset's data plane, routed through the module dispatcher so the AVX2
+// build streams 256-bit stores. Pure integer writes: the output bytes are
+// identical on every backend by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fedcons::simd {
+
+/// dst[0..n) = v.
+void fill_u32(std::uint32_t* dst, std::size_t n, std::uint32_t v) noexcept;
+/// dst[0..n) = v.
+void fill_u64(std::uint64_t* dst, std::size_t n, std::uint64_t v) noexcept;
+/// dst[0..n) = src[0..n) (non-overlapping).
+void copy_u32(std::uint32_t* dst, const std::uint32_t* src,
+              std::size_t n) noexcept;
+
+namespace detail {
+void fill_u32_scalar(std::uint32_t* dst, std::size_t n,
+                     std::uint32_t v) noexcept;
+void fill_u64_scalar(std::uint64_t* dst, std::size_t n,
+                     std::uint64_t v) noexcept;
+void copy_u32_scalar(std::uint32_t* dst, const std::uint32_t* src,
+                     std::size_t n) noexcept;
+void fill_u32_avx2(std::uint32_t* dst, std::size_t n, std::uint32_t v) noexcept;
+void fill_u64_avx2(std::uint64_t* dst, std::size_t n, std::uint64_t v) noexcept;
+void copy_u32_avx2(std::uint32_t* dst, const std::uint32_t* src,
+                   std::size_t n) noexcept;
+}  // namespace detail
+
+}  // namespace fedcons::simd

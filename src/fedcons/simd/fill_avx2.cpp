@@ -1,0 +1,62 @@
+// AVX2 variants of the fill/copy primitives (-mavx2 on this TU only).
+
+#include "fedcons/simd/fill.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+
+namespace fedcons::simd::detail {
+
+void fill_u32_avx2(std::uint32_t* dst, std::size_t n,
+                   std::uint32_t v) noexcept {
+  const __m256i vv = _mm256_set1_epi32(static_cast<int>(v));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), vv);
+  }
+  for (; i < n; ++i) dst[i] = v;
+}
+
+void fill_u64_avx2(std::uint64_t* dst, std::size_t n,
+                   std::uint64_t v) noexcept {
+  const __m256i vv = _mm256_set1_epi64x(static_cast<long long>(v));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), vv);
+  }
+  for (; i < n; ++i) dst[i] = v;
+}
+
+void copy_u32_avx2(std::uint32_t* dst, const std::uint32_t* src,
+                   std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = src[i];
+}
+
+}  // namespace fedcons::simd::detail
+
+#else
+
+namespace fedcons::simd::detail {
+
+void fill_u32_avx2(std::uint32_t* dst, std::size_t n,
+                   std::uint32_t v) noexcept {
+  fill_u32_scalar(dst, n, v);
+}
+void fill_u64_avx2(std::uint64_t* dst, std::size_t n,
+                   std::uint64_t v) noexcept {
+  fill_u64_scalar(dst, n, v);
+}
+void copy_u32_avx2(std::uint32_t* dst, const std::uint32_t* src,
+                   std::size_t n) noexcept {
+  copy_u32_scalar(dst, src, n);
+}
+
+}  // namespace fedcons::simd::detail
+
+#endif

@@ -1,0 +1,51 @@
+#include "fedcons/simd/fill.h"
+
+#include "fedcons/simd/dispatch.h"
+
+namespace fedcons::simd {
+
+namespace detail {
+
+void fill_u32_scalar(std::uint32_t* dst, std::size_t n,
+                     std::uint32_t v) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = v;
+}
+
+void fill_u64_scalar(std::uint64_t* dst, std::size_t n,
+                     std::uint64_t v) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = v;
+}
+
+void copy_u32_scalar(std::uint32_t* dst, const std::uint32_t* src,
+                     std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+}
+
+}  // namespace detail
+
+void fill_u32(std::uint32_t* dst, std::size_t n, std::uint32_t v) noexcept {
+  if (active_backend() == SimdBackend::kAvx2) {
+    detail::fill_u32_avx2(dst, n, v);
+  } else {
+    detail::fill_u32_scalar(dst, n, v);
+  }
+}
+
+void fill_u64(std::uint64_t* dst, std::size_t n, std::uint64_t v) noexcept {
+  if (active_backend() == SimdBackend::kAvx2) {
+    detail::fill_u64_avx2(dst, n, v);
+  } else {
+    detail::fill_u64_scalar(dst, n, v);
+  }
+}
+
+void copy_u32(std::uint32_t* dst, const std::uint32_t* src,
+              std::size_t n) noexcept {
+  if (active_backend() == SimdBackend::kAvx2) {
+    detail::copy_u32_avx2(dst, src, n);
+  } else {
+    detail::copy_u32_scalar(dst, src, n);
+  }
+}
+
+}  // namespace fedcons::simd

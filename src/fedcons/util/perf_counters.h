@@ -70,6 +70,16 @@ struct PerfCounters {
   /// probes actually evaluated while replaying the invalidated suffix of the
   /// placement order (clean-bin placements are reused without probing).
   std::uint64_t partition_bins_revalidated = 0;
+  /// Demand breakpoints decided by the certified-double kernel without the
+  /// exact rational fallback (simd/dbf_kernel.h). Lane classification is
+  /// backend-invariant (pinned by the simd equivalence tests), so like
+  /// ls_probes_pruned this exposes the fast path's reach while remaining a
+  /// pure function of the trial's inputs.
+  std::uint64_t simd_breakpoints_vectorized = 0;
+  /// LS probes executed through the blocked μ-scan entry point
+  /// (listsched/ls_workspace.h ls_run_blocked) — probes whose per-run state
+  /// resets went through the dispatched fill/copy primitives.
+  std::uint64_t ls_probes_blocked = 0;
 
   PerfCounters& operator+=(const PerfCounters& rhs) noexcept {
     ls_invocations += rhs.ls_invocations;
@@ -85,6 +95,8 @@ struct PerfCounters {
     minprocs_memo_hits += rhs.minprocs_memo_hits;
     minprocs_memo_misses += rhs.minprocs_memo_misses;
     partition_bins_revalidated += rhs.partition_bins_revalidated;
+    simd_breakpoints_vectorized += rhs.simd_breakpoints_vectorized;
+    ls_probes_blocked += rhs.ls_probes_blocked;
     return *this;
   }
   /// Delta between two snapshots of the same thread's counters.
@@ -101,7 +113,9 @@ struct PerfCounters {
             fault_isolation_trials - rhs.fault_isolation_trials,
             minprocs_memo_hits - rhs.minprocs_memo_hits,
             minprocs_memo_misses - rhs.minprocs_memo_misses,
-            partition_bins_revalidated - rhs.partition_bins_revalidated};
+            partition_bins_revalidated - rhs.partition_bins_revalidated,
+            simd_breakpoints_vectorized - rhs.simd_breakpoints_vectorized,
+            ls_probes_blocked - rhs.ls_probes_blocked};
   }
   [[nodiscard]] bool operator==(const PerfCounters&) const noexcept = default;
 };

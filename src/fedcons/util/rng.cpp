@@ -1,7 +1,5 @@
 #include "fedcons/util/rng.h"
 
-#include <cmath>
-
 namespace fedcons {
 
 namespace {
@@ -20,12 +18,16 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
-void Rng::reseed(std::uint64_t seed) {
+namespace detail {
+
+void xoshiro_seed(std::uint64_t seed, std::uint64_t s[4]) noexcept {
   std::uint64_t sm = seed;
-  for (auto& s : s_) s = splitmix64(sm);
+  for (int i = 0; i < 4; ++i) s[i] = splitmix64(sm);
   // Guard against the (astronomically unlikely) all-zero state.
-  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  if ((s[0] | s[1] | s[2] | s[3]) == 0) s[0] = 1;
 }
+
+}  // namespace detail
 
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
@@ -37,43 +39,6 @@ std::uint64_t Rng::next_u64() {
   s_[2] ^= t;
   s_[3] = rotl(s_[3], 45);
   return result;
-}
-
-std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  FEDCONS_EXPECTS(lo <= hi);
-  const std::uint64_t range = static_cast<std::uint64_t>(hi) -
-                              static_cast<std::uint64_t>(lo) + 1;
-  if (range == 0) {  // full 64-bit range
-    return static_cast<std::int64_t>(next_u64());
-  }
-  // Rejection sampling on the top of the range to eliminate modulo bias.
-  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
-  std::uint64_t draw;
-  do {
-    draw = next_u64();
-  } while (draw >= limit);
-  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
-                                   draw % range);
-}
-
-double Rng::uniform01() {
-  // 53 uniform mantissa bits → [0,1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform_real(double lo, double hi) {
-  FEDCONS_EXPECTS(lo < hi);
-  return lo + (hi - lo) * uniform01();
-}
-
-double Rng::log_uniform_real(double lo, double hi) {
-  FEDCONS_EXPECTS(0 < lo && lo < hi);
-  return std::exp(uniform_real(std::log(lo), std::log(hi)));
-}
-
-bool Rng::bernoulli(double p) {
-  FEDCONS_EXPECTS(p >= 0.0 && p <= 1.0);
-  return uniform01() < p;
 }
 
 Rng Rng::split() { return Rng(next_u64() ^ 0xd2b74407b1ce6e93ull); }

@@ -1,0 +1,119 @@
+// Batched generation ≡ scalar generation, under every backend.
+//
+// generate_task_system_batch advances four seeds' RNG streams lane-parallel
+// but must produce, seed for seed, exactly the system that
+// Rng(seed) + generate_task_system would — same graphs, WCETs, deadlines,
+// periods, and GenerationInfo. Structural equality is checked field-wise per
+// task plus via the canonical content hash (relabeling-invariant, so it would
+// also catch an edge-order drift the field checks miss). The whole comparison
+// runs under forced-scalar and forced-AVX2 dispatch: the batch path's output
+// may not depend on which backend advanced the streams.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fedcons/core/dag_hash.h"
+#include "fedcons/gen/batch_gen.h"
+#include "fedcons/gen/taskset_gen.h"
+#include "fedcons/simd/dispatch.h"
+#include "fedcons/util/rng.h"
+
+namespace fedcons {
+namespace {
+
+using simd::SimdBackend;
+
+std::vector<SimdBackend> testable_backends() {
+  std::vector<SimdBackend> b{SimdBackend::kScalar};
+  if (simd::backend_supported(SimdBackend::kAvx2)) {
+    b.push_back(SimdBackend::kAvx2);
+  }
+  return b;
+}
+
+void expect_systems_equal(const TaskSystem& got, const TaskSystem& want,
+                          std::size_t seed_index) {
+  ASSERT_EQ(got.size(), want.size()) << "seed #" << seed_index;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const DagTask& g = got[i];
+    const DagTask& w = want[i];
+    EXPECT_EQ(g.deadline(), w.deadline()) << "seed #" << seed_index;
+    EXPECT_EQ(g.period(), w.period()) << "seed #" << seed_index;
+    EXPECT_EQ(g.vol(), w.vol()) << "seed #" << seed_index;
+    EXPECT_EQ(g.len(), w.len()) << "seed #" << seed_index;
+    EXPECT_EQ(canonical_task_hash(g), canonical_task_hash(w))
+        << "seed #" << seed_index << " task " << i;
+  }
+}
+
+class SimdGenTest : public ::testing::TestWithParam<DagTopology> {};
+
+TEST_P(SimdGenTest, BatchMatchesPerSeedScalarGeneration) {
+  TaskSetParams params;
+  params.num_tasks = 6;
+  params.total_utilization = 3.0;
+  params.topology = GetParam();
+
+  // 11 seeds: two full lane groups plus a partial (3-wide) tail group, so
+  // the padding path is exercised.
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 11; ++s) seeds.push_back(s * 7919 + 13);
+
+  std::vector<TaskSystem> want;
+  std::vector<GenerationInfo> want_infos;
+  for (std::uint64_t s : seeds) {
+    Rng rng(s);
+    GenerationInfo info;
+    want.push_back(generate_task_system(rng, params, &info));
+    want_infos.push_back(info);
+  }
+
+  for (SimdBackend b : testable_backends()) {
+    simd::force_backend(b);
+    std::vector<GenerationInfo> infos;
+    const std::vector<TaskSystem> got =
+        generate_task_system_batch(seeds, params, &infos);
+    simd::force_backend(std::nullopt);
+
+    ASSERT_EQ(got.size(), seeds.size())
+        << "backend " << simd::to_string(b);
+    ASSERT_EQ(infos.size(), seeds.size());
+    for (std::size_t k = 0; k < seeds.size(); ++k) {
+      expect_systems_equal(got[k], want[k], k);
+      EXPECT_EQ(infos[k].deadline_clamps, want_infos[k].deadline_clamps)
+          << "seed #" << k;
+      EXPECT_EQ(infos[k].achieved_utilization,
+                want_infos[k].achieved_utilization)
+          << "seed #" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, SimdGenTest,
+                         ::testing::Values(DagTopology::kLayered,
+                                           DagTopology::kForkJoin,
+                                           DagTopology::kMixed));
+
+TEST(SimdGenTest, EmptySeedListYieldsEmptyBatch) {
+  TaskSetParams params;
+  std::vector<GenerationInfo> infos{GenerationInfo{}};
+  const auto got = generate_task_system_batch({}, params, &infos);
+  EXPECT_TRUE(got.empty());
+  EXPECT_TRUE(infos.empty());  // resized to match
+}
+
+TEST(SimdGenTest, DuplicateSeedsYieldIdenticalSystems) {
+  TaskSetParams params;
+  params.num_tasks = 4;
+  const std::vector<std::uint64_t> seeds{42, 42, 42, 42, 42};
+  const auto got = generate_task_system_batch(seeds, params);
+  ASSERT_EQ(got.size(), seeds.size());
+  for (std::size_t k = 1; k < got.size(); ++k) {
+    expect_systems_equal(got[k], got[0], k);
+  }
+}
+
+}  // namespace
+}  // namespace fedcons
