@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Render the recorded BENCH_*.json artifacts as one throughput trajectory.
 
-Three generations of recording live at the repo root:
+Four generations of recording live at the repo root:
 
   * BENCH_PR2.json — google-benchmark output of bench_perf_algorithms at the
     PR-2 optimization (bound-guided MINPROCS + workspace LS core).
@@ -12,6 +12,10 @@ Three generations of recording live at the repo root:
     PR-7 optimization (data-parallel analysis core): the same
     bench_perf_algorithms grid re-recorded, plus the per-kernel
     scalar-vs-AVX2 microbenchmarks from bench_simd_kernels.
+  * BENCH_SERVE.json — the admission-control-service document
+    bench/run_perf.sh writes at PR 8: a live fedcons_serve daemon on a unix
+    socket driven by the closed-loop fedcons_loadgen, one run per
+    resident-set size (verdicts/sec + the log2-bucket latency histogram).
 
 The script overlays the PR-2 and PR-7 batch curves per benchmark family
 (analyses/sec by task count — the across-PRs throughput trajectory), draws
@@ -161,7 +165,37 @@ def online_series(doc):
     )
 
 
-def render_ascii(batch_overlay_data, online, pr6, kernels, pr7):
+def serve_rows(doc):
+    """BENCH_SERVE: runs -> [(label, residents, qps, p50, p99, p999)]."""
+    if doc is None:
+        return []
+    rows = []
+    for run in doc.get("runs", []):
+        lg = run.get("loadgen", {})
+        lat = lg.get("latency_us", {})
+        rows.append((run.get("label", "?"), int(lg.get("residents", 0)),
+                     float(lg.get("qps", 0.0)), int(lat.get("p50", 0)),
+                     int(lat.get("p99", 0)), int(lat.get("p999", 0))))
+    return rows
+
+
+def ascii_serve(rows):
+    if not rows:
+        return []
+    out = ["  admission service, closed loop over a unix socket "
+           "(BENCH_SERVE)"]
+    width = 46
+    top = max(qps for _, _, qps, _, _, _ in rows)
+    for label, residents, qps, p50, p99, p999 in rows:
+        bar = "#" * max(1, int(round(width * qps / top))) if top > 0 else ""
+        out.append("    residents=%-2d %-*s %9.0f verdicts/s" %
+                   (residents, width, bar, qps))
+        out.append("    %14s p50=%dus p99=%dus p999=%dus  (%s)" %
+                   ("", p50, p99, p999, label))
+    return out
+
+
+def render_ascii(batch_overlay_data, online, pr6, kernels, pr7, serve):
     out = ["perf trajectory (ASCII fallback — matplotlib not available)", ""]
     for family in sorted(batch_overlay_data):
         out.extend(ascii_overlay(family, batch_overlay_data[family]))
@@ -181,16 +215,19 @@ def render_ascii(batch_overlay_data, online, pr6, kernels, pr7):
                    % (pr7["fedcons_full_128_speedup_vs_pr2"],
                       pr7.get("cmake_build_type", "?"),
                       pr7.get("simd_backend", "?")))
+    if serve:
+        out.append("")
+        out.extend(ascii_serve(serve))
     return "\n".join(out)
 
 
-def render_png(batch_overlay_data, online, kernels, out_path):
+def render_png(batch_overlay_data, online, kernels, serve, out_path):
     import matplotlib
     matplotlib.use("Agg")
     import matplotlib.pyplot as plt
 
-    fig, (ax_batch, ax_online, ax_kern) = plt.subplots(
-        1, 3, figsize=(15, 4.2))
+    fig, (ax_batch, ax_online, ax_kern, ax_serve) = plt.subplots(
+        1, 4, figsize=(19, 4.2))
     styles = {"PR2": "--", "PR7": "-"}
     for family in sorted(batch_overlay_data):
         for gen, points in sorted(batch_overlay_data[family].items()):
@@ -225,6 +262,18 @@ def render_png(batch_overlay_data, online, kernels, out_path):
         ax_kern.set_title("kernel AVX2 speedup (BENCH_PR7)")
         ax_kern.set_xlabel("scalar time / avx2 time")
 
+    if serve:
+        xs = [residents for _, residents, _, _, _, _ in serve]
+        ys = [qps for _, _, qps, _, _, _ in serve]
+        ax_serve.plot(xs, ys, marker="D", color="tab:red")
+        for _, residents, qps, _, p99, _ in serve:
+            ax_serve.annotate("p99=%dus" % p99, (residents, qps),
+                              textcoords="offset points", xytext=(4, 4),
+                              fontsize=7)
+    ax_serve.set_title("service verdicts/sec (BENCH_SERVE)")
+    ax_serve.set_xlabel("residents")
+    ax_serve.set_ylabel("verdicts/sec")
+
     fig.tight_layout()
     fig.savefig(out_path, dpi=120)
     return out_path
@@ -242,7 +291,8 @@ def main():
     pr2 = load_json(os.path.join(args.repo_root, "BENCH_PR2.json"))
     pr6 = load_json(os.path.join(args.repo_root, "BENCH_PR6.json"))
     pr7 = load_json(os.path.join(args.repo_root, "BENCH_PR7.json"))
-    if pr2 is None and pr6 is None and pr7 is None:
+    serve_doc = load_json(os.path.join(args.repo_root, "BENCH_SERVE.json"))
+    if pr2 is None and pr6 is None and pr7 is None and serve_doc is None:
         print("no BENCH_*.json recordings under %s" % args.repo_root,
               file=sys.stderr)
         return 2
@@ -251,13 +301,15 @@ def main():
     batch = overlay_batch(pr2, pr7_algo)
     online = online_series(pr6)
     kernels = kernel_series(pr7.get("simd_kernels") if pr7 else None)
+    serve = serve_rows(serve_doc)
 
     try:
         out_path = args.out or os.path.join(args.repo_root, "bench",
                                             "perf_curves.png")
-        print("wrote %s" % render_png(batch, online, kernels, out_path))
+        print("wrote %s" % render_png(batch, online, kernels, serve,
+                                      out_path))
     except ImportError:
-        print(render_ascii(batch, online, pr6, kernels, pr7))
+        print(render_ascii(batch, online, pr6, kernels, pr7, serve))
     return 0
 
 

@@ -2,10 +2,15 @@
 # Record the batch-analysis performance numbers (BENCH_PR7.json): the
 # MINPROCS / full-FEDCONS latency grid from bench_perf_algorithms plus the
 # per-kernel scalar-vs-AVX2 microbenchmarks from bench_simd_kernels.
+# Also records the admission-control service numbers (BENCH_SERVE.json):
+# a real fedcons_serve daemon on a unix socket driven by the closed-loop
+# fedcons_loadgen, at two resident-set sizes.
 #
-# Usage: bench/run_perf.sh [build-dir] [output.json]
-#   build-dir    defaults to build-release  (the Release preset's binaryDir)
-#   output.json  defaults to BENCH_PR7.json in the repo root
+# Usage: bench/run_perf.sh [--serve-only] [build-dir] [output.json]
+#   --serve-only  record only BENCH_SERVE.json (skips the batch grids)
+#   build-dir     defaults to build-release  (the Release preset's binaryDir)
+#   output.json   defaults to BENCH_PR7.json in the repo root
+#                 (BENCH_SERVE.json always lands next to it)
 #
 # The script REFUSES to record from a non-Release build: an earlier revision
 # defaulted to `build/` and happily captured whatever configuration lived
@@ -20,9 +25,16 @@
 # The script computes that ratio when BENCH_PR2.json is present.
 set -euo pipefail
 
+serve_only=0
+if [[ "${1:-}" == "--serve-only" ]]; then
+  serve_only=1
+  shift
+fi
+
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-release}"
 out_json="${2:-$repo_root/BENCH_PR7.json}"
+serve_json="$(dirname "$out_json")/BENCH_SERVE.json"
 
 cache="$build_dir/CMakeCache.txt"
 if [[ ! -f "$cache" ]]; then
@@ -37,6 +49,7 @@ if [[ "$build_type" != "Release" ]]; then
   exit 1
 fi
 
+if [[ $serve_only -eq 0 ]]; then
 for bin in bench_perf_algorithms bench_simd_kernels; do
   if [[ ! -x "$build_dir/bench/$bin" ]]; then
     echo "error: $build_dir/bench/$bin not found — build first" >&2
@@ -108,4 +121,96 @@ if "fedcons_full_128_speedup_vs_pr2" in doc:
     print("BM_FedconsFullTest/128: %.0f ns vs %.0f ns baseline -> %.2fx" % (
         head, doc["fedcons_full_128_baseline_ns"],
         doc["fedcons_full_128_speedup_vs_pr2"]))
+PY
+fi  # serve_only
+
+# ---------------------------------------------------------------------------
+# Admission-control service: live fedcons_serve daemon on a unix socket,
+# driven by the closed-loop fedcons_loadgen. The daemon runs single-worker
+# (--threads=1, batch work inline) with eager dispatch — the fastest shape on
+# small boxes, where extra workers just add cross-core cache traffic. Two
+# resident-set sizes are recorded: per-event admission cost is linear in the
+# number of resident tasks, so "residents" is the load knob that matters.
+# Acceptance bar (PR 8): the small-resident run sustains >= 100k verdicts/s.
+
+for bin in tools/fedcons_serve tools/fedcons_loadgen; do
+  if [[ ! -x "$build_dir/$bin" ]]; then
+    echo "error: $build_dir/$bin not found — build first" >&2
+    exit 1
+  fi
+done
+
+serve_tmp="$(mktemp -d)"
+serve_pid=""
+cleanup_serve() {
+  [[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null || true
+  rm -rf "$serve_tmp"
+}
+trap cleanup_serve EXIT
+
+# One run = fresh daemon + one loadgen closed loop + daemon stats at exit
+# (--shutdown makes the loadgen send the protocol shutdown op, so the daemon
+# drains, prints its stats JSON on stdout, and exits 0).
+serve_run() {
+  local label="$1" residents="$2"
+  local sock="$serve_tmp/serve_$label.sock"
+  "$build_dir/tools/fedcons_serve" --socket="$sock" \
+    --threads=1 --max-batch=256 --batch-timeout-us=0 \
+    > "$serve_tmp/server_$label.out" &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "$sock" ]] && break
+    sleep 0.05
+  done
+  "$build_dir/tools/fedcons_loadgen" --socket="$sock" \
+    --sessions=8 --pipeline=128 --residents="$residents" \
+    --duration-s=5 --warmup-s=0.5 --json --shutdown \
+    > "$serve_tmp/loadgen_$label.json"
+  wait "$serve_pid"
+  serve_pid=""
+}
+
+serve_run small_residents 4
+serve_run default_residents 6
+
+python3 - "$serve_tmp" "$serve_json" "$build_type" <<'PY'
+import json, sys
+
+tmp, out_path, build_type = sys.argv[1:4]
+
+def load_run(label):
+    loadgen = json.load(open("%s/loadgen_%s.json" % (tmp, label)))
+    # The daemon prints a readiness line first, then its stats JSON on exit.
+    server = None
+    for line in open("%s/server_%s.out" % (tmp, label)):
+        line = line.strip()
+        if line.startswith("{"):
+            server = json.loads(line)
+    return {"label": label, "loadgen": loadgen, "server": server}
+
+runs = [load_run("small_residents"), load_run("default_residents")]
+head = runs[0]["loadgen"]
+doc = {
+    "schema_version": 1,
+    "benchmark": "pr8_admission_service",
+    "cmake_build_type": build_type,
+    "transport": "unix",
+    "server_flags": {"threads": 1, "max_batch": 256, "batch_timeout_us": 0},
+    "runs": runs,
+    "verdicts_per_sec": head["qps"],
+    "p99_us": head["latency_us"]["p99"],
+}
+json.dump(doc, open(out_path, "w"), indent=1)
+print()
+print("wrote %s  (build=%s)" % (out_path, build_type))
+for r in runs:
+    lg = r["loadgen"]
+    print("%-17s residents=%d sessions=%d pipeline=%d: "
+          "%.0f verdicts/s  p50=%dus p99=%dus errors=%d" % (
+              r["label"], lg["residents"], lg["sessions"], lg["pipeline"],
+              lg["qps"], lg["latency_us"]["p50"], lg["latency_us"]["p99"],
+              lg["errors"]))
+bar = 100000.0
+verdict = "MET" if doc["verdicts_per_sec"] >= bar else "NOT MET"
+print("acceptance (>=100k verdicts/s sustained): %s" % verdict)
 PY

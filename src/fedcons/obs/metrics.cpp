@@ -67,15 +67,10 @@ void metric_row(Table& t, const char* name, const Histogram& h) {
 }
 
 void metric_json(std::string& out, const char* name, const Histogram& h) {
-  out += "\"" + std::string(name) + "\": {\"count\": " +
-         fmt_int(static_cast<long long>(h.count())) +
-         ", \"sum\": " + fmt_int(static_cast<long long>(h.sum())) +
-         ", \"min\": " + fmt_int(static_cast<long long>(h.min())) +
-         ", \"max\": " + fmt_int(static_cast<long long>(h.max())) +
-         ", \"p50\": " + fmt_int(static_cast<long long>(h.percentile(50))) +
-         ", \"p90\": " + fmt_int(static_cast<long long>(h.percentile(90))) +
-         ", \"p99\": " + fmt_int(static_cast<long long>(h.percentile(99))) +
-         "}";
+  out += '"';
+  out += name;
+  out += "\": ";
+  out += histogram_json(h);
 }
 
 }  // namespace
@@ -92,6 +87,19 @@ Table MetricsRegistry::to_table() const {
                "-", "-", "-", "-", "-", "-"});
   }
   return t;
+}
+
+std::string histogram_json(const Histogram& h) {
+  return "{\"count\": " + fmt_int(static_cast<long long>(h.count())) +
+         ", \"sum\": " + fmt_int(static_cast<long long>(h.sum())) +
+         ", \"min\": " + fmt_int(static_cast<long long>(h.min())) +
+         ", \"max\": " + fmt_int(static_cast<long long>(h.max())) +
+         ", \"mean\": " + fmt_double(h.mean(), 2) +
+         ", \"p50\": " + fmt_int(static_cast<long long>(h.percentile(50))) +
+         ", \"p90\": " + fmt_int(static_cast<long long>(h.percentile(90))) +
+         ", \"p99\": " + fmt_int(static_cast<long long>(h.percentile(99))) +
+         ", \"p999\": " +
+         fmt_int(static_cast<long long>(h.percentile(99.9))) + "}";
 }
 
 std::string MetricsRegistry::to_json() const {

@@ -89,6 +89,12 @@ struct MetricsRegistry {
   [[nodiscard]] std::string to_json() const;
 };
 
+/// One histogram as a flat JSON object with fixed key order — the snapshot
+/// form the serve layer's STATS scrape and the loadgen report both emit.
+/// Includes the tail quantiles a latency distribution is judged on
+/// (p50/p90/p99/p999; log2 buckets make each a ≤2× upper-bound estimate).
+[[nodiscard]] std::string histogram_json(const Histogram& h);
+
 namespace detail {
 extern std::atomic<bool> g_metrics_enabled;
 }

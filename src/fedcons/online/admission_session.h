@@ -45,9 +45,16 @@
 // resident high-density tasks always satisfy Σ μ ≤ m and every phase-1
 // prefix; a resident failure is therefore always partition-phase.
 //
-// Sessions are single-threaded values; run one session per thread. (The memo
-// cache underneath is itself thread-safe, but it is owned per session here so
-// hit/miss sequences stay deterministic per event sequence.)
+// Threading contract: a session is a plain value with no internal locking —
+// at most one thread may touch it at a time. It does NOT have to be the
+// *same* thread: the session caches no thread identity (no thread_locals, no
+// TID-keyed state), so an owner may hand it between threads as long as
+// hand-offs are externally serialized with a happens-before edge (a mutex, a
+// queue, a joined task). This is exactly how serve/server.cpp runs sessions:
+// each dispatcher batch routes all of a session's events into one work item,
+// and *which* BatchRunner worker executes that item changes batch to batch.
+// (The memo cache underneath is itself thread-safe, but it is owned per
+// session here so hit/miss sequences stay deterministic per event sequence.)
 #pragma once
 
 #include <cstdint>

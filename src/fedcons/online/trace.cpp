@@ -45,14 +45,14 @@ std::string join_ids(const std::vector<SessionTaskId>& ids) {
   return out;
 }
 
-// mini_json_uint is permissive (strtoull semantics), so validate digits
-// explicitly: a mistyped id must be a parse error, not id 0.
+// mini_json_uint is strict (digits only, full token, range-checked) so a
+// mistyped id is a parse error, not id 0; rewrap to carry the trace line.
 SessionTaskId parse_id(const std::string& token, int line) {
-  if (token.empty() ||
-      token.find_first_not_of("0123456789") != std::string::npos) {
+  try {
+    return static_cast<SessionTaskId>(mini_json_uint(token));
+  } catch (const ParseError&) {
     throw ParseError(line, "online trace: bad id '" + token + "'");
   }
-  return static_cast<SessionTaskId>(mini_json_uint(token));
 }
 
 std::vector<SessionTaskId> split_ids(const std::string& raw, int line) {

@@ -1,0 +1,101 @@
+// Bounded MPMC queue — the serve daemon's only buffer between socket
+// readers and the batching dispatcher.
+//
+// The bound is the backpressure policy: push never blocks and never grows
+// the queue past its capacity; when try_push fails the reader answers
+// RETRY_AFTER instead of buffering, so a flood of requests costs the server
+// a bounded amount of memory no matter how fast clients send. Consumers
+// block; close() starts the drain — pops keep succeeding until the queue is
+// empty and only then report closure.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace fedcons {
+namespace serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking bounded push; false when full or closed (caller turns
+  /// that into a RETRY_AFTER response).
+  [[nodiscard]] bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; false only when closed AND drained.
+  [[nodiscard]] bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Pop with a deadline (the batching window); false on timeout or when
+  /// closed and drained.
+  [[nodiscard]] bool pop_until(T& out,
+                               std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_empty_.wait_until(lock, deadline,
+                               [&] { return !items_.empty() || closed_; })) {
+      return false;
+    }
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Begin the drain: no further pushes; pops succeed until empty.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Deepest the queue has ever been — the stat that says how close the
+  /// server came to shedding load.
+  [[nodiscard]] std::uint64_t high_watermark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_watermark_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  std::uint64_t high_watermark_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace fedcons

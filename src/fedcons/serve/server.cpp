@@ -1,0 +1,621 @@
+#include "fedcons/serve/server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "fedcons/core/io.h"
+#include "fedcons/engine/batch_runner.h"
+#include "fedcons/online/admission_session.h"
+#include "fedcons/serve/bounded_queue.h"
+#include "fedcons/util/check.h"
+#include "fedcons/util/mini_json.h"
+
+namespace fedcons {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t us_between(Clock::time_point a, Clock::time_point b) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+/// Best-effort seq recovery for error responses to unparseable requests, so
+/// a pipelining client can still match the error to a request.
+std::uint64_t guess_seq(const std::string& payload) noexcept {
+  try {
+    const auto fields = parse_mini_json(payload);
+    const auto it = fields.find("seq");
+    if (it != fields.end()) return mini_json_uint(it->second);
+  } catch (...) {
+  }
+  return 0;
+}
+
+std::vector<DagTask> parse_embedded_tasks(const std::string& text) {
+  const ParseResult parsed = try_parse_task_system(text);
+  if (!parsed.ok) {
+    throw ParseError(1, "embedded system: " + parsed.error);
+  }
+  std::vector<DagTask> out;
+  out.reserve(parsed.system.size());
+  for (const DagTask& t : parsed.system) out.push_back(t);
+  return out;
+}
+
+/// The diagnostic "stall" op occupies a worker for a bounded time only; a
+/// client cannot wedge the dispatcher with a huge value.
+constexpr std::uint64_t kMaxStallUs = 2'000'000;
+
+}  // namespace
+
+std::string ServerStats::to_json() const {
+  return "{\"connections_accepted\": " +
+         std::to_string(connections_accepted) +
+         ", \"requests_enqueued\": " + std::to_string(requests_enqueued) +
+         ", \"requests_shed\": " + std::to_string(requests_shed) +
+         ", \"parse_errors\": " + std::to_string(parse_errors) +
+         ", \"framing_errors\": " + std::to_string(framing_errors) +
+         ", \"batches\": " + std::to_string(batches) +
+         ", \"queue_high_watermark\": " +
+         std::to_string(queue_high_watermark) +
+         ", \"reader_busy_us\": " + std::to_string(reader_busy_us) +
+         ", \"handle_us\": " + std::to_string(handle_us) +
+         ", \"write_us\": " + std::to_string(write_us) +
+         ", \"dispatch_busy_us\": " + std::to_string(dispatch_busy_us) +
+         ", \"batch_size\": " + obs::histogram_json(batch_size) +
+         ", \"latency_us\": " + obs::histogram_json(latency_us) + "}";
+}
+
+struct Server::Impl {
+  // One accepted socket: a reader thread feeding the shared queue, a write
+  // mutex serializing response buffers, and the connection-scoped admission
+  // state (sessions opened and contents registered over this socket).
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection() {
+      if (fd >= 0) ::close(fd);
+    }
+
+    int fd;
+    std::mutex write_mu;
+    std::atomic<bool> dead{false};
+    std::atomic<bool> reader_done{false};
+    std::thread reader;
+
+    // Guards only the maps below (find/insert); the session OBJECTS are
+    // accessed lock-free under the one-group-per-session batch invariant.
+    std::mutex state_mu;
+    std::unordered_map<std::uint64_t, std::unique_ptr<AdmissionSession>>
+        sessions;
+    std::uint64_t next_session = 0;
+    std::deque<std::vector<DagTask>> contents;  ///< stable element addresses
+  };
+
+  struct Pending {
+    std::shared_ptr<Connection> conn;
+    ServeRequest req;
+    Clock::time_point enqueued;
+  };
+
+  explicit Impl(const ServerConfig& config)
+      : config(config), queue(static_cast<std::size_t>(config.queue_depth)),
+        runner(config.threads) {}
+
+  ~Impl() {
+    request_shutdown();
+    join_all();
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_pipe[0] >= 0) ::close(wake_pipe[0]);
+    if (wake_pipe[1] >= 0) ::close(wake_pipe[1]);
+    if (!config.unix_path.empty()) ::unlink(config.unix_path.c_str());
+  }
+
+  // ---- lifecycle ----------------------------------------------------------
+
+  void start();
+  void join_all() {
+    if (acceptor.joinable()) acceptor.join();
+    if (dispatcher.joinable()) dispatcher.join();
+  }
+
+  void request_shutdown() noexcept {
+    // Async-signal-safe: one atomic store and one write(2). The flag is
+    // stored BEFORE the wake byte, so the acceptor (which drains the pipe
+    // and then re-checks the flag) cannot miss the request.
+    shutdown_flag.store(true, std::memory_order_release);
+    if (wake_pipe[1] >= 0) {
+      const char byte = 'x';
+      [[maybe_unused]] const ssize_t n = ::write(wake_pipe[1], &byte, 1);
+    }
+  }
+
+  // ---- socket plumbing ----------------------------------------------------
+
+  void accept_loop();
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  void write_frames(Connection& conn, const std::string& bytes);
+  void send_response(Connection& conn, const ServeResponse& resp) {
+    const std::string bytes = encode_frame(encode_serve_response(resp));
+    std::lock_guard<std::mutex> lock(conn.write_mu);
+    write_frames(conn, bytes);
+  }
+
+  // ---- dispatch -----------------------------------------------------------
+
+  void dispatch_loop();
+  [[nodiscard]] ServeResponse handle(Connection& conn,
+                                     const ServeRequest& req);
+
+  [[nodiscard]] ServerStats snapshot() const {
+    ServerStats s;
+    s.connections_accepted =
+        connections_accepted.load(std::memory_order_relaxed);
+    s.requests_enqueued = requests_enqueued.load(std::memory_order_relaxed);
+    s.requests_shed = requests_shed.load(std::memory_order_relaxed);
+    s.parse_errors = parse_errors.load(std::memory_order_relaxed);
+    s.framing_errors = framing_errors.load(std::memory_order_relaxed);
+    s.batches = batches.load(std::memory_order_relaxed);
+    s.queue_high_watermark = queue.high_watermark();
+    s.reader_busy_us = reader_busy_us.load(std::memory_order_relaxed);
+    s.handle_us = handle_us.load(std::memory_order_relaxed);
+    s.write_us = write_us.load(std::memory_order_relaxed);
+    s.dispatch_busy_us = dispatch_busy_us.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(hist_mu);
+      s.batch_size = batch_size_hist;
+      s.latency_us = latency_hist;
+    }
+    return s;
+  }
+
+  ServerConfig config;
+  int listen_fd = -1;
+  int wake_pipe[2] = {-1, -1};
+  int bound_port = 0;
+
+  std::atomic<bool> shutdown_flag{false};
+  std::atomic<bool> op_shutdown{false};  ///< set by the "shutdown" op
+
+  BoundedQueue<Pending> queue;
+  BatchRunner runner;
+
+  std::thread acceptor;
+  std::thread dispatcher;
+
+  std::mutex conns_mu;
+  std::vector<std::shared_ptr<Connection>> conns;
+
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> requests_enqueued{0};
+  std::atomic<std::uint64_t> requests_shed{0};
+  std::atomic<std::uint64_t> parse_errors{0};
+  std::atomic<std::uint64_t> framing_errors{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> reader_busy_us{0};
+  std::atomic<std::uint64_t> handle_us{0};
+  std::atomic<std::uint64_t> write_us{0};
+  std::atomic<std::uint64_t> dispatch_busy_us{0};
+  mutable std::mutex hist_mu;
+  obs::Histogram batch_size_hist;
+  obs::Histogram latency_hist;
+};
+
+void Server::Impl::start() {
+  FEDCONS_EXPECTS_MSG(::pipe(wake_pipe) == 0, "serve: pipe() failed");
+  ::fcntl(wake_pipe[0], F_SETFL, O_NONBLOCK);
+  if (!config.unix_path.empty()) {
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    FEDCONS_EXPECTS_MSG(listen_fd >= 0, "serve: socket(AF_UNIX) failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    FEDCONS_EXPECTS_MSG(config.unix_path.size() < sizeof(addr.sun_path),
+                        "serve: unix socket path too long");
+    std::memcpy(addr.sun_path, config.unix_path.c_str(),
+                config.unix_path.size() + 1);
+    ::unlink(config.unix_path.c_str());
+    FEDCONS_EXPECTS_MSG(
+        ::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) == 0,
+        "serve: bind(" + config.unix_path + ") failed: " +
+            std::strerror(errno));
+  } else {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    FEDCONS_EXPECTS_MSG(listen_fd >= 0, "serve: socket(AF_INET) failed");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(config.tcp_port));
+    FEDCONS_EXPECTS_MSG(
+        ::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) == 0,
+        "serve: bind(127.0.0.1:" + std::to_string(config.tcp_port) +
+            ") failed: " + std::strerror(errno));
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    FEDCONS_EXPECTS_MSG(
+        ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0,
+        "serve: getsockname failed");
+    bound_port = static_cast<int>(ntohs(bound.sin_port));
+  }
+  FEDCONS_EXPECTS_MSG(::listen(listen_fd, 128) == 0,
+                      "serve: listen failed: " + std::string(strerror(errno)));
+  dispatcher = std::thread([this] { dispatch_loop(); });
+  acceptor = std::thread([this] { accept_loop(); });
+}
+
+void Server::Impl::accept_loop() {
+  while (!shutdown_flag.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {wake_pipe[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents & POLLIN) {
+      // Drain reader nudges so the level-triggered pipe goes quiet again.
+      char scratch[64];
+      while (::read(wake_pipe[0], scratch, sizeof(scratch)) > 0) {
+      }
+    }
+    if (shutdown_flag.load(std::memory_order_acquire)) break;
+    if (fds[0].revents & POLLIN) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd >= 0) {
+        if (config.unix_path.empty()) {
+          const int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        }
+        auto conn = std::make_shared<Connection>(fd);
+        connections_accepted.fetch_add(1, std::memory_order_relaxed);
+        conn->reader = std::thread([this, conn] { reader_loop(conn); });
+        std::lock_guard<std::mutex> lock(conns_mu);
+        conns.push_back(std::move(conn));
+      }
+    }
+    // Reap finished readers; drop connections nothing references anymore
+    // (no queued requests, reader exited), so a long-lived daemon does not
+    // accumulate dead connection state.
+    std::lock_guard<std::mutex> lock(conns_mu);
+    for (auto it = conns.begin(); it != conns.end();) {
+      if ((*it)->reader_done.load(std::memory_order_acquire)) {
+        if ((*it)->reader.joinable()) (*it)->reader.join();
+        if (it->use_count() == 1) {
+          it = conns.erase(it);
+          continue;
+        }
+      }
+      ++it;
+    }
+  }
+  // Drain: no new connections, stop the readers (recv -> 0), join them,
+  // then close the queue so the dispatcher finishes what was admitted.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    for (const auto& conn : conns) ::shutdown(conn->fd, SHUT_RD);
+    for (const auto& conn : conns) {
+      if (conn->reader.joinable()) conn->reader.join();
+    }
+  }
+  queue.close();
+}
+
+void Server::Impl::reader_loop(const std::shared_ptr<Connection>& conn) {
+  FrameDecoder decoder(config.max_frame_bytes);
+  char buf[65536];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    const auto busy_start = Clock::now();
+    decoder.feed(buf, static_cast<std::size_t>(n));
+    std::string payload;
+    try {
+      while (decoder.next(payload)) {
+        ServeRequest req;
+        try {
+          req = parse_serve_request(payload);
+        } catch (const ParseError& e) {
+          parse_errors.fetch_add(1, std::memory_order_relaxed);
+          ServeResponse resp;
+          resp.status = ServeStatus::kError;
+          resp.seq = guess_seq(payload);
+          resp.error = e.what();
+          send_response(*conn, resp);
+          continue;  // recoverable: framing is still in sync
+        }
+        Pending item{conn, std::move(req), Clock::now()};
+        const std::uint64_t seq = item.req.seq;
+        if (queue.try_push(std::move(item))) {
+          requests_enqueued.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Backpressure: the bounded queue is the ONLY buffer; a full
+          // queue sheds load here instead of growing memory.
+          requests_shed.fetch_add(1, std::memory_order_relaxed);
+          ServeResponse resp;
+          resp.status = ServeStatus::kRetryAfter;
+          resp.seq = seq;
+          send_response(*conn, resp);
+        }
+      }
+    } catch (const ParseError& e) {
+      // Framing error: the byte stream cannot be resynced.
+      framing_errors.fetch_add(1, std::memory_order_relaxed);
+      ServeResponse resp;
+      resp.status = ServeStatus::kError;
+      resp.seq = 0;
+      resp.error = e.what();
+      send_response(*conn, resp);
+      open = false;
+    }
+    reader_busy_us.fetch_add(us_between(busy_start, Clock::now()),
+                             std::memory_order_relaxed);
+  }
+  conn->reader_done.store(true, std::memory_order_release);
+  // Nudge the acceptor so it reaps this reader promptly.
+  const char byte = 'x';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe[1], &byte, 1);
+}
+
+void Server::Impl::write_frames(Connection& conn, const std::string& bytes) {
+  if (conn.dead.load(std::memory_order_relaxed)) return;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(conn.fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      conn.dead.store(true, std::memory_order_relaxed);
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void Server::Impl::dispatch_loop() {
+  std::vector<Pending> batch;
+  while (true) {
+    batch.clear();
+    Pending first;
+    if (!queue.pop(first)) break;  // closed and drained
+    batch.push_back(std::move(first));
+    // Dynamic batching: collect whatever arrives within the window, up to
+    // the cap. Under saturation the queue is never empty and the window
+    // never waits; under light load one request costs at most the window.
+    const auto deadline = Clock::now() + std::chrono::microseconds(
+                                             config.batch_timeout_us);
+    while (batch.size() < static_cast<std::size_t>(config.max_batch)) {
+      Pending item;
+      if (!queue.pop_until(item, deadline)) break;
+      batch.push_back(std::move(item));
+    }
+    batches.fetch_add(1, std::memory_order_relaxed);
+    const auto batch_start = Clock::now();
+
+    // Group by (connection, session). One group per session per batch is
+    // the invariant that lets sessions stay lock-free: a session is only
+    // ever touched by the single worker running its group. Non-session ops
+    // go to the connection's control group (key session slot ~0).
+    struct Group {
+      Connection* conn = nullptr;
+      std::vector<std::size_t> items;  ///< batch indices, queue order
+      std::string out;                 ///< encoded response frames
+      obs::Histogram latency;
+    };
+    std::vector<Group> groups;
+    std::unordered_map<std::uint64_t, std::size_t> index;
+    std::unordered_map<Connection*, std::uint64_t> conn_ids;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Connection* conn = batch[i].conn.get();
+      const auto [cit, inserted] =
+          conn_ids.try_emplace(conn, conn_ids.size());
+      const ServeRequest& req = batch[i].req;
+      const bool session_op =
+          req.op == ServeOp::kRegister || req.op == ServeOp::kAdmit ||
+          req.op == ServeOp::kRelease || req.op == ServeOp::kSwap ||
+          req.op == ServeOp::kQuery;
+      const std::uint64_t slot = session_op ? req.session + 1 : 0;
+      const std::uint64_t key = (cit->second << 32) | (slot & 0xffffffffu);
+      const auto [git, fresh] = index.try_emplace(key, groups.size());
+      if (fresh) {
+        groups.emplace_back();
+        groups.back().conn = conn;
+      }
+      groups[git->second].items.push_back(i);
+    }
+
+    runner.parallel_for(groups.size(), [&](std::size_t g) {
+      Group& group = groups[g];
+      const auto handle_start = Clock::now();
+      for (const std::size_t i : group.items) {
+        const ServeResponse resp = handle(*group.conn, batch[i].req);
+        group.out += encode_frame(encode_serve_response(resp));
+        group.latency.add(us_between(batch[i].enqueued, Clock::now()));
+      }
+      handle_us.fetch_add(us_between(handle_start, Clock::now()),
+                          std::memory_order_relaxed);
+    });
+
+    // One send() per CONNECTION per batch, not per group: each send() to a
+    // blocked client costs a wakeup (~tens of µs on one core), so all of a
+    // connection's groups concatenate first. Per-session FIFO survives the
+    // merge because a session lives entirely inside one group.
+    {
+      const auto write_start = Clock::now();
+      std::string out;
+      for (const auto& [conn, id] : conn_ids) {
+        out.clear();
+        for (const Group& group : groups) {
+          if (group.conn == conn) out += group.out;
+        }
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        write_frames(*conn, out);
+      }
+      write_us.fetch_add(us_between(write_start, Clock::now()),
+                         std::memory_order_relaxed);
+    }
+    dispatch_busy_us.fetch_add(us_between(batch_start, Clock::now()),
+                               std::memory_order_relaxed);
+
+    {
+      std::lock_guard<std::mutex> lock(hist_mu);
+      batch_size_hist.add(batch.size());
+      for (const Group& group : groups) latency_hist.merge(group.latency);
+    }
+    if (op_shutdown.load(std::memory_order_acquire)) request_shutdown();
+  }
+}
+
+ServeResponse Server::Impl::handle(Connection& conn,
+                                   const ServeRequest& req) {
+  ServeResponse resp;
+  resp.seq = req.seq;
+  try {
+    // Resolve the session pointer under state_mu; USE it lock-free — the
+    // one-group-per-session invariant makes that exclusive.
+    const auto find_session = [&](std::uint64_t id) -> AdmissionSession& {
+      std::lock_guard<std::mutex> lock(conn.state_mu);
+      const auto it = conn.sessions.find(id);
+      FEDCONS_EXPECTS_MSG(it != conn.sessions.end(),
+                          "unknown session " + std::to_string(id));
+      return *it->second;
+    };
+    // admit/swap task payload: registered content by handle, or inline text.
+    const auto resolve_tasks = [&]() -> std::vector<DagTask> {
+      if (req.has_content) {
+        std::lock_guard<std::mutex> lock(conn.state_mu);
+        FEDCONS_EXPECTS_MSG(req.content < conn.contents.size(),
+                            "unknown content handle " +
+                                std::to_string(req.content));
+        return conn.contents[static_cast<std::size_t>(req.content)];
+      }
+      return parse_embedded_tasks(req.system);
+    };
+    const auto fill_verdict = [&](const EventOutcome& outcome,
+                                  const AdmissionSession& session) {
+      resp.has_verdict = true;
+      resp.applied = outcome.applied;
+      resp.schedulable = outcome.schedulable;
+      resp.reject = to_string(outcome.reject_reason);
+      resp.task_ids = outcome.admitted_ids;
+      resp.residents = session.num_residents();
+    };
+
+    switch (req.op) {
+      case ServeOp::kOpen: {
+        AdmissionSession::Config cfg;
+        cfg.processors = req.m;
+        auto session = std::make_unique<AdmissionSession>(cfg);
+        std::lock_guard<std::mutex> lock(conn.state_mu);
+        const std::uint64_t id = conn.next_session++;
+        conn.sessions.emplace(id, std::move(session));
+        resp.has_session = true;
+        resp.session = id;
+        break;
+      }
+      case ServeOp::kRegister: {
+        find_session(req.session);  // validate the handle early
+        std::vector<DagTask> tasks = parse_embedded_tasks(req.system);
+        std::lock_guard<std::mutex> lock(conn.state_mu);
+        resp.has_content = true;
+        resp.content = conn.contents.size();
+        conn.contents.push_back(std::move(tasks));
+        break;
+      }
+      case ServeOp::kAdmit: {
+        AdmissionSession& session = find_session(req.session);
+        const std::vector<DagTask> tasks = resolve_tasks();
+        FEDCONS_EXPECTS_MSG(tasks.size() == 1,
+                            "admit needs exactly one task, got " +
+                                std::to_string(tasks.size()));
+        fill_verdict(session.admit(tasks[0]), session);
+        break;
+      }
+      case ServeOp::kRelease: {
+        AdmissionSession& session = find_session(req.session);
+        fill_verdict(session.release(req.release_ids.at(0)), session);
+        break;
+      }
+      case ServeOp::kSwap: {
+        AdmissionSession& session = find_session(req.session);
+        AdmissionSession::SwapBatch swap;
+        swap.release_ids = req.release_ids;
+        swap.admits = resolve_tasks();
+        fill_verdict(session.swap(swap), session);
+        break;
+      }
+      case ServeOp::kQuery: {
+        AdmissionSession& session = find_session(req.session);
+        const SessionVerdict v = session.verdict();
+        resp.has_verdict = true;
+        resp.applied = false;
+        resp.schedulable = v.success;
+        resp.reject = to_string(v.failure);
+        resp.residents = session.num_residents();
+        break;
+      }
+      case ServeOp::kStats: {
+        // Splice the stats body into the response object so histograms sit
+        // at nesting depth 1 (the mini_json dialect's limit).
+        const std::string body = snapshot().to_json();
+        resp.extra = ", " + body.substr(1, body.size() - 2);
+        break;
+      }
+      case ServeOp::kPing:
+        break;
+      case ServeOp::kStall:
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            std::min(req.stall_us, kMaxStallUs)));
+        break;
+      case ServeOp::kShutdown:
+        op_shutdown.store(true, std::memory_order_release);
+        break;
+    }
+  } catch (const std::exception& e) {
+    resp = ServeResponse{};
+    resp.status = ServeStatus::kError;
+    resp.seq = req.seq;
+    resp.error = e.what();
+  }
+  return resp;
+}
+
+Server::Server(const ServerConfig& config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+Server::~Server() = default;
+
+void Server::start() { impl_->start(); }
+
+int Server::port() const noexcept { return impl_->bound_port; }
+
+void Server::request_shutdown() noexcept { impl_->request_shutdown(); }
+
+void Server::wait() { impl_->join_all(); }
+
+bool Server::shutdown_requested() const noexcept {
+  return impl_->shutdown_flag.load(std::memory_order_acquire);
+}
+
+ServerStats Server::stats_snapshot() const { return impl_->snapshot(); }
+
+}  // namespace serve
+}  // namespace fedcons

@@ -1,0 +1,120 @@
+// fedcons_serve daemon core: sockets in front, AdmissionSessions behind.
+//
+// Thread shape (fixed, independent of load):
+//
+//   acceptor ──► one reader per connection ──► BoundedQueue ──► dispatcher
+//                                                                  │
+//                                                      BatchRunner workers
+//
+// Readers decode frames and parse requests; parsed requests enter the ONE
+// bounded queue. When it is full the reader answers RETRY_AFTER on the spot
+// — the server's memory is bounded by (queue depth + per-connection decode
+// buffers) no matter how fast clients push. The dispatcher batches
+// dynamically: it blocks for the first request, then keeps collecting until
+// either max_batch requests are in hand or batch_timeout_us has passed
+// since the first one — under light load a request waits for nobody, under
+// heavy load batches fill instantly and the window never matters.
+//
+// A batch is grouped by (connection, session); each group runs as one
+// BatchRunner work item. Per-session FIFO order is preserved (queue order
+// within a group), and because a session appears in exactly one group per
+// batch, AdmissionSession's single-threaded contract holds even though
+// *which* worker runs a given session changes batch to batch — sessions
+// must not cache thread identity (see the contract note in
+// online/admission_session.h). Each group's responses are encoded into one
+// buffer; after the fan-out joins, all of a connection's group buffers are
+// concatenated and written with ONE send() per connection per batch — each
+// send() to a blocked client costs a wakeup, so response syscalls amortize
+// with batch size exactly like the analysis fan-out does.
+//
+// Shutdown: request_shutdown() is async-signal-safe (atomic flag + one
+// write() to a wake pipe). The acceptor then stops accepting, shuts down
+// every connection for reading, joins readers, and closes the queue; the
+// dispatcher drains what was admitted, answers it, and exits. Nothing
+// accepted is dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fedcons/obs/metrics.h"
+#include "fedcons/serve/protocol.h"
+
+namespace fedcons {
+namespace serve {
+
+struct ServerConfig {
+  /// Exactly one listener: AF_UNIX when unix_path is non-empty, else TCP on
+  /// 127.0.0.1:tcp_port (0 = kernel-assigned; read it back via port()).
+  std::string unix_path;
+  int tcp_port = 0;
+
+  int threads = 1;            ///< BatchRunner workers (1 = dispatcher inline)
+  int max_batch = 64;         ///< dispatcher batch cap
+  int batch_timeout_us = 200; ///< collection window after the first request
+  int queue_depth = 1024;     ///< bounded queue capacity (backpressure knob)
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// Counters + distributions scraped by the "stats" op and by tests.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_enqueued = 0;
+  std::uint64_t requests_shed = 0;   ///< RETRY_AFTER sent (queue full)
+  std::uint64_t parse_errors = 0;    ///< recoverable bad requests
+  std::uint64_t framing_errors = 0;  ///< unrecoverable; connection closed
+  std::uint64_t batches = 0;
+  std::uint64_t queue_high_watermark = 0;
+  /// CPU accounting (busy time, not wall time): where a verdict's cost goes.
+  /// reader_busy_us covers decode+parse+enqueue; handle_us covers session
+  /// events + response encoding; write_us the response send() calls;
+  /// dispatch_busy_us the whole dispatcher batch (grouping + handle + write).
+  std::uint64_t reader_busy_us = 0;
+  std::uint64_t handle_us = 0;
+  std::uint64_t write_us = 0;
+  std::uint64_t dispatch_busy_us = 0;
+  obs::Histogram batch_size;
+  obs::Histogram latency_us;  ///< enqueue -> response encoded, per request
+
+  /// Deterministic key order; histograms via obs::histogram_json.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerConfig& config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn the acceptor and dispatcher. Throws
+  /// ContractViolation on socket errors. On return the listener accepts.
+  void start();
+
+  /// Bound TCP port (after start(); 0 for unix-socket servers).
+  [[nodiscard]] int port() const noexcept;
+
+  /// Async-signal-safe shutdown trigger (also reachable via the protocol's
+  /// "shutdown" op). Idempotent.
+  void request_shutdown() noexcept;
+
+  /// Block until the drain completes (all accepted requests answered).
+  void wait();
+
+  [[nodiscard]] bool shutdown_requested() const noexcept;
+
+  /// Consistent snapshot of the counters (also what the "stats" op emits).
+  [[nodiscard]] ServerStats stats_snapshot() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace serve
+}  // namespace fedcons

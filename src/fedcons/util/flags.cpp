@@ -18,8 +18,6 @@ Flags::Flags(int argc, const char* const* argv) {
     auto eq = body.find('=');
     if (eq != std::string::npos) {
       values_[body.substr(0, eq)] = body.substr(eq + 1);
-    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[body] = argv[++i];
     } else {
       values_[body] = "true";
     }
@@ -52,11 +50,36 @@ std::string Flags::get_string(const std::string& key,
   return it == values_.end() ? def : it->second;
 }
 
+namespace {
+
+/// The value with surrounding whitespace removed. stoll/stod skip leading
+/// whitespace themselves; stripping up front lets the full-token check below
+/// treat "8 " and " 8" uniformly instead of rejecting one and not the other.
+std::string strip(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
 std::int64_t Flags::get_int(const std::string& key, std::int64_t def) const {
   auto it = values_.find(key);
   if (it == values_.end()) return def;
+  // Full-token validation: stoll("8x") happily returns 8, so a typo like
+  // --threads=8x must not run with 8 threads. Every character of the
+  // stripped value has to be consumed by the conversion.
+  const std::string value = strip(it->second);
   try {
-    return std::stoll(it->second);
+    std::size_t pos = 0;
+    const std::int64_t parsed = std::stoll(value, &pos);
+    FEDCONS_EXPECTS_MSG(pos == value.size(),
+                        "flag --" + key + " has trailing garbage: " +
+                            it->second);
+    return parsed;
+  } catch (const ContractViolation&) {
+    throw;
   } catch (const std::exception&) {
     FEDCONS_EXPECTS_MSG(false, "flag --" + key + " is not an integer: " +
                                    it->second);
@@ -67,8 +90,16 @@ std::int64_t Flags::get_int(const std::string& key, std::int64_t def) const {
 double Flags::get_double(const std::string& key, double def) const {
   auto it = values_.find(key);
   if (it == values_.end()) return def;
+  const std::string value = strip(it->second);
   try {
-    return std::stod(it->second);
+    std::size_t pos = 0;
+    const double parsed = std::stod(value, &pos);
+    FEDCONS_EXPECTS_MSG(pos == value.size(),
+                        "flag --" + key + " has trailing garbage: " +
+                            it->second);
+    return parsed;
+  } catch (const ContractViolation&) {
+    throw;
   } catch (const std::exception&) {
     FEDCONS_EXPECTS_MSG(false,
                         "flag --" + key + " is not a number: " + it->second);

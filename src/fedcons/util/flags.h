@@ -1,7 +1,10 @@
 // Minimal command-line flag parsing for bench/example binaries.
 //
-// Syntax: --key=value or --key value; bare --key is a boolean true.
-// Unknown positional arguments are collected for the caller.
+// Syntax: --key=value; bare --key is a boolean true. There is deliberately
+// no "--key value" two-token form: it made any bare token after a boolean
+// flag ("fedcons_cli --json file.json") silently become that flag's value
+// instead of a positional argument. Non-flag tokens are always collected as
+// positionals for the caller (every tool rejects strays with usage + exit 2).
 #pragma once
 
 #include <cstdint>

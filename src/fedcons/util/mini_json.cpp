@@ -1,6 +1,7 @@
 #include "fedcons/util/mini_json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -173,12 +174,48 @@ const std::string& require_field(
   return it->second;
 }
 
+// Strict numeric conversions. strtoll with a null endptr and unchecked errno
+// silently saturates on overflow (INT64_MAX) and yields 0 on garbage — the
+// exact bug class PR 5 fixed for fault seeds. Corpus artifacts and the serve
+// request decoder both come through here, so every failure must be loud.
+
 std::int64_t mini_json_int(const std::string& raw) {
-  return std::strtoll(raw.c_str(), nullptr, 10);
+  if (raw.empty()) throw ParseError(1, "artifact JSON: empty integer field");
+  // strtoll skips leading whitespace and accepts an explicit '+'; JSON
+  // integers allow neither, so the token must start with a digit or '-'.
+  if (!std::isdigit(static_cast<unsigned char>(raw[0])) && raw[0] != '-') {
+    throw ParseError(1, "artifact JSON: not an integer: '" + raw + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw.c_str(), &end, 10);
+  if (end != raw.c_str() + raw.size() || end == raw.c_str()) {
+    throw ParseError(1, "artifact JSON: not an integer: '" + raw + "'");
+  }
+  if (errno == ERANGE) {
+    throw ParseError(1, "artifact JSON: integer out of range: '" + raw + "'");
+  }
+  return value;
 }
 
 std::uint64_t mini_json_uint(const std::string& raw) {
-  return std::strtoull(raw.c_str(), nullptr, 10);
+  // strtoull accepts "-5" and wraps it to 2^64-5; an unsigned field must be
+  // plain digits.
+  if (raw.empty() || !std::isdigit(static_cast<unsigned char>(raw[0]))) {
+    throw ParseError(1, "artifact JSON: not an unsigned integer: '" + raw +
+                            "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw.c_str(), &end, 10);
+  if (end != raw.c_str() + raw.size()) {
+    throw ParseError(1, "artifact JSON: not an unsigned integer: '" + raw +
+                            "'");
+  }
+  if (errno == ERANGE) {
+    throw ParseError(1, "artifact JSON: integer out of range: '" + raw + "'");
+  }
+  return value;
 }
 
 }  // namespace fedcons

@@ -36,8 +36,13 @@ namespace fedcons {
 [[nodiscard]] const std::string& require_field(
     const std::map<std::string, std::string>& fields, const std::string& key);
 
-/// Raw-value conversions for parse_mini_json results (strtoll/strtoull
-/// semantics; artifacts are written by us, so lenient parsing is fine).
+/// Strict raw-value conversions for parse_mini_json results: the whole token
+/// must convert (endptr reaches the end) and the value must fit (errno is
+/// checked), otherwise ParseError. mini_json_uint additionally rejects signs
+/// — strtoull would happily wrap "-5" to 2^64-5. Artifacts are written by
+/// us, but they are replayed from disk and the serve protocol decodes
+/// network input through the same helpers, so garbage must fail loudly
+/// instead of becoming 0 and overflow must not saturate silently.
 [[nodiscard]] std::int64_t mini_json_int(const std::string& raw);
 [[nodiscard]] std::uint64_t mini_json_uint(const std::string& raw);
 

@@ -20,9 +20,22 @@ TEST(FlagsTest, EqualsSyntax) {
   EXPECT_EQ(f.get_string("name", ""), "sweep");
 }
 
-TEST(FlagsTest, SpaceSyntax) {
+// The two-token "--key value" form is gone: it used to swallow any
+// following non-flag token as a value, so "--json file.json" silently lost
+// the positional input file. The token after a bare flag is positional.
+TEST(FlagsTest, TokenAfterBareFlagIsPositional) {
   Flags f = parse({"--trials", "250"});
-  EXPECT_EQ(f.get_int("trials", 0), 250);
+  EXPECT_TRUE(f.get_bool("trials", false));
+  EXPECT_THROW(f.get_int("trials", 0), ContractViolation);  // value is "true"
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "250");
+}
+
+TEST(FlagsTest, BooleanFlagThenPositionalFile) {
+  Flags f = parse({"--json", "file.json"});
+  EXPECT_TRUE(f.get_bool("json", false));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "file.json");
 }
 
 TEST(FlagsTest, BareFlagIsTrue) {
@@ -66,6 +79,25 @@ TEST(FlagsTest, MalformedValuesThrow) {
   EXPECT_THROW(parse({"--x=abc"}).get_double("x", 0), ContractViolation);
   EXPECT_THROW(parse({"--b=maybe"}).get_bool("b", false), ContractViolation);
   EXPECT_THROW(parse({"--"}), ContractViolation);
+}
+
+// stoll/stod stop at the first bad character and return the prefix, so
+// --threads=8x used to run with 8 threads. The whole token must convert.
+TEST(FlagsTest, TrailingGarbageThrows) {
+  EXPECT_THROW(parse({"--threads=8x"}).get_int("threads", 0),
+               ContractViolation);
+  EXPECT_THROW(parse({"--n=1 2"}).get_int("n", 0), ContractViolation);
+  EXPECT_THROW(parse({"--n=0x10"}).get_int("n", 0), ContractViolation);
+  EXPECT_THROW(parse({"--ratio=0.5abc"}).get_double("ratio", 0.0),
+               ContractViolation);
+  EXPECT_THROW(parse({"--ratio=1e"}).get_double("ratio", 0.0),
+               ContractViolation);
+  // Surrounding whitespace is stripped, not treated as garbage.
+  EXPECT_EQ(parse({"--n= 8 "}).get_int("n", 0), 8);
+  EXPECT_DOUBLE_EQ(parse({"--ratio= 0.5"}).get_double("ratio", 0.0), 0.5);
+  // Out-of-range still reports as not-an-integer, never saturates.
+  EXPECT_THROW(parse({"--n=99999999999999999999"}).get_int("n", 0),
+               ContractViolation);
 }
 
 TEST(FlagsTest, LaterOccurrenceWins) {

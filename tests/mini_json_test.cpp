@@ -1,0 +1,86 @@
+// Tests for the mini_json dialect helpers — in particular the strict numeric
+// conversions. strtoll with no endptr/errno check silently saturates
+// overflow to INT64_MAX and turns garbage into 0; both corpus artifacts and
+// the serve request decoder parse through these helpers, so every such
+// failure must be a loud ParseError.
+#include "fedcons/util/mini_json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace fedcons {
+namespace {
+
+TEST(MiniJsonTest, ParsesFlatAndNestedObjects) {
+  const auto fields = parse_mini_json(
+      R"({"a": 1, "b": "two", "c": {"d": 3, "e": "four"}})");
+  EXPECT_EQ(fields.at("a"), "1");
+  EXPECT_EQ(fields.at("b"), "two");
+  EXPECT_EQ(fields.at("c.d"), "3");
+  EXPECT_EQ(fields.at("c.e"), "four");
+}
+
+TEST(MiniJsonTest, EscapeRoundTrips) {
+  const std::string raw = "line\none\ttab \"quote\" back\\slash\r";
+  const auto fields =
+      parse_mini_json("{\"k\": \"" + json_escape(raw) + "\"}");
+  EXPECT_EQ(fields.at("k"), raw);
+}
+
+TEST(MiniJsonTest, IntRoundTripsAtInt64Extremes) {
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(mini_json_int(std::to_string(max)), max);
+  EXPECT_EQ(mini_json_int(std::to_string(max - 1)), max - 1);
+  EXPECT_EQ(mini_json_int(std::to_string(min)), min);
+  EXPECT_EQ(mini_json_int("0"), 0);
+  EXPECT_EQ(mini_json_int("-42"), -42);
+}
+
+TEST(MiniJsonTest, IntOverflowThrowsInsteadOfSaturating) {
+  // INT64_MAX + 1: the old strtoll path returned INT64_MAX silently.
+  EXPECT_THROW(mini_json_int("9223372036854775808"), ParseError);
+  EXPECT_THROW(mini_json_int("-9223372036854775809"), ParseError);
+  EXPECT_THROW(mini_json_int("99999999999999999999999"), ParseError);
+}
+
+TEST(MiniJsonTest, IntGarbageThrowsInsteadOfZero) {
+  EXPECT_THROW(mini_json_int(""), ParseError);
+  EXPECT_THROW(mini_json_int("abc"), ParseError);
+  EXPECT_THROW(mini_json_int("12abc"), ParseError);
+  EXPECT_THROW(mini_json_int("1.5"), ParseError);
+  EXPECT_THROW(mini_json_int("1e3"), ParseError);
+  EXPECT_THROW(mini_json_int(" 1"), ParseError);
+}
+
+TEST(MiniJsonTest, UintRoundTripsAtUint64Extremes) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(mini_json_uint(std::to_string(max)), max);
+  EXPECT_EQ(mini_json_uint(std::to_string(max - 1)), max - 1);
+  EXPECT_EQ(mini_json_uint("0"), 0u);
+}
+
+TEST(MiniJsonTest, UintRejectsOverflowSignsAndGarbage) {
+  // UINT64_MAX + 1 must not wrap to 0.
+  EXPECT_THROW(mini_json_uint("18446744073709551616"), ParseError);
+  // strtoull accepts "-5" and wraps it to 2^64-5; an unsigned field is
+  // digits only.
+  EXPECT_THROW(mini_json_uint("-5"), ParseError);
+  EXPECT_THROW(mini_json_uint("+5"), ParseError);
+  EXPECT_THROW(mini_json_uint(""), ParseError);
+  EXPECT_THROW(mini_json_uint("7x"), ParseError);
+}
+
+TEST(MiniJsonTest, MalformedDocumentsThrow) {
+  EXPECT_THROW(parse_mini_json(""), ParseError);
+  EXPECT_THROW(parse_mini_json("{\"a\": 1"), ParseError);
+  EXPECT_THROW(parse_mini_json("{\"a\": 1} trailing"), ParseError);
+  EXPECT_THROW(parse_mini_json("{\"a\": {\"b\": {\"c\": 1}}}"), ParseError);
+  EXPECT_THROW(parse_mini_json("{\"a\": [1, 2]}"), ParseError);
+}
+
+}  // namespace
+}  // namespace fedcons

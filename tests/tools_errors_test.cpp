@@ -25,23 +25,51 @@ int exit_code(const std::string& command) {
 const std::string kCli = FEDCONS_CLI_BIN;
 const std::string kGen = FEDCONS_GEN_BIN;
 const std::string kConform = FEDCONS_CONFORM_BIN;
+const std::string kServe = FEDCONS_SERVE_BIN;
+const std::string kLoadgen = FEDCONS_LOADGEN_BIN;
 
 TEST(ToolsErrorsTest, UnknownFlagsExitTwo) {
   EXPECT_EQ(exit_code(kCli + " --no-such-flag"), 2);
   EXPECT_EQ(exit_code(kGen + " --no-such-flag"), 2);
   EXPECT_EQ(exit_code(kConform + " --no-such-flag"), 2);
+  EXPECT_EQ(exit_code(kServe + " --no-such-flag"), 2);
+  EXPECT_EQ(exit_code(kLoadgen + " --no-such-flag"), 2);
   // A typo'd known flag must not fall through to a default mode.
   EXPECT_EQ(exit_code(kCli + " --exmple"), 2);
   EXPECT_EQ(exit_code(kGen + " --presets=avionics"), 2);
   EXPECT_EQ(exit_code(kConform + " --trails=10"), 2);
+  EXPECT_EQ(exit_code(kServe + " --sockets=/tmp/x.sock"), 2);
+  EXPECT_EQ(exit_code(kLoadgen + " --connection=4"), 2);
+}
+
+TEST(ToolsErrorsTest, ServeToolsValidateFlagValues) {
+  // --threads=8x is the canonical lax-parsing failure: stoll's silent
+  // prefix parse would run a daemon with 8 workers. Exit 2, loudly.
+  EXPECT_EQ(exit_code(kServe + " --socket=/tmp/x.sock --threads=8x"), 2);
+  EXPECT_EQ(exit_code(kServe + " --socket=/tmp/x.sock --max-batch=0x40"), 2);
+  EXPECT_EQ(exit_code(kServe +
+                      " --socket=/tmp/x.sock --queue-depth=" +
+                      "99999999999999999999"), 2);
+  // Exactly one listener, and values must be in range.
+  EXPECT_EQ(exit_code(kServe), 2);
+  EXPECT_EQ(exit_code(kServe + " --socket=/tmp/x.sock --port=0"), 2);
+  EXPECT_EQ(exit_code(kServe + " --socket=/tmp/x.sock --threads=0"), 2);
+  EXPECT_EQ(exit_code(kLoadgen + " --socket=/tmp/x.sock --pipeline=16x"), 2);
+  EXPECT_EQ(exit_code(kLoadgen + " --socket=/tmp/x.sock --duration-s=2s"), 2);
+  EXPECT_EQ(exit_code(kLoadgen), 2);  // needs --socket or --port
 }
 
 TEST(ToolsErrorsTest, StrayPositionalArgumentsExitTwo) {
-  // A bare token BEFORE any flag is unambiguously positional (one following
-  // a flag is consumed as that flag's space-separated value).
+  // Bare tokens are always positional — the old space-separated value form
+  // consumed "stray" below as a flag value, so "--json file.json" silently
+  // swallowed the input file. Both orders must reject now.
   EXPECT_EQ(exit_code(kCli + " stray --example"), 2);
+  EXPECT_EQ(exit_code(kCli + " --example stray"), 2);
+  EXPECT_EQ(exit_code(kCli + " --json file.json"), 2);
   EXPECT_EQ(exit_code(kGen + " stray --list-presets"), 2);
+  EXPECT_EQ(exit_code(kGen + " --list-presets stray"), 2);
   EXPECT_EQ(exit_code(kConform + " stray --list"), 2);
+  EXPECT_EQ(exit_code(kConform + " --list stray"), 2);
 }
 
 TEST(ToolsErrorsTest, MalformedFlagValuesExitTwo) {
@@ -49,6 +77,15 @@ TEST(ToolsErrorsTest, MalformedFlagValuesExitTwo) {
   EXPECT_EQ(exit_code(kCli + " --file=whatever --m=banana"), 2);
   EXPECT_EQ(exit_code(kGen + " --tasks=banana"), 2);
   EXPECT_EQ(exit_code(kConform + " --isolation --trials=banana"), 2);
+}
+
+TEST(ToolsErrorsTest, TrailingGarbageNumbersExitTwo) {
+  // stoll("8x") returns 8, so --threads=8x used to run with 8 threads and
+  // --m=8x analyzed on 8 processors. The whole token must parse.
+  EXPECT_EQ(exit_code(kConform + " --trials=10 --threads=8x"), 2);
+  EXPECT_EQ(exit_code(kCli + " --file=whatever --m=8x"), 2);
+  EXPECT_EQ(exit_code(kGen + " --tasks=3.5"), 2);
+  EXPECT_EQ(exit_code(kCli + " --file=whatever --m=99999999999999999999"), 2);
 }
 
 /// A minimal valid workload on disk, for exercising post-parse flag errors.

@@ -1,0 +1,501 @@
+// fedcons_loadgen — open/closed-loop load generator for fedcons_serve.
+//
+// Usage:
+//   fedcons_loadgen --socket=PATH | --port=N
+//     [--connections=N] [--pipeline=K] [--duration-s=S] [--warmup-s=S]
+//     [--rate=QPS] [--m=N] [--seed=N] [--json] [--shutdown]
+//   fedcons_loadgen --socket=PATH --trace=FILE [--m=N]
+//     [--verdicts-out=FILE] [--shutdown]
+//
+// Throughput mode (default): N connections, each on its own thread, each
+// driving one AdmissionSession through an admit/release churn over a pool
+// of registered task contents (content handles — steady state sends no task
+// text). Closed loop (--rate=0) keeps K requests in flight per connection:
+// every response immediately funds the next request, so the measured rate
+// is the server's sustainable throughput, not an arrival-rate assumption.
+// --rate>0 switches to an open loop that paces sends at the target rate
+// regardless of completions (classic coordinated-omission-avoiding load);
+// latency then includes queueing delay. Latency is measured client side
+// (send to response, microseconds) in an obs::Histogram; responses inside
+// the warmup window are excluded from the report. RETRY_AFTER responses are
+// counted as shed, never retried inline, so backpressure shows up in the
+// report instead of silently inflating latency.
+//
+// Trace mode (--trace): replays an online/trace.h JSONL trace through the
+// daemon serially on one connection — the same event stream `fedcons_cli
+// --online` replays in-process — and writes one verdict line per event to
+// --verdicts-out. The loopback test byte-compares those verdicts against
+// the in-process replay; this is the end-to-end proof that the daemon's
+// answers ARE the library's answers.
+//
+// --shutdown sends the protocol "shutdown" op when done (drains the daemon).
+// Exit 0 on success, 2 on usage/parse errors.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fedcons/core/io.h"
+#include "fedcons/obs/metrics.h"
+#include "fedcons/online/trace.h"
+#include "fedcons/serve/client.h"
+#include "fedcons/util/check.h"
+#include "fedcons/util/flags.h"
+#include "fedcons/util/mini_json.h"
+#include "fedcons/util/table.h"
+
+using namespace fedcons;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int usage() {
+  std::cerr
+      << "usage: fedcons_loadgen --socket=PATH | --port=N\n"
+         "         [--connections=N] [--sessions=N] [--pipeline=K]\n"
+         "         [--residents=N]\n"
+         "         [--duration-s=S] [--warmup-s=S] [--rate=QPS] [--m=N]\n"
+         "         [--seed=N] [--json] [--shutdown]\n"
+         "       fedcons_loadgen --socket=PATH --trace=FILE [--m=N]\n"
+         "         [--verdicts-out=FILE] [--shutdown]\n";
+  return 2;
+}
+
+/// The churn content pool: low-utilization single-vertex tasks (the
+/// bench_online low pool), all of which coexist on the shared processors at
+/// the resident cap below.
+std::vector<DagTask> make_pool() {
+  std::vector<DagTask> pool;
+  for (int v = 0; v < 10; ++v) {
+    Dag g;
+    g.add_vertex(10 + v % 3);
+    pool.emplace_back(g, /*deadline=*/90 + v, /*period=*/100 + v,
+                      "low" + std::to_string(v));
+  }
+  return pool;
+}
+
+struct Options {
+  std::string socket;
+  int port = 0;
+  int connections = 1;
+  int sessions = 4;  ///< independent sessions per connection
+  int pipeline = 48;
+  /// Residents per session in steady state; past this every admit is paired
+  /// with a release, so per-event analysis cost stays flat over the run.
+  /// Per-event cost grows with the resident count, so this is the workload
+  /// size knob ("small resident systems" in the bench recipes).
+  int residents = 6;
+  double duration_s = 2.0;
+  double warmup_s = 0.2;
+  double rate = 0.0;  ///< total target QPS across connections; 0 = closed
+  int m = 8;
+  std::uint64_t seed = 1;
+};
+
+struct WorkerResult {
+  std::uint64_t ops = 0;      ///< verdict responses in the measured window
+  std::uint64_t applied = 0;  ///< of which applied
+  std::uint64_t shed = 0;     ///< RETRY_AFTER responses (whole run)
+  std::uint64_t errors = 0;   ///< error responses (whole run)
+  obs::Histogram latency_us;  ///< measured window only
+};
+
+serve::ServeClient connect(const Options& opt) {
+  return opt.socket.empty() ? serve::ServeClient::connect_tcp(opt.port)
+                            : serve::ServeClient::connect_unix(opt.socket);
+}
+
+/// One connection's closed/open loop. Requests are framed locally and
+/// flushed in one send() per decision round, so a deep pipeline costs a
+/// bounded number of syscalls per batch of responses.
+WorkerResult run_worker(const Options& opt, int index,
+                        Clock::time_point start) {
+  serve::ServeClient client = connect(opt);
+  WorkerResult result;
+
+  // Per-session churn state. Sessions are independent admission domains;
+  // driving several per connection keeps many requests in flight (and so
+  // batches deep) even though each session's resident set — and with it
+  // the per-event analysis cost — stays small.
+  struct SessionState {
+    std::uint64_t id = 0;
+    std::vector<std::uint64_t> resident_ids;
+    std::size_t projected_residents = 0;
+  };
+  const std::size_t cap = static_cast<std::size_t>(opt.residents);
+  std::uint64_t seq = 0;
+  std::vector<SessionState> sessions(
+      static_cast<std::size_t>(opt.sessions));
+  for (SessionState& s : sessions) {
+    serve::ServeRequest open;
+    open.op = serve::ServeOp::kOpen;
+    open.seq = seq++;
+    open.m = opt.m;
+    const serve::ServeResponse opened = client.call(open);
+    FEDCONS_EXPECTS_MSG(opened.status == serve::ServeStatus::kOk &&
+                            opened.has_session,
+                        "loadgen: open failed: " + opened.error);
+    s.id = opened.session;
+  }
+
+  const std::vector<DagTask> pool = make_pool();
+  std::vector<std::uint64_t> handles;
+  for (const DagTask& task : pool) {
+    serve::ServeRequest reg;
+    reg.op = serve::ServeOp::kRegister;
+    reg.seq = seq++;
+    reg.session = sessions[0].id;
+    reg.system = serialize_task_system(TaskSystem({task}));
+    const serve::ServeResponse resp = client.call(reg);
+    FEDCONS_EXPECTS_MSG(resp.status == serve::ServeStatus::kOk &&
+                            resp.has_content,
+                        "loadgen: register failed: " + resp.error);
+    handles.push_back(resp.content);
+  }
+
+  const auto warmup_end =
+      start + std::chrono::microseconds(
+                  static_cast<std::int64_t>(opt.warmup_s * 1e6));
+  const auto deadline =
+      warmup_end + std::chrono::microseconds(
+                       static_cast<std::int64_t>(opt.duration_s * 1e6));
+  // Open-loop pacing: this connection owns every connections-th slot of the
+  // global schedule.
+  const bool open_loop = opt.rate > 0.0;
+  const double per_conn_rate = opt.rate / opt.connections;
+  const auto interval = std::chrono::nanoseconds(
+      open_loop ? static_cast<std::int64_t>(1e9 / per_conn_rate) : 0);
+  auto next_send = start + (interval * index) / std::max(opt.connections, 1);
+
+  struct Sent {
+    Clock::time_point at;
+    std::size_t session = 0;  ///< index into `sessions`
+    bool is_admit = false;
+    std::uint64_t release_id = 0;
+  };
+  std::unordered_map<std::uint64_t, Sent> inflight;
+  std::uint64_t next_content = opt.seed + static_cast<std::uint64_t>(index);
+  std::size_t cursor = 0;  // round-robin over sessions
+  std::string sendbuf;
+  bool sending = true;
+  while (sending || !inflight.empty()) {
+    // Fill the pipeline (closed loop) or send everything due (open loop),
+    // round-robin across the sessions. The admit/release decision pipelines
+    // ahead of the responses, so it is made against projected_residents —
+    // the resident count once every in-flight request lands; deciding on
+    // resident_ids alone would let a deep pipeline balloon a session far
+    // past the cap during priming, and per-event analysis cost scales with
+    // the resident count. A session at the cap whose admitted ids are all
+    // still in flight is skipped until responses land.
+    sendbuf.clear();
+    std::size_t stuck = 0;  // sessions that cannot send right now
+    while (sending &&
+           inflight.size() < static_cast<std::size_t>(opt.pipeline) &&
+           stuck < sessions.size()) {
+      const auto now = Clock::now();
+      if (now >= deadline) {
+        sending = false;
+        break;
+      }
+      if (open_loop && now < next_send) break;
+      SessionState& s = sessions[cursor++ % sessions.size()];
+      if (s.projected_residents >= cap && s.resident_ids.empty()) {
+        ++stuck;
+        continue;
+      }
+      stuck = 0;
+      next_send += interval;
+      serve::ServeRequest req;
+      req.seq = seq++;
+      req.session = s.id;
+      Sent sent;
+      sent.session = static_cast<std::size_t>(&s - sessions.data());
+      if (s.projected_residents >= cap) {
+        // Release the NEWEST resident: the incremental partition then
+        // replays a one-placement suffix, keeping per-event cost flat at
+        // the cap instead of O(cap) per release.
+        req.op = serve::ServeOp::kRelease;
+        sent.release_id = s.resident_ids.back();
+        req.release_ids.push_back(sent.release_id);
+        s.resident_ids.pop_back();
+        --s.projected_residents;
+      } else {
+        req.op = serve::ServeOp::kAdmit;
+        req.has_content = true;
+        req.content = handles[next_content++ % handles.size()];
+        sent.is_admit = true;
+        ++s.projected_residents;
+      }
+      sendbuf += serve::encode_frame(serve::encode_serve_request(req));
+      sent.at = Clock::now();
+      inflight.emplace(req.seq, sent);
+    }
+    if (!sendbuf.empty()) client.send_bytes(sendbuf);
+    if (inflight.empty()) {
+      if (!sending) break;
+      if (open_loop) std::this_thread::sleep_until(next_send);
+      continue;
+    }
+    const auto process = [&](const serve::ServeResponse& resp) {
+      const auto now = Clock::now();
+      const auto it = inflight.find(resp.seq);
+      FEDCONS_EXPECTS_MSG(it != inflight.end(),
+                          "loadgen: response for unknown seq " +
+                              std::to_string(resp.seq));
+      const Sent sent = it->second;
+      inflight.erase(it);
+      SessionState& s = sessions[sent.session];
+      switch (resp.status) {
+        case serve::ServeStatus::kOk:
+          if (resp.has_verdict && now >= warmup_end) {
+            ++result.ops;
+            if (resp.applied) ++result.applied;
+            result.latency_us.add(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    now - sent.at)
+                    .count()));
+          }
+          if (resp.has_verdict && resp.applied && !resp.task_ids.empty()) {
+            for (const auto id : resp.task_ids) s.resident_ids.push_back(id);
+          }
+          if (sent.is_admit && resp.has_verdict && !resp.applied) {
+            --s.projected_residents;  // rejected admit never became resident
+          }
+          break;
+        case serve::ServeStatus::kRetryAfter:
+        case serve::ServeStatus::kError:
+          // Undo the projection: a shed/failed admit never lands; a shed
+          // release leaves its task resident, so the id goes back.
+          if (resp.status == serve::ServeStatus::kRetryAfter) {
+            ++result.shed;
+          } else {
+            ++result.errors;
+          }
+          if (sent.is_admit) {
+            --s.projected_residents;
+          } else {
+            s.resident_ids.push_back(sent.release_id);
+            ++s.projected_residents;
+          }
+          break;
+      }
+    };
+    // One blocking read, then drain every response the read(s) buffered:
+    // a whole server batch is processed per syscall, and the next fill
+    // round re-arms the pipeline with one send.
+    process(client.recv());
+    serve::ServeResponse buffered;
+    while (client.try_recv(buffered)) process(buffered);
+  }
+  return result;
+}
+
+int run_throughput(const Options& opt, bool json, bool shutdown) {
+  const auto start = Clock::now();
+  std::vector<WorkerResult> results(
+      static_cast<std::size_t>(opt.connections));
+  std::vector<std::thread> workers;
+  workers.reserve(results.size());
+  for (int i = 0; i < opt.connections; ++i) {
+    workers.emplace_back(
+        [&, i] { results[static_cast<std::size_t>(i)] = run_worker(opt, i, start); });
+  }
+  for (std::thread& w : workers) w.join();
+
+  WorkerResult total;
+  for (const WorkerResult& r : results) {
+    total.ops += r.ops;
+    total.applied += r.applied;
+    total.shed += r.shed;
+    total.errors += r.errors;
+    total.latency_us.merge(r.latency_us);
+  }
+  const double qps = total.ops / opt.duration_s;
+
+  if (shutdown) {
+    serve::ServeClient control = connect(opt);
+    serve::ServeRequest req;
+    req.op = serve::ServeOp::kShutdown;
+    const serve::ServeResponse resp = control.call(req);
+    FEDCONS_EXPECTS_MSG(resp.status == serve::ServeStatus::kOk,
+                        "loadgen: shutdown failed: " + resp.error);
+  }
+
+  if (json) {
+    std::cout << "{\"tool\": \"fedcons_loadgen\", \"mode\": \""
+              << (opt.rate > 0 ? "open" : "closed")
+              << "\", \"connections\": " << opt.connections
+              << ", \"sessions\": " << opt.sessions
+              << ", \"residents\": " << opt.residents
+              << ", \"pipeline\": " << opt.pipeline
+              << ", \"duration_s\": " << fmt_double(opt.duration_s, 3)
+              << ", \"rate\": " << fmt_double(opt.rate, 1)
+              << ", \"ops\": " << total.ops
+              << ", \"qps\": " << fmt_double(qps, 1)
+              << ", \"applied\": " << total.applied
+              << ", \"shed\": " << total.shed
+              << ", \"errors\": " << total.errors << ", \"latency_us\": "
+              << obs::histogram_json(total.latency_us) << "}\n";
+  } else {
+    Table t({"metric", "value"});
+    t.add_row({"connections", fmt_int(opt.connections)});
+    t.add_row({"sessions", fmt_int(opt.sessions)});
+    t.add_row({"residents", fmt_int(opt.residents)});
+    t.add_row({"pipeline", fmt_int(opt.pipeline)});
+    t.add_row({"ops", fmt_int(static_cast<long long>(total.ops))});
+    t.add_row({"qps", fmt_double(qps, 1)});
+    t.add_row({"applied", fmt_int(static_cast<long long>(total.applied))});
+    t.add_row({"shed", fmt_int(static_cast<long long>(total.shed))});
+    t.add_row({"errors", fmt_int(static_cast<long long>(total.errors))});
+    t.add_row({"p50 us", fmt_int(static_cast<long long>(
+                             total.latency_us.percentile(50)))});
+    t.add_row({"p99 us", fmt_int(static_cast<long long>(
+                             total.latency_us.percentile(99)))});
+    t.add_row({"p999 us", fmt_int(static_cast<long long>(
+                              total.latency_us.percentile(99.9)))});
+    t.print(std::cout);
+  }
+  return total.errors == 0 ? 0 : 1;
+}
+
+/// Serial trace replay: the same event stream, answered by the daemon.
+int run_trace(const Options& opt, const std::string& trace_path,
+              const std::string& verdicts_path, bool m_override,
+              bool shutdown) {
+  std::ifstream in(trace_path);
+  FEDCONS_EXPECTS_MSG(in.good(),
+                      "loadgen: cannot read trace " + trace_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const OnlineTrace trace = parse_online_trace(buffer.str());
+
+  serve::ServeClient client = connect(opt);
+  std::uint64_t seq = 0;
+  serve::ServeRequest open;
+  open.op = serve::ServeOp::kOpen;
+  open.seq = seq++;
+  open.m = m_override ? opt.m : trace.processors;
+  const serve::ServeResponse opened = client.call(open);
+  FEDCONS_EXPECTS_MSG(opened.status == serve::ServeStatus::kOk,
+                      "loadgen: open failed: " + opened.error);
+  const std::uint64_t session = opened.session;
+
+  std::string verdicts;
+  bool final_schedulable = true;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const OnlineEvent& e = trace.events[i];
+    serve::ServeRequest req;
+    req.seq = seq++;
+    req.session = session;
+    switch (e.kind) {
+      case OnlineEvent::Kind::kAdmit:
+        req.op = serve::ServeOp::kAdmit;
+        req.system = serialize_task_system(TaskSystem(e.admits));
+        break;
+      case OnlineEvent::Kind::kRelease:
+        req.op = serve::ServeOp::kRelease;
+        req.release_ids = e.release_ids;
+        break;
+      case OnlineEvent::Kind::kSwap:
+        req.op = serve::ServeOp::kSwap;
+        req.release_ids = e.release_ids;
+        req.system = serialize_task_system(TaskSystem(e.admits));
+        break;
+    }
+    const serve::ServeResponse resp = client.call(req);
+    FEDCONS_EXPECTS_MSG(resp.status == serve::ServeStatus::kOk,
+                        "loadgen: event " + std::to_string(i) +
+                            " failed: " + resp.error);
+    final_schedulable = resp.schedulable;
+    verdicts += "{\"index\": " + std::to_string(i) + ", \"event\": \"" +
+                to_string(e.kind) + "\", \"applied\": " +
+                (resp.applied ? "1" : "0") + ", \"schedulable\": " +
+                (resp.schedulable ? "1" : "0") + ", \"task_ids\": \"" +
+                serve::join_ids(resp.task_ids) + "\", \"residents\": " +
+                std::to_string(resp.residents) + "}\n";
+  }
+
+  if (shutdown) {
+    serve::ServeRequest req;
+    req.op = serve::ServeOp::kShutdown;
+    req.seq = seq++;
+    const serve::ServeResponse resp = client.call(req);
+    FEDCONS_EXPECTS_MSG(resp.status == serve::ServeStatus::kOk,
+                        "loadgen: shutdown failed: " + resp.error);
+  }
+
+  if (verdicts_path.empty()) {
+    std::cout << verdicts;
+  } else {
+    std::ofstream out(verdicts_path);
+    FEDCONS_EXPECTS_MSG(out.good(),
+                        "loadgen: cannot write " + verdicts_path);
+    out << verdicts;
+  }
+  return final_schedulable ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags(argc, argv);
+    static constexpr std::string_view kAllowed[] = {
+        "socket", "port",     "connections", "sessions", "pipeline",
+        "residents",  "duration-s", "warmup-s", "rate",  "m",
+        "seed",   "json",   "trace",  "verdicts-out", "shutdown"};
+    const auto unknown = flags.unknown_keys(kAllowed);
+    if (!unknown.empty() || !flags.positional().empty()) {
+      for (const auto& key : unknown) {
+        std::cerr << "fedcons_loadgen: unknown flag --" << key << "\n";
+      }
+      for (const auto& arg : flags.positional()) {
+        std::cerr << "fedcons_loadgen: stray argument '" << arg << "'\n";
+      }
+      return usage();
+    }
+    if (flags.has("socket") == flags.has("port")) {
+      std::cerr
+          << "fedcons_loadgen: exactly one of --socket/--port required\n";
+      return usage();
+    }
+
+    Options opt;
+    opt.socket = flags.get_string("socket", "");
+    opt.port = static_cast<int>(flags.get_int("port", 0));
+    opt.connections = static_cast<int>(flags.get_int("connections", 1));
+    opt.sessions = static_cast<int>(flags.get_int("sessions", 4));
+    opt.residents = static_cast<int>(flags.get_int("residents", 6));
+    opt.pipeline = static_cast<int>(flags.get_int("pipeline", 48));
+    opt.duration_s = flags.get_double("duration-s", 2.0);
+    opt.warmup_s = flags.get_double("warmup-s", 0.2);
+    opt.rate = flags.get_double("rate", 0.0);
+    opt.m = static_cast<int>(flags.get_int("m", 8));
+    opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    if (opt.connections < 1 || opt.sessions < 1 || opt.pipeline < 1 ||
+        opt.residents < 1 ||
+        opt.duration_s <= 0 ||
+        opt.warmup_s < 0 || opt.rate < 0 || opt.m < 1) {
+      std::cerr << "fedcons_loadgen: flag values out of range\n";
+      return usage();
+    }
+
+    if (flags.has("trace")) {
+      return run_trace(opt, flags.get_string("trace", ""),
+                       flags.get_string("verdicts-out", ""), flags.has("m"),
+                       flags.get_bool("shutdown", false));
+    }
+    return run_throughput(opt, flags.get_bool("json", false),
+                          flags.get_bool("shutdown", false));
+  } catch (const std::exception& e) {
+    std::cerr << "fedcons_loadgen: " << e.what() << "\n";
+    return 2;
+  }
+}

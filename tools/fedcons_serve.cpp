@@ -1,0 +1,111 @@
+// fedcons_serve — the admission-control daemon.
+//
+// Usage:
+//   fedcons_serve --socket=PATH | --port=N
+//                 [--threads=N] [--max-batch=N] [--batch-timeout-us=N]
+//                 [--queue-depth=N] [--max-frame-bytes=N]
+//
+// Serves the serve/protocol.h length-prefixed newline-JSON protocol:
+// clients open AdmissionSessions, register task-system content, and stream
+// admit/release/swap/query events; every accepted request gets exactly one
+// response. --socket binds an AF_UNIX listener at PATH; --port binds TCP on
+// 127.0.0.1 (0 picks a free port). Exactly one of the two must be given.
+//
+// Once listening the daemon prints a single readiness line to stdout —
+//
+//   fedcons_serve listening unix=PATH    (or tcp=PORT)
+//
+// — and serves until SIGTERM/SIGINT or a protocol "shutdown" request, then
+// drains: accepted requests are all answered before exit, new ones are
+// refused. On exit it prints the stats snapshot (server counters +
+// latency/batch histograms) as one JSON line to stdout.
+//
+// Unknown or malformed flags exit 2 with usage. Exit 0 on a clean drain.
+#include <csignal>
+#include <iostream>
+#include <string_view>
+
+#include "fedcons/serve/server.h"
+#include "fedcons/util/flags.h"
+
+using namespace fedcons;
+
+namespace {
+
+serve::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+int usage() {
+  std::cerr
+      << "usage: fedcons_serve --socket=PATH | --port=N\n"
+         "                     [--threads=N] [--max-batch=N]\n"
+         "                     [--batch-timeout-us=N] [--queue-depth=N]\n"
+         "                     [--max-frame-bytes=N]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags(argc, argv);
+    static constexpr std::string_view kAllowed[] = {
+        "socket",      "port",        "threads", "max-batch",
+        "batch-timeout-us", "queue-depth", "max-frame-bytes"};
+    const auto unknown = flags.unknown_keys(kAllowed);
+    if (!unknown.empty() || !flags.positional().empty()) {
+      for (const auto& key : unknown) {
+        std::cerr << "fedcons_serve: unknown flag --" << key << "\n";
+      }
+      for (const auto& arg : flags.positional()) {
+        std::cerr << "fedcons_serve: stray argument '" << arg << "'\n";
+      }
+      return usage();
+    }
+    const bool has_socket = flags.has("socket");
+    if (has_socket == flags.has("port")) {
+      std::cerr << "fedcons_serve: exactly one of --socket/--port required\n";
+      return usage();
+    }
+
+    serve::ServerConfig config;
+    config.unix_path = flags.get_string("socket", "");
+    config.tcp_port = static_cast<int>(flags.get_int("port", 0));
+    config.threads = static_cast<int>(flags.get_int("threads", 1));
+    config.max_batch = static_cast<int>(flags.get_int("max-batch", 64));
+    config.batch_timeout_us =
+        static_cast<int>(flags.get_int("batch-timeout-us", 200));
+    config.queue_depth = static_cast<int>(flags.get_int("queue-depth", 1024));
+    config.max_frame_bytes = static_cast<std::size_t>(
+        flags.get_int("max-frame-bytes",
+                      static_cast<std::int64_t>(serve::kDefaultMaxFrameBytes)));
+    if (config.threads < 1 || config.max_batch < 1 ||
+        config.batch_timeout_us < 0 || config.queue_depth < 1) {
+      std::cerr << "fedcons_serve: flag values out of range\n";
+      return usage();
+    }
+
+    serve::Server server(config);
+    g_server = &server;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    server.start();
+    if (has_socket) {
+      std::cout << "fedcons_serve listening unix=" << config.unix_path
+                << std::endl;
+    } else {
+      std::cout << "fedcons_serve listening tcp=" << server.port()
+                << std::endl;
+    }
+    server.wait();
+    std::cout << server.stats_snapshot().to_json() << std::endl;
+    g_server = nullptr;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "fedcons_serve: " << e.what() << "\n";
+    return 2;
+  }
+}
