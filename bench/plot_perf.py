@@ -15,7 +15,8 @@ Four generations of recording live at the repo root:
   * BENCH_SERVE.json — the admission-control-service document
     bench/run_perf.sh writes at PR 8: a live fedcons_serve daemon on a unix
     socket driven by the closed-loop fedcons_loadgen, one run per
-    resident-set size (verdicts/sec + the log2-bucket latency histogram).
+    resident-set size (verdicts/sec + the log2-bucket latency histogram),
+    plus the PR-9 observability on/off contrast (obs_overhead_pct).
 
 The script overlays the PR-2 and PR-7 batch curves per benchmark family
 (analyses/sec by task count — the across-PRs throughput trajectory), draws
@@ -195,7 +196,27 @@ def ascii_serve(rows):
     return out
 
 
-def render_ascii(batch_overlay_data, online, pr6, kernels, pr7, serve):
+def obs_overhead(doc):
+    """BENCH_SERVE -> (obs_off_qps, obs_on_qps, overhead_pct) or None."""
+    if doc is None or "obs_overhead_pct" not in doc:
+        return None
+    return (float(doc.get("obs_off_qps", 0.0)),
+            float(doc.get("obs_on_qps", 0.0)),
+            float(doc["obs_overhead_pct"]))
+
+
+def ascii_obs(overhead):
+    if overhead is None:
+        return []
+    off_qps, on_qps, pct = overhead
+    return ["  observability overhead at residents=4 (default 1/256 "
+            "sampling + 250ms series ring):",
+            "    obs off %9.0f verdicts/s   obs on %9.0f verdicts/s   "
+            "-> %.2f%% (bar: <=3%%)" % (off_qps, on_qps, pct)]
+
+
+def render_ascii(batch_overlay_data, online, pr6, kernels, pr7, serve,
+                 overhead):
     out = ["perf trajectory (ASCII fallback — matplotlib not available)", ""]
     for family in sorted(batch_overlay_data):
         out.extend(ascii_overlay(family, batch_overlay_data[family]))
@@ -218,16 +239,20 @@ def render_ascii(batch_overlay_data, online, pr6, kernels, pr7, serve):
     if serve:
         out.append("")
         out.extend(ascii_serve(serve))
+    if overhead is not None:
+        out.append("")
+        out.extend(ascii_obs(overhead))
     return "\n".join(out)
 
 
-def render_png(batch_overlay_data, online, kernels, serve, out_path):
+def render_png(batch_overlay_data, online, kernels, serve, overhead,
+               out_path):
     import matplotlib
     matplotlib.use("Agg")
     import matplotlib.pyplot as plt
 
-    fig, (ax_batch, ax_online, ax_kern, ax_serve) = plt.subplots(
-        1, 4, figsize=(19, 4.2))
+    fig, (ax_batch, ax_online, ax_kern, ax_serve, ax_obs) = plt.subplots(
+        1, 5, figsize=(23, 4.2))
     styles = {"PR2": "--", "PR7": "-"}
     for family in sorted(batch_overlay_data):
         for gen, points in sorted(batch_overlay_data[family].items()):
@@ -262,17 +287,29 @@ def render_png(batch_overlay_data, online, kernels, serve, out_path):
         ax_kern.set_title("kernel AVX2 speedup (BENCH_PR7)")
         ax_kern.set_xlabel("scalar time / avx2 time")
 
-    if serve:
-        xs = [residents for _, residents, _, _, _, _ in serve]
-        ys = [qps for _, _, qps, _, _, _ in serve]
+    # The residents curve uses only the resident-sweep runs; the obs_* pair
+    # repeats residents=4 and lives in its own panel.
+    sweep = [row for row in serve if not row[0].startswith("obs_")]
+    if sweep:
+        xs = [residents for _, residents, _, _, _, _ in sweep]
+        ys = [qps for _, _, qps, _, _, _ in sweep]
         ax_serve.plot(xs, ys, marker="D", color="tab:red")
-        for _, residents, qps, _, p99, _ in serve:
+        for _, residents, qps, _, p99, _ in sweep:
             ax_serve.annotate("p99=%dus" % p99, (residents, qps),
                               textcoords="offset points", xytext=(4, 4),
                               fontsize=7)
     ax_serve.set_title("service verdicts/sec (BENCH_SERVE)")
     ax_serve.set_xlabel("residents")
     ax_serve.set_ylabel("verdicts/sec")
+
+    if overhead is not None:
+        off_qps, on_qps, pct = overhead
+        ax_obs.bar(["obs off", "obs on"], [off_qps, on_qps],
+                   color=["tab:gray", "tab:purple"])
+        ax_obs.set_title("observability overhead: %.2f%% (bar <=3%%)" % pct)
+        ax_obs.set_ylabel("verdicts/sec")
+    else:
+        ax_obs.set_title("observability overhead (no recording)")
 
     fig.tight_layout()
     fig.savefig(out_path, dpi=120)
@@ -302,14 +339,16 @@ def main():
     online = online_series(pr6)
     kernels = kernel_series(pr7.get("simd_kernels") if pr7 else None)
     serve = serve_rows(serve_doc)
+    overhead = obs_overhead(serve_doc)
 
     try:
         out_path = args.out or os.path.join(args.repo_root, "bench",
                                             "perf_curves.png")
         print("wrote %s" % render_png(batch, online, kernels, serve,
-                                      out_path))
+                                      overhead, out_path))
     except ImportError:
-        print(render_ascii(batch, online, pr6, kernels, pr7, serve))
+        print(render_ascii(batch, online, pr6, kernels, pr7, serve,
+                           overhead))
     return 0
 
 

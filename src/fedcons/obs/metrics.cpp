@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "fedcons/util/mini_json.h"
+
 namespace fedcons {
 namespace obs {
 
@@ -30,6 +32,43 @@ void Histogram::merge(const Histogram& other) noexcept {
   if (other.max_ > max_) max_ = other.max_;
   count_ += other.count_;
   sum_ += other.sum_;
+}
+
+Histogram Histogram::delta_since(const Histogram& earlier) const noexcept {
+  if (earlier.count_ == 0) return *this;
+  // A later snapshot of the same histogram dominates bucket-wise; anything
+  // else means the source was reset — return the later snapshot whole.
+  if (earlier.count_ > count_ || earlier.sum_ > sum_) return *this;
+  Histogram d;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (earlier.buckets_[b] > buckets_[b]) return *this;
+    d.buckets_[b] = buckets_[b] - earlier.buckets_[b];
+  }
+  d.count_ = count_ - earlier.count_;
+  d.sum_ = sum_ - earlier.sum_;
+  if (d.count_ != 0) {
+    std::size_t lo = 0;
+    while (d.buckets_[lo] == 0) ++lo;
+    std::size_t hi = d.buckets_.size() - 1;
+    while (d.buckets_[hi] == 0) --hi;
+    d.min_ = lo == 0 ? 0 : std::uint64_t{1} << (lo - 1);
+    const std::uint64_t upper =
+        hi >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << hi) - 1;
+    d.max_ = upper > max_ ? max_ : upper;
+  }
+  return d;
+}
+
+Histogram Histogram::from_state(const std::array<std::uint64_t, 65>& buckets,
+                                std::uint64_t count, std::uint64_t sum,
+                                std::uint64_t min, std::uint64_t max) noexcept {
+  Histogram h;
+  h.buckets_ = buckets;
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  return h;
 }
 
 std::uint64_t Histogram::percentile(double p) const noexcept {
@@ -90,6 +129,15 @@ Table MetricsRegistry::to_table() const {
 }
 
 std::string histogram_json(const Histogram& h) {
+  std::string buckets;
+  std::size_t last = 0;
+  for (std::size_t b = 0; b < h.buckets().size(); ++b) {
+    if (h.buckets()[b] != 0) last = b;
+  }
+  for (std::size_t b = 0; b <= last; ++b) {
+    if (b != 0) buckets += ' ';
+    buckets += std::to_string(h.buckets()[b]);
+  }
   return "{\"count\": " + fmt_int(static_cast<long long>(h.count())) +
          ", \"sum\": " + fmt_int(static_cast<long long>(h.sum())) +
          ", \"min\": " + fmt_int(static_cast<long long>(h.min())) +
@@ -99,7 +147,24 @@ std::string histogram_json(const Histogram& h) {
          ", \"p90\": " + fmt_int(static_cast<long long>(h.percentile(90))) +
          ", \"p99\": " + fmt_int(static_cast<long long>(h.percentile(99))) +
          ", \"p999\": " +
-         fmt_int(static_cast<long long>(h.percentile(99.9))) + "}";
+         fmt_int(static_cast<long long>(h.percentile(99.9))) +
+         ", \"buckets\": \"" + buckets + "\"}";
+}
+
+std::array<std::uint64_t, 65> parse_histogram_buckets(const std::string& raw) {
+  std::array<std::uint64_t, 65> buckets{};
+  std::size_t b = 0;
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    const std::size_t space = raw.find(' ', pos);
+    const std::size_t end = space == std::string::npos ? raw.size() : space;
+    if (b >= buckets.size()) {
+      throw ParseError(1, "histogram buckets: more than 65 entries");
+    }
+    buckets[b++] = mini_json_uint(raw.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return buckets;
 }
 
 std::string MetricsRegistry::to_json() const {

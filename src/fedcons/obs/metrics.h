@@ -52,6 +52,25 @@ class Histogram {
   }
   [[nodiscard]] bool operator==(const Histogram&) const noexcept = default;
 
+  /// Interval view between two cumulative snapshots: (*this) must have been
+  /// produced by adding samples to `earlier` (same histogram, later in time).
+  /// Bucket counts, count, and sum are exact — the delta's buckets equal the
+  /// histogram of exactly the samples added in between, which is what makes
+  /// monitoring-loop rate/percentile math from periodic snapshots sound.
+  /// min/max cannot be recovered from cumulative state, so they are
+  /// bucket-bound estimates: min is the lower bound of the lowest non-empty
+  /// delta bucket, max the upper bound of the highest (clamped to this
+  /// snapshot's max). If `earlier` is not a prefix (e.g. the counter source
+  /// restarted), the full later snapshot is returned instead of garbage.
+  [[nodiscard]] Histogram delta_since(const Histogram& earlier) const noexcept;
+
+  /// Rebuild a histogram from serialized state (the stats-scrape inverse:
+  /// fedcons_top reconstructs server histograms from the JSON "buckets"
+  /// counts to run delta_since/percentile client-side).
+  [[nodiscard]] static Histogram from_state(
+      const std::array<std::uint64_t, 65>& buckets, std::uint64_t count,
+      std::uint64_t sum, std::uint64_t min, std::uint64_t max) noexcept;
+
  private:
   std::array<std::uint64_t, 65> buckets_{};
   std::uint64_t count_ = 0;
@@ -92,8 +111,18 @@ struct MetricsRegistry {
 /// One histogram as a flat JSON object with fixed key order — the snapshot
 /// form the serve layer's STATS scrape and the loadgen report both emit.
 /// Includes the tail quantiles a latency distribution is judged on
-/// (p50/p90/p99/p999; log2 buckets make each a ≤2× upper-bound estimate).
+/// (p50/p90/p99/p999; log2 buckets make each a ≤2× upper-bound estimate)
+/// plus the raw per-bucket counts as one space-joined string ("buckets",
+/// truncated after the last non-empty bucket) so scrape consumers can
+/// reconstruct the histogram with Histogram::from_state and difference
+/// consecutive snapshots exactly.
 [[nodiscard]] std::string histogram_json(const Histogram& h);
+
+/// Inverse of histogram_json's "buckets" member: space-joined counts back
+/// into the fixed 65-bucket array (missing trailing buckets are zero).
+/// Throws ParseError on garbage tokens or too many buckets.
+[[nodiscard]] std::array<std::uint64_t, 65> parse_histogram_buckets(
+    const std::string& raw);
 
 namespace detail {
 extern std::atomic<bool> g_metrics_enabled;

@@ -1,0 +1,99 @@
+#include "fedcons/obs/prometheus.h"
+
+namespace fedcons {
+namespace obs {
+
+void PrometheusWriter::header(std::string_view name, std::string_view help,
+                              std::string_view type) {
+  out_ += "# HELP ";
+  out_ += name;
+  out_ += ' ';
+  out_ += help;
+  out_ += "\n# TYPE ";
+  out_ += name;
+  out_ += ' ';
+  out_ += type;
+  out_ += '\n';
+}
+
+void PrometheusWriter::sample(std::string_view name, std::string_view suffix,
+                              std::string_view label_key,
+                              std::string_view label_value,
+                              std::string_view extra_key,
+                              const std::string& extra_value,
+                              std::uint64_t v) {
+  out_ += name;
+  out_ += suffix;
+  const bool has_label = !label_key.empty();
+  const bool has_extra = !extra_key.empty();
+  if (has_label || has_extra) {
+    out_ += '{';
+    if (has_label) {
+      out_ += label_key;
+      out_ += "=\"";
+      out_ += label_value;
+      out_ += '"';
+    }
+    if (has_extra) {
+      if (has_label) out_ += ',';
+      out_ += extra_key;
+      out_ += "=\"";
+      out_ += extra_value;
+      out_ += '"';
+    }
+    out_ += '}';
+  }
+  out_ += ' ';
+  out_ += std::to_string(v);
+  out_ += '\n';
+}
+
+void PrometheusWriter::counter(std::string_view name, std::string_view help,
+                               std::uint64_t v, std::string_view label_key,
+                               std::string_view label_value) {
+  if (last_family_ != name) {
+    header(name, help, "counter");
+    last_family_ = name;
+  }
+  sample(name, "", label_key, label_value, {}, {}, v);
+}
+
+void PrometheusWriter::gauge(std::string_view name, std::string_view help,
+                             std::uint64_t v, std::string_view label_key,
+                             std::string_view label_value) {
+  if (last_family_ != name) {
+    header(name, help, "gauge");
+    last_family_ = name;
+  }
+  sample(name, "", label_key, label_value, {}, {}, v);
+}
+
+void PrometheusWriter::histogram(std::string_view name, std::string_view help,
+                                 const Histogram& h,
+                                 std::string_view label_key,
+                                 std::string_view label_value) {
+  if (last_family_ != name) {
+    header(name, help, "histogram");
+    last_family_ = name;
+  }
+  std::size_t last = 0;
+  for (std::size_t b = 0; b < h.buckets().size(); ++b) {
+    if (h.buckets()[b] != 0) last = b;
+  }
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b <= last; ++b) {
+    cumulative += h.buckets()[b];
+    // le of log2 bucket b: inclusive upper bound 2^b - 1 (bucket 0 = {0}).
+    const std::uint64_t le =
+        b == 0 ? 0
+               : (b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1);
+    sample(name, "_bucket", label_key, label_value, "le", std::to_string(le),
+           cumulative);
+  }
+  sample(name, "_bucket", label_key, label_value, "le", "+Inf", h.count());
+  sample(name, "_sum", label_key, label_value, {}, {}, h.sum());
+  sample(name, "_count", label_key, label_value, {}, {}, h.count());
+}
+
+}  // namespace obs
+}  // namespace fedcons

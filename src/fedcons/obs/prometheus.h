@@ -1,0 +1,61 @@
+// Prometheus text-exposition (version 0.0.4) rendering for the obs layer.
+//
+// The serve daemon's stats snapshot is a struct of counters plus log2
+// histograms; a Prometheus scrape wants the same facts as line-oriented
+// text: `# HELP`/`# TYPE` headers, one sample per line, histograms as
+// CUMULATIVE le-labeled buckets ending in le="+Inf". This writer maps the
+// repo's conventions onto that format deterministically (fixed emission
+// order, no timestamps — the scraper stamps scrape time), so the output is
+// golden-testable byte for byte.
+//
+// Log2 bucket b of obs::Histogram holds values in [2^(b-1), 2^b) (bucket 0
+// holds {0}), so its inclusive upper bound — the Prometheus `le` value — is
+// 2^b - 1 (le="0" for bucket 0). Buckets are emitted from 0 through the
+// last non-empty bucket, cumulatively, then le="+Inf" carrying the total
+// count; `_sum` and `_count` close the family. An empty histogram still
+// emits le="0", +Inf, _sum, _count so the metric family never vanishes
+// between scrapes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fedcons/obs/metrics.h"
+
+namespace fedcons {
+namespace obs {
+
+class PrometheusWriter {
+ public:
+  /// Monotone totals (requests served, errors seen, busy microseconds).
+  void counter(std::string_view name, std::string_view help, std::uint64_t v,
+               std::string_view label_key = {},
+               std::string_view label_value = {});
+  /// Instantaneous values (queue depth, uptime).
+  void gauge(std::string_view name, std::string_view help, std::uint64_t v,
+             std::string_view label_key = {},
+             std::string_view label_value = {});
+  /// One log2 histogram as a cumulative-bucket family. An optional label
+  /// distinguishes sibling series (e.g. op="admit" vs op="release"); the
+  /// HELP/TYPE header is emitted once per family name, on first use.
+  void histogram(std::string_view name, std::string_view help,
+                 const Histogram& h, std::string_view label_key = {},
+                 std::string_view label_value = {});
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  void header(std::string_view name, std::string_view help,
+              std::string_view type);
+  void sample(std::string_view name, std::string_view suffix,
+              std::string_view label_key, std::string_view label_value,
+              std::string_view extra_key, const std::string& extra_value,
+              std::uint64_t v);
+
+  std::string out_;
+  std::string last_family_;  ///< header dedup for labeled histogram siblings
+};
+
+}  // namespace obs
+}  // namespace fedcons

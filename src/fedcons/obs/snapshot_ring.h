@@ -1,0 +1,80 @@
+// Fixed-capacity ring of periodic stat snapshots — the time-series memory
+// behind the serve daemon's "stats_series" op.
+//
+// A lifetime-sum counter block answers "how much, ever"; a monitoring loop
+// needs "how fast, lately" — rates, queue-depth trajectories, shed bursts.
+// The ring holds the last `capacity` samples a periodic snapshotter pushed;
+// memory is bounded by capacity * sizeof(Sample) forever, no matter how long
+// the daemon runs. One writer (the snapshot timer thread), any number of
+// readers (protocol handlers); both sides hold the mutex only long enough to
+// copy one sample or the requested tail, so the lock never sits on a hot
+// path — the push cadence is the stats interval (hundreds of ms), not the
+// request rate.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace fedcons {
+namespace obs {
+
+template <typename Sample>
+class SnapshotRing {
+ public:
+  explicit SnapshotRing(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  SnapshotRing(const SnapshotRing&) = delete;
+  SnapshotRing& operator=(const SnapshotRing&) = delete;
+
+  void push(Sample sample) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(sample));
+    } else {
+      ring_[next_ % capacity_] = std::move(sample);
+    }
+    ++next_;
+  }
+
+  /// The newest min(last, size) samples, oldest first (last 0 = everything
+  /// retained). Chronological order is what rate math differences.
+  [[nodiscard]] std::vector<Sample> tail(std::size_t last = 0) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = ring_.size();
+    if (last != 0 && last < n) n = last;
+    std::vector<Sample> out;
+    out.reserve(n);
+    // next_ is the total pushed; the oldest retained sample lives at
+    // next_ - ring_.size() (mod capacity once the ring has wrapped).
+    const std::uint64_t first = next_ - ring_.size() + (ring_.size() - n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(ring_[(first + i) % capacity_]);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Total samples ever pushed (>= size(); the overflow tells how much
+  /// history the ring has already forgotten).
+  [[nodiscard]] std::uint64_t total_pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Sample> ring_;
+  std::size_t capacity_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace obs
+}  // namespace fedcons

@@ -57,6 +57,24 @@ void record_span(const char* cat, const char* name, std::int64_t ts_ns,
 /// disabled state at construction).
 void set_tracing_enabled(bool enabled);
 
+/// Current time on the trace clock (nanoseconds since the trace epoch) —
+/// for call sites that stamp stage timestamps themselves and emit spans
+/// after the fact via record_span_at (the serve pipeline stamps a request
+/// at enqueue on one thread and emits its spans from the dispatcher).
+[[nodiscard]] inline std::int64_t trace_now_ns() { return detail::now_ns(); }
+
+/// Record one completed span from explicit trace-clock timestamps, into the
+/// CALLING thread's buffer. Same literal-lifetime contract as SpanGuard for
+/// cat/name/arg_key; a no-op branch when tracing is disabled.
+inline void record_span_at(const char* cat, const char* name,
+                           std::int64_t ts_ns, std::int64_t dur_ns,
+                           const char* arg_key = nullptr,
+                           std::int64_t arg_val = 0) {
+  if (tracing_enabled()) {
+    detail::record_span(cat, name, ts_ns, dur_ns, arg_key, arg_val);
+  }
+}
+
 /// Drop all recorded events (buffers stay registered; thread ids persist).
 void reset_trace();
 

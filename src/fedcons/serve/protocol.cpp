@@ -64,6 +64,7 @@ const char* to_string(ServeOp op) noexcept {
     case ServeOp::kSwap: return "swap";
     case ServeOp::kQuery: return "query";
     case ServeOp::kStats: return "stats";
+    case ServeOp::kStatsSeries: return "stats_series";
     case ServeOp::kPing: return "ping";
     case ServeOp::kStall: return "stall";
     case ServeOp::kShutdown: return "shutdown";
@@ -164,6 +165,19 @@ ServeRequest parse_serve_request(const std::string& payload) {
     req.session = uint_field(fields, "session");
   } else if (op == "stats") {
     req.op = ServeOp::kStats;
+    if (has_field(fields, "format")) {
+      const std::string& format = fields.at("format");
+      if (format != "prometheus") {
+        throw ParseError(1, "serve request: unknown stats format '" +
+                                format + "'");
+      }
+      req.prometheus = true;
+    }
+  } else if (op == "stats_series") {
+    req.op = ServeOp::kStatsSeries;
+    if (has_field(fields, "last")) {
+      req.series_last = uint_field(fields, "last");
+    }
   } else if (op == "ping") {
     req.op = ServeOp::kPing;
   } else if (op == "stall") {
@@ -173,6 +187,9 @@ ServeRequest parse_serve_request(const std::string& payload) {
     req.op = ServeOp::kShutdown;
   } else {
     throw ParseError(1, "serve request: unknown op '" + op + "'");
+  }
+  if (has_field(fields, "stages")) {
+    req.echo_stages = uint_field(fields, "stages") != 0;
   }
   return req;
 }
@@ -214,10 +231,18 @@ std::string encode_serve_request(const ServeRequest& req) {
       out += ", \"us\": " + std::to_string(req.stall_us);
       break;
     case ServeOp::kStats:
+      if (req.prometheus) out += ", \"format\": \"prometheus\"";
+      break;
+    case ServeOp::kStatsSeries:
+      if (req.series_last != 0) {
+        out += ", \"last\": " + std::to_string(req.series_last);
+      }
+      break;
     case ServeOp::kPing:
     case ServeOp::kShutdown:
       break;
   }
+  if (req.echo_stages) out += ", \"stages\": 1";
   out += "}";
   return out;
 }
@@ -243,6 +268,14 @@ std::string encode_serve_response(const ServeResponse& resp) {
     out += ", \"reject\": \"" + json_escape(resp.reject) + "\"";
     out += ", \"task_ids\": \"" + join_ids(resp.task_ids) + "\"";
     out += ", \"residents\": " + std::to_string(resp.residents);
+  }
+  if (resp.has_stages) {
+    // "stage_" prefix: a stats response already owns the bare handle_us key
+    // (the cumulative busy counter), and one payload must never carry two
+    // meanings for one name.
+    out += ", \"stage_queue_us\": " + std::to_string(resp.stage_queue_us);
+    out += ", \"stage_batch_us\": " + std::to_string(resp.stage_batch_us);
+    out += ", \"stage_handle_us\": " + std::to_string(resp.stage_handle_us);
   }
   out += resp.extra;
   out += "}";
@@ -280,6 +313,12 @@ ServeResponse parse_serve_response(const std::string& payload) {
     resp.reject = require_field(fields, "reject");
     resp.task_ids = split_ids(require_field(fields, "task_ids"));
     resp.residents = uint_field(fields, "residents");
+  }
+  if (has_field(fields, "stage_queue_us")) {
+    resp.has_stages = true;
+    resp.stage_queue_us = uint_field(fields, "stage_queue_us");
+    resp.stage_batch_us = uint_field(fields, "stage_batch_us");
+    resp.stage_handle_us = uint_field(fields, "stage_handle_us");
   }
   return resp;
 }

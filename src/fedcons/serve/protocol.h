@@ -29,10 +29,16 @@
 //   {"op": "swap",     "seq": N, "session": S, "releases": "T T ...",
 //                      "system": TEXT | "content": C}
 //   {"op": "query",    "seq": N, "session": S}
-//   {"op": "stats",    "seq": N}
+//   {"op": "stats",    "seq": N [, "format": "prometheus"]}
+//   {"op": "stats_series", "seq": N [, "last": K]}
 //   {"op": "ping",     "seq": N}
 //   {"op": "stall",    "seq": N, "us": U}      (diagnostic: occupy a worker)
 //   {"op": "shutdown", "seq": N}               (drain and exit)
+//
+// Any request may additionally carry "stages": 1 — the response then echoes
+// the server-side stage breakdown for that request (see below), so a client
+// can attribute its observed latency to queue wait vs batch formation vs
+// session handling without a server-side trace.
 //
 // TEXT is an escaped core/io.h task-system document (the same embedding the
 // online trace format uses). "register" uploads content once per
@@ -49,10 +55,44 @@
 // ok payloads: open -> "session"; register -> "content"; admit/release/swap
 // -> "applied" 0/1, "schedulable" 0/1, "reject" (failure name, "accepted"
 // when schedulable), "task_ids" ("T T ..." ids assigned to admitted tasks),
-// "residents"; query -> "schedulable", "reject", "residents"; stats -> the
-// server counter block plus one nested histogram object per tracked
-// distribution (obs::histogram_json shape). RETRY_AFTER is the protocol's
-// backpressure: the server never buffers more than its queue depth.
+// "residents"; query -> "schedulable", "reject", "residents". RETRY_AFTER
+// is the protocol's backpressure: the server never buffers more than its
+// queue depth.
+//
+// Stats grammar (all three documents carry "schema_version"):
+//
+//   stats (default)  ->  the ServerStats block spliced into the response:
+//       "schema_version", "uptime_us" (us since the daemon started),
+//       "snapshot_monotonic_us" (us on the machine-wide monotonic clock at
+//       snapshot time — comparable across processes on one box), the
+//       counters (connections_accepted, requests_enqueued, requests_shed,
+//       requests_sampled, parse_errors, framing_errors, batches,
+//       queue_depth, queue_high_watermark, reader_busy_us, handle_us,
+//       write_us, dispatch_busy_us), and one nested obs::histogram_json
+//       object per distribution (batch_size, latency_us, admit_latency_us,
+//       release_latency_us — each with raw "buckets" counts, so two
+//       snapshots can be differenced exactly).
+//   stats?format=prometheus  ->  {"status": "ok", "seq": N,
+//       "schema_version": V, "prometheus": TEXT} where TEXT is the same
+//       snapshot rendered in Prometheus text exposition 0.0.4 (JSON-escaped;
+//       counters + cumulative le-bucket histograms).
+//   stats_series  ->  {"status": "ok", "seq": N, "schema_version": V,
+//       "interval_us": I, "ring_capacity": C, "count": K, "s0": {...}, ...,
+//       "s<K-1>": {...}} — the newest K snapshots from the daemon's periodic
+//       ring (oldest first; "last" caps K). Each "sN" is one flat object of
+//       scalars: "snapshot_monotonic_us", "uptime_us", cumulative counters
+//       (requests_enqueued, requests_shed, batches, handle_us, write_us),
+//       the instantaneous "queue_depth", and the latency summary
+//       ("latency_count", "latency_p50", "latency_p99"). Differencing
+//       consecutive samples yields interval rates; the ring bounds series
+//       memory at C samples regardless of uptime.
+//
+// Stage echo ("stages": 1 on the request): the ok response additionally
+// carries "stage_queue_us" (enqueue -> dequeue), "stage_batch_us" (dequeue
+// -> batch seal), and "stage_handle_us" (session handling + response
+// encoding) for THAT request. The write stage cannot be echoed — a response
+// is encoded before it is written — so write attribution lives in the
+// trace/stats side only.
 #pragma once
 
 #include <cstdint>
@@ -106,6 +146,7 @@ enum class ServeOp {
   kSwap,
   kQuery,
   kStats,
+  kStatsSeries,
   kPing,
   kStall,
   kShutdown,
@@ -123,6 +164,9 @@ struct ServeRequest {
   std::uint64_t content = 0;
   std::vector<SessionTaskId> release_ids;  ///< release (one) / swap (any)
   std::uint64_t stall_us = 0;              ///< stall
+  bool prometheus = false;     ///< stats: "format": "prometheus"
+  std::uint64_t series_last = 0;  ///< stats_series: newest K only (0 = all)
+  bool echo_stages = false;    ///< any op: "stages": 1 -> stage breakdown
 };
 
 /// Payload -> request. Throws ParseError on anything malformed; integers go
@@ -153,6 +197,11 @@ struct ServeResponse {
   std::string reject;  ///< failure name; "none" when schedulable
   std::vector<SessionTaskId> task_ids;
   std::uint64_t residents = 0;
+
+  bool has_stages = false;  ///< request asked for the stage breakdown
+  std::uint64_t stage_queue_us = 0;   ///< enqueue -> dequeue
+  std::uint64_t stage_batch_us = 0;   ///< dequeue -> batch seal
+  std::uint64_t stage_handle_us = 0;  ///< handle + response encoding
 
   /// Extra raw JSON members appended verbatim at encode time (", \"k\": v"
   /// fragments) — the stats payload. Parse keeps the whole payload in `raw`

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -18,6 +19,9 @@
 
 #include "fedcons/core/io.h"
 #include "fedcons/engine/batch_runner.h"
+#include "fedcons/obs/prometheus.h"
+#include "fedcons/obs/snapshot_ring.h"
+#include "fedcons/obs/span_tracer.h"
 #include "fedcons/online/admission_session.h"
 #include "fedcons/serve/bounded_queue.h"
 #include "fedcons/util/check.h"
@@ -33,6 +37,22 @@ using Clock = std::chrono::steady_clock;
 std::uint64_t us_between(Clock::time_point a, Clock::time_point b) noexcept {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+/// Machine-wide monotonic clock in microseconds. On Linux, steady_clock is
+/// CLOCK_MONOTONIC, whose epoch is shared by every process on the box — so
+/// a client can window the daemon's series samples against its own steady
+/// clock (how loadgen drops warmup-time samples from its report).
+std::uint64_t monotonic_us_now() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Trace-clock ns interval -> whole microseconds (stage echo fields).
+std::uint64_t ns_delta_us(std::int64_t a, std::int64_t b) noexcept {
+  return b > a ? static_cast<std::uint64_t>((b - a) / 1000) : 0;
 }
 
 /// Best-effort seq recovery for error responses to unparseable requests, so
@@ -65,13 +85,19 @@ constexpr std::uint64_t kMaxStallUs = 2'000'000;
 }  // namespace
 
 std::string ServerStats::to_json() const {
-  return "{\"connections_accepted\": " +
+  return "{\"schema_version\": " + std::to_string(kStatsSchemaVersion) +
+         ", \"uptime_us\": " + std::to_string(uptime_us) +
+         ", \"snapshot_monotonic_us\": " +
+         std::to_string(snapshot_monotonic_us) +
+         ", \"connections_accepted\": " +
          std::to_string(connections_accepted) +
          ", \"requests_enqueued\": " + std::to_string(requests_enqueued) +
          ", \"requests_shed\": " + std::to_string(requests_shed) +
+         ", \"requests_sampled\": " + std::to_string(requests_sampled) +
          ", \"parse_errors\": " + std::to_string(parse_errors) +
          ", \"framing_errors\": " + std::to_string(framing_errors) +
          ", \"batches\": " + std::to_string(batches) +
+         ", \"queue_depth\": " + std::to_string(queue_depth) +
          ", \"queue_high_watermark\": " +
          std::to_string(queue_high_watermark) +
          ", \"reader_busy_us\": " + std::to_string(reader_busy_us) +
@@ -79,7 +105,74 @@ std::string ServerStats::to_json() const {
          ", \"write_us\": " + std::to_string(write_us) +
          ", \"dispatch_busy_us\": " + std::to_string(dispatch_busy_us) +
          ", \"batch_size\": " + obs::histogram_json(batch_size) +
-         ", \"latency_us\": " + obs::histogram_json(latency_us) + "}";
+         ", \"latency_us\": " + obs::histogram_json(latency_us) +
+         ", \"admit_latency_us\": " + obs::histogram_json(admit_latency_us) +
+         ", \"release_latency_us\": " +
+         obs::histogram_json(release_latency_us) + "}";
+}
+
+std::string ServerStats::to_prometheus() const {
+  obs::PrometheusWriter w;
+  w.gauge("fedcons_serve_uptime_us", "Microseconds since the daemon started",
+          uptime_us);
+  w.counter("fedcons_serve_connections_total", "Connections accepted",
+            connections_accepted);
+  w.counter("fedcons_serve_requests_total",
+            "Requests admitted to the dispatch queue", requests_enqueued);
+  w.counter("fedcons_serve_requests_shed_total",
+            "Requests answered RETRY_AFTER because the queue was full",
+            requests_shed);
+  w.counter("fedcons_serve_requests_sampled_total",
+            "Requests picked by trace sampling", requests_sampled);
+  w.counter("fedcons_serve_parse_errors_total",
+            "Recoverable request parse errors", parse_errors);
+  w.counter("fedcons_serve_framing_errors_total",
+            "Unrecoverable framing errors (connection closed)",
+            framing_errors);
+  w.counter("fedcons_serve_batches_total", "Dispatcher batches run", batches);
+  w.gauge("fedcons_serve_queue_depth", "Requests queued at snapshot time",
+          queue_depth);
+  w.gauge("fedcons_serve_queue_high_watermark",
+          "Highest queue depth ever observed", queue_high_watermark);
+  w.counter("fedcons_serve_stage_busy_us_total",
+            "Busy microseconds by pipeline stage", reader_busy_us, "stage",
+            "reader");
+  w.counter("fedcons_serve_stage_busy_us_total",
+            "Busy microseconds by pipeline stage", handle_us, "stage",
+            "handle");
+  w.counter("fedcons_serve_stage_busy_us_total",
+            "Busy microseconds by pipeline stage", write_us, "stage",
+            "write");
+  w.counter("fedcons_serve_stage_busy_us_total",
+            "Busy microseconds by pipeline stage", dispatch_busy_us, "stage",
+            "dispatch");
+  w.histogram("fedcons_serve_batch_size", "Requests per dispatcher batch",
+              batch_size);
+  w.histogram("fedcons_serve_request_latency_us",
+              "Enqueue-to-response-encoded latency by op class", latency_us,
+              "op", "all");
+  w.histogram("fedcons_serve_request_latency_us",
+              "Enqueue-to-response-encoded latency by op class",
+              admit_latency_us, "op", "admit");
+  w.histogram("fedcons_serve_request_latency_us",
+              "Enqueue-to-response-encoded latency by op class",
+              release_latency_us, "op", "release");
+  return w.str();
+}
+
+std::string SeriesSample::to_json() const {
+  return "{\"snapshot_monotonic_us\": " +
+         std::to_string(snapshot_monotonic_us) +
+         ", \"uptime_us\": " + std::to_string(uptime_us) +
+         ", \"requests_enqueued\": " + std::to_string(requests_enqueued) +
+         ", \"requests_shed\": " + std::to_string(requests_shed) +
+         ", \"batches\": " + std::to_string(batches) +
+         ", \"handle_us\": " + std::to_string(handle_us) +
+         ", \"write_us\": " + std::to_string(write_us) +
+         ", \"queue_depth\": " + std::to_string(queue_depth) +
+         ", \"latency_count\": " + std::to_string(latency_count) +
+         ", \"latency_p50\": " + std::to_string(latency_p50) +
+         ", \"latency_p99\": " + std::to_string(latency_p99) + "}";
 }
 
 struct Server::Impl {
@@ -111,11 +204,21 @@ struct Server::Impl {
     std::shared_ptr<Connection> conn;
     ServeRequest req;
     Clock::time_point enqueued;
+    // Observability: trace id is always assigned (one relaxed fetch_add);
+    // the ns stage stamps are only taken when this request is trace-sampled
+    // or asked for the stage echo — the default path reads no extra clocks.
+    std::uint64_t trace_id = 0;
+    bool sampled = false;
+    std::int64_t enq_ns = 0;   ///< parsed + entering the queue
+    std::int64_t deq_ns = 0;   ///< popped by the dispatcher
+    std::int64_t seal_ns = 0;  ///< batch collection window closed
   };
 
   explicit Impl(const ServerConfig& config)
       : config(config), queue(static_cast<std::size_t>(config.queue_depth)),
-        runner(config.threads) {}
+        runner(config.threads),
+        series(static_cast<std::size_t>(
+            config.stats_ring > 0 ? config.stats_ring : 1)) {}
 
   ~Impl() {
     request_shutdown();
@@ -132,6 +235,11 @@ struct Server::Impl {
   void join_all() {
     if (acceptor.joinable()) acceptor.join();
     if (dispatcher.joinable()) dispatcher.join();
+    // The snapshotter stops only after the dispatcher drained, so the ring's
+    // final sample can still see the tail of the workload.
+    series_stop.store(true, std::memory_order_release);
+    series_cv.notify_all();
+    if (snapshotter.joinable()) snapshotter.join();
   }
 
   void request_shutdown() noexcept {
@@ -164,13 +272,17 @@ struct Server::Impl {
 
   [[nodiscard]] ServerStats snapshot() const {
     ServerStats s;
+    s.uptime_us = us_between(start_time, Clock::now());
+    s.snapshot_monotonic_us = monotonic_us_now();
     s.connections_accepted =
         connections_accepted.load(std::memory_order_relaxed);
     s.requests_enqueued = requests_enqueued.load(std::memory_order_relaxed);
     s.requests_shed = requests_shed.load(std::memory_order_relaxed);
+    s.requests_sampled = requests_sampled.load(std::memory_order_relaxed);
     s.parse_errors = parse_errors.load(std::memory_order_relaxed);
     s.framing_errors = framing_errors.load(std::memory_order_relaxed);
     s.batches = batches.load(std::memory_order_relaxed);
+    s.queue_depth = queue.size();
     s.queue_high_watermark = queue.high_watermark();
     s.reader_busy_us = reader_busy_us.load(std::memory_order_relaxed);
     s.handle_us = handle_us.load(std::memory_order_relaxed);
@@ -180,8 +292,43 @@ struct Server::Impl {
       std::lock_guard<std::mutex> lock(hist_mu);
       s.batch_size = batch_size_hist;
       s.latency_us = latency_hist;
+      s.admit_latency_us = admit_latency_hist;
+      s.release_latency_us = release_latency_hist;
     }
     return s;
+  }
+
+  [[nodiscard]] SeriesSample make_series_sample() const {
+    const ServerStats s = snapshot();
+    SeriesSample out;
+    out.snapshot_monotonic_us = s.snapshot_monotonic_us;
+    out.uptime_us = s.uptime_us;
+    out.requests_enqueued = s.requests_enqueued;
+    out.requests_shed = s.requests_shed;
+    out.batches = s.batches;
+    out.handle_us = s.handle_us;
+    out.write_us = s.write_us;
+    out.queue_depth = s.queue_depth;
+    out.latency_count = s.latency_us.count();
+    out.latency_p50 = s.latency_us.percentile(50.0);
+    out.latency_p99 = s.latency_us.percentile(99.0);
+    return out;
+  }
+
+  void series_loop() {
+    // cv wait_for instead of sleep: request_shutdown() must stay
+    // async-signal-safe, so the stop flag is set (and the cv notified) from
+    // join_all() on the waiting thread's side — the loop still exits within
+    // one interval even if a notification races the wait.
+    std::unique_lock<std::mutex> lock(series_mu);
+    const auto interval = std::chrono::milliseconds(config.stats_interval_ms);
+    while (!series_cv.wait_for(lock, interval, [this] {
+      return series_stop.load(std::memory_order_acquire);
+    })) {
+      lock.unlock();
+      series.push(make_series_sample());
+      lock.lock();
+    }
   }
 
   ServerConfig config;
@@ -204,6 +351,7 @@ struct Server::Impl {
   std::atomic<std::uint64_t> connections_accepted{0};
   std::atomic<std::uint64_t> requests_enqueued{0};
   std::atomic<std::uint64_t> requests_shed{0};
+  std::atomic<std::uint64_t> requests_sampled{0};
   std::atomic<std::uint64_t> parse_errors{0};
   std::atomic<std::uint64_t> framing_errors{0};
   std::atomic<std::uint64_t> batches{0};
@@ -214,6 +362,16 @@ struct Server::Impl {
   mutable std::mutex hist_mu;
   obs::Histogram batch_size_hist;
   obs::Histogram latency_hist;
+  obs::Histogram admit_latency_hist;
+  obs::Histogram release_latency_hist;
+
+  Clock::time_point start_time{};
+  std::atomic<std::uint64_t> next_trace_id{0};
+  obs::SnapshotRing<SeriesSample> series;
+  std::thread snapshotter;
+  std::mutex series_mu;
+  std::condition_variable series_cv;
+  std::atomic<bool> series_stop{false};
 };
 
 void Server::Impl::start() {
@@ -258,8 +416,12 @@ void Server::Impl::start() {
   }
   FEDCONS_EXPECTS_MSG(::listen(listen_fd, 128) == 0,
                       "serve: listen failed: " + std::string(strerror(errno)));
+  start_time = Clock::now();
   dispatcher = std::thread([this] { dispatch_loop(); });
   acceptor = std::thread([this] { accept_loop(); });
+  if (config.stats_interval_ms > 0) {
+    snapshotter = std::thread([this] { series_loop(); });
+  }
 }
 
 void Server::Impl::accept_loop() {
@@ -343,6 +505,18 @@ void Server::Impl::reader_loop(const std::shared_ptr<Connection>& conn) {
           continue;  // recoverable: framing is still in sync
         }
         Pending item{conn, std::move(req), Clock::now()};
+        item.trace_id = next_trace_id.fetch_add(1, std::memory_order_relaxed);
+        item.sampled = config.trace_sample > 0 && obs::tracing_enabled() &&
+                       item.trace_id %
+                               static_cast<std::uint64_t>(
+                                   config.trace_sample) ==
+                           0;
+        if (item.sampled) {
+          requests_sampled.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (item.sampled || item.req.echo_stages) {
+          item.enq_ns = obs::trace_now_ns();
+        }
         const std::uint64_t seq = item.req.seq;
         if (queue.try_push(std::move(item))) {
           requests_enqueued.fetch_add(1, std::memory_order_relaxed);
@@ -394,8 +568,16 @@ void Server::Impl::dispatch_loop() {
   std::vector<Pending> batch;
   while (true) {
     batch.clear();
+    bool any_observed = false;  // any item sampled or stage-echoing
+    const auto stamp_dequeue = [&](Pending& item) {
+      if (item.sampled || item.req.echo_stages) {
+        item.deq_ns = obs::trace_now_ns();
+        any_observed = true;
+      }
+    };
     Pending first;
     if (!queue.pop(first)) break;  // closed and drained
+    stamp_dequeue(first);
     batch.push_back(std::move(first));
     // Dynamic batching: collect whatever arrives within the window, up to
     // the cap. Under saturation the queue is never empty and the window
@@ -405,7 +587,15 @@ void Server::Impl::dispatch_loop() {
     while (batch.size() < static_cast<std::size_t>(config.max_batch)) {
       Pending item;
       if (!queue.pop_until(item, deadline)) break;
+      stamp_dequeue(item);
       batch.push_back(std::move(item));
+    }
+    if (any_observed) {
+      // Batch seal: the collection window just closed for everyone in it.
+      const std::int64_t seal = obs::trace_now_ns();
+      for (Pending& item : batch) {
+        if (item.sampled || item.req.echo_stages) item.seal_ns = seal;
+      }
     }
     batches.fetch_add(1, std::memory_order_relaxed);
     const auto batch_start = Clock::now();
@@ -419,6 +609,9 @@ void Server::Impl::dispatch_loop() {
       std::vector<std::size_t> items;  ///< batch indices, queue order
       std::string out;                 ///< encoded response frames
       obs::Histogram latency;
+      obs::Histogram admit_latency;
+      obs::Histogram release_latency;
+      std::vector<std::uint64_t> sampled_ids;  ///< for write-stage spans
     };
     std::vector<Group> groups;
     std::unordered_map<std::uint64_t, std::size_t> index;
@@ -446,9 +639,40 @@ void Server::Impl::dispatch_loop() {
       Group& group = groups[g];
       const auto handle_start = Clock::now();
       for (const std::size_t i : group.items) {
-        const ServeResponse resp = handle(*group.conn, batch[i].req);
+        Pending& item = batch[i];
+        const bool observed = item.sampled || item.req.echo_stages;
+        const std::int64_t h0 = observed ? obs::trace_now_ns() : 0;
+        ServeResponse resp = handle(*group.conn, item.req);
+        if (observed) {
+          const std::int64_t h1 = obs::trace_now_ns();
+          if (item.req.echo_stages) {
+            resp.has_stages = true;
+            resp.stage_queue_us = ns_delta_us(item.enq_ns, item.deq_ns);
+            resp.stage_batch_us = ns_delta_us(item.deq_ns, item.seal_ns);
+            resp.stage_handle_us = ns_delta_us(h0, h1);
+          }
+          if (item.sampled) {
+            // One request's path through the pipeline as a span chain, all
+            // carrying the trace id — Perfetto groups them into one story.
+            const auto id = static_cast<std::int64_t>(item.trace_id);
+            obs::record_span_at("serve", "queue", item.enq_ns,
+                                item.deq_ns - item.enq_ns, "trace_id", id);
+            obs::record_span_at("serve", "batch", item.deq_ns,
+                                item.seal_ns - item.deq_ns, "trace_id", id);
+            obs::record_span_at("serve", "handle", h0, h1 - h0, "trace_id",
+                                id);
+            group.sampled_ids.push_back(item.trace_id);
+          }
+        }
         group.out += encode_frame(encode_serve_response(resp));
-        group.latency.add(us_between(batch[i].enqueued, Clock::now()));
+        const std::uint64_t lat = us_between(item.enqueued, Clock::now());
+        group.latency.add(lat);
+        if (item.req.op == ServeOp::kAdmit ||
+            item.req.op == ServeOp::kSwap) {
+          group.admit_latency.add(lat);
+        } else if (item.req.op == ServeOp::kRelease) {
+          group.release_latency.add(lat);
+        }
       }
       handle_us.fetch_add(us_between(handle_start, Clock::now()),
                           std::memory_order_relaxed);
@@ -461,13 +685,32 @@ void Server::Impl::dispatch_loop() {
     {
       const auto write_start = Clock::now();
       std::string out;
+      std::vector<std::uint64_t> write_ids;
       for (const auto& [conn, id] : conn_ids) {
         out.clear();
+        write_ids.clear();
         for (const Group& group : groups) {
-          if (group.conn == conn) out += group.out;
+          if (group.conn == conn) {
+            out += group.out;
+            write_ids.insert(write_ids.end(), group.sampled_ids.begin(),
+                             group.sampled_ids.end());
+          }
         }
-        std::lock_guard<std::mutex> lock(conn->write_mu);
-        write_frames(*conn, out);
+        // Sampled requests share the connection's single send() — their
+        // write spans cover the same interval, closing each trace chain.
+        const std::int64_t w0 =
+            write_ids.empty() ? 0 : obs::trace_now_ns();
+        {
+          std::lock_guard<std::mutex> lock(conn->write_mu);
+          write_frames(*conn, out);
+        }
+        if (!write_ids.empty()) {
+          const std::int64_t w1 = obs::trace_now_ns();
+          for (const std::uint64_t tid : write_ids) {
+            obs::record_span_at("serve", "write", w0, w1 - w0, "trace_id",
+                                static_cast<std::int64_t>(tid));
+          }
+        }
       }
       write_us.fetch_add(us_between(write_start, Clock::now()),
                          std::memory_order_relaxed);
@@ -478,7 +721,11 @@ void Server::Impl::dispatch_loop() {
     {
       std::lock_guard<std::mutex> lock(hist_mu);
       batch_size_hist.add(batch.size());
-      for (const Group& group : groups) latency_hist.merge(group.latency);
+      for (const Group& group : groups) {
+        latency_hist.merge(group.latency);
+        admit_latency_hist.merge(group.admit_latency);
+        release_latency_hist.merge(group.release_latency);
+      }
     }
     if (op_shutdown.load(std::memory_order_acquire)) request_shutdown();
   }
@@ -573,10 +820,37 @@ ServeResponse Server::Impl::handle(Connection& conn,
         break;
       }
       case ServeOp::kStats: {
+        if (req.prometheus) {
+          resp.extra = ", \"schema_version\": " +
+                       std::to_string(kStatsSchemaVersion) +
+                       ", \"prometheus\": \"" +
+                       json_escape(snapshot().to_prometheus()) + "\"";
+          break;
+        }
         // Splice the stats body into the response object so histograms sit
         // at nesting depth 1 (the mini_json dialect's limit).
         const std::string body = snapshot().to_json();
         resp.extra = ", " + body.substr(1, body.size() - 2);
+        break;
+      }
+      case ServeOp::kStatsSeries: {
+        const std::vector<SeriesSample> samples =
+            series.tail(static_cast<std::size_t>(req.series_last));
+        resp.extra = ", \"schema_version\": " +
+                     std::to_string(kStatsSchemaVersion) +
+                     ", \"interval_us\": " +
+                     std::to_string(config.stats_interval_ms > 0
+                                        ? static_cast<std::uint64_t>(
+                                              config.stats_interval_ms) *
+                                              1000
+                                        : 0) +
+                     ", \"ring_capacity\": " +
+                     std::to_string(series.capacity()) +
+                     ", \"count\": " + std::to_string(samples.size());
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+          resp.extra +=
+              ", \"s" + std::to_string(i) + "\": " + samples[i].to_json();
+        }
         break;
       }
       case ServeOp::kPing:
@@ -616,6 +890,10 @@ bool Server::shutdown_requested() const noexcept {
 }
 
 ServerStats Server::stats_snapshot() const { return impl_->snapshot(); }
+
+std::vector<SeriesSample> Server::stats_series(std::size_t last) const {
+  return impl_->series.tail(last);
+}
 
 }  // namespace serve
 }  // namespace fedcons

@@ -32,6 +32,25 @@
 // every connection for reading, joins readers, and closes the queue; the
 // dispatcher drains what was admitted, answers it, and exits. Nothing
 // accepted is dropped.
+//
+// Observability plane (all of it strictly observational — verdicts,
+// PerfCounters, and response bytes are bit-identical with every knob on or
+// off unless a request explicitly asks for the stage echo):
+//
+//  * Request-scoped tracing: every request gets a trace id at enqueue; when
+//    span tracing is enabled and trace_sample = N > 0, every Nth request is
+//    SAMPLED — its enqueue/dequeue/batch-seal/handle/write boundaries are
+//    stamped on the obs trace clock and emitted as "serve"-category spans
+//    (queue -> batch -> handle -> write) all carrying the trace id as a
+//    span arg, so one request's wall-clock path through the pipeline reads
+//    as one chain in Perfetto. Unsampled requests pay one relaxed
+//    fetch_add and a branch — no clock reads.
+//  * Stage echo: a request carrying "stages": 1 gets the same boundary
+//    stamps regardless of sampling, echoed back as stage_*_us response
+//    fields (opt-in per request, so default response bytes never change).
+//  * Time-series stats: a snapshot thread pushes a scalar SeriesSample into
+//    a bounded obs::SnapshotRing every stats_interval_ms; the stats_series
+//    op serves the tail. Memory is bounded by stats_ring samples.
 #pragma once
 
 #include <atomic>
@@ -58,16 +77,58 @@ struct ServerConfig {
   int batch_timeout_us = 200; ///< collection window after the first request
   int queue_depth = 1024;     ///< bounded queue capacity (backpressure knob)
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Trace sampling period: with span tracing enabled, every Nth request
+  /// (by trace id) emits the queue/batch/handle/write span chain. 0 turns
+  /// request-scoped spans off even when tracing is otherwise on.
+  int trace_sample = 0;
+  /// Period of the stats snapshot thread feeding the stats_series ring.
+  /// 0 disables the thread (stats_series then answers with count = 0).
+  int stats_interval_ms = 250;
+  /// Snapshot ring capacity — bounds series memory at stats_ring samples.
+  int stats_ring = 256;
+};
+
+/// Version of the stats / stats_series / prometheus response schemas; bumped
+/// whenever a field is renamed or removed (additions keep the version).
+constexpr int kStatsSchemaVersion = 1;
+
+/// One periodic scalar sample of the server's state — what the stats_series
+/// op serves. Flat scalars only (the wire dialect nests one level), sized so
+/// the ring's memory bound is trivial: stats_ring * sizeof(SeriesSample).
+struct SeriesSample {
+  std::uint64_t snapshot_monotonic_us = 0;  ///< machine-wide monotonic clock
+  std::uint64_t uptime_us = 0;
+  std::uint64_t requests_enqueued = 0;  ///< cumulative, as of this sample
+  std::uint64_t requests_shed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t handle_us = 0;
+  std::uint64_t write_us = 0;
+  std::uint64_t queue_depth = 0;  ///< instantaneous
+  std::uint64_t latency_count = 0;
+  std::uint64_t latency_p50 = 0;  ///< bucket upper bound (<= 2x estimate)
+  std::uint64_t latency_p99 = 0;
+
+  /// One flat mini_json object, deterministic key order (the "sN" members
+  /// of a stats_series response).
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// Counters + distributions scraped by the "stats" op and by tests.
 struct ServerStats {
+  std::uint64_t uptime_us = 0;  ///< daemon start -> this snapshot
+  /// Machine-wide monotonic clock (CLOCK_MONOTONIC) at snapshot time, in
+  /// microseconds — comparable across processes on one box, which is how
+  /// loadgen windows series samples to its own measurement interval.
+  std::uint64_t snapshot_monotonic_us = 0;
   std::uint64_t connections_accepted = 0;
   std::uint64_t requests_enqueued = 0;
   std::uint64_t requests_shed = 0;   ///< RETRY_AFTER sent (queue full)
+  std::uint64_t requests_sampled = 0;  ///< requests picked by trace_sample
   std::uint64_t parse_errors = 0;    ///< recoverable bad requests
   std::uint64_t framing_errors = 0;  ///< unrecoverable; connection closed
   std::uint64_t batches = 0;
+  std::uint64_t queue_depth = 0;  ///< instantaneous, at snapshot time
   std::uint64_t queue_high_watermark = 0;
   /// CPU accounting (busy time, not wall time): where a verdict's cost goes.
   /// reader_busy_us covers decode+parse+enqueue; handle_us covers session
@@ -79,9 +140,19 @@ struct ServerStats {
   std::uint64_t dispatch_busy_us = 0;
   obs::Histogram batch_size;
   obs::Histogram latency_us;  ///< enqueue -> response encoded, per request
+  obs::Histogram admit_latency_us;    ///< latency_us restricted to admit/swap
+  obs::Histogram release_latency_us;  ///< latency_us restricted to release
 
-  /// Deterministic key order; histograms via obs::histogram_json.
+  /// Deterministic key order; histograms via obs::histogram_json. Carries
+  /// "schema_version" kStatsSchemaVersion (see the protocol.h stats grammar).
   [[nodiscard]] std::string to_json() const;
+
+  /// The same snapshot in Prometheus text exposition 0.0.4: counters as
+  /// *_total, gauges for instantaneous values, histograms with cumulative
+  /// le buckets (le = 2^b - 1 per obs::Histogram bucket geometry). Latency
+  /// histograms share one family, fedcons_serve_request_latency_us, labeled
+  /// op="all"/"admit"/"release". Deterministic output for a given snapshot.
+  [[nodiscard]] std::string to_prometheus() const;
 };
 
 class Server {
@@ -110,6 +181,11 @@ class Server {
 
   /// Consistent snapshot of the counters (also what the "stats" op emits).
   [[nodiscard]] ServerStats stats_snapshot() const;
+
+  /// Newest `last` samples from the periodic snapshot ring, oldest first
+  /// (0 = everything retained). What the "stats_series" op serves.
+  [[nodiscard]] std::vector<SeriesSample> stats_series(
+      std::size_t last = 0) const;
 
  private:
   struct Impl;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "fedcons/expr/acceptance.h"
+#include "fedcons/util/parse_error.h"
 #include "test_json.h"
 
 namespace fedcons {
@@ -102,6 +103,76 @@ TEST(HistogramTest, MergeWithEmptyIsIdentity) {
   EXPECT_EQ(h, before);
   empty.merge(h);
   EXPECT_EQ(empty, before);
+}
+
+TEST(HistogramDeltaTest, DeltaOfTwoSnapshotsIsHistogramOfIntervalSamples) {
+  // The property the monitoring loop relies on: snapshot, add more samples,
+  // snapshot again — delta_since(first) must equal (bucket-exactly) a fresh
+  // histogram of just the samples added in between.
+  Histogram cumulative;
+  for (std::uint64_t i = 0; i < 500; ++i) cumulative.add((i * 13) % 900);
+  const Histogram earlier = cumulative;
+
+  Histogram interval_only;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const std::uint64_t v = (i * 71) % 4096;
+    cumulative.add(v);
+    interval_only.add(v);
+  }
+
+  const Histogram delta = cumulative.delta_since(earlier);
+  EXPECT_EQ(delta.buckets(), interval_only.buckets());
+  EXPECT_EQ(delta.count(), interval_only.count());
+  EXPECT_EQ(delta.sum(), interval_only.sum());
+  // min/max are bucket-bound estimates: within the true values' buckets.
+  EXPECT_LE(delta.min(), interval_only.min());
+  EXPECT_GE(delta.max(), interval_only.max());
+  for (double p : {50.0, 90.0, 99.0}) {
+    EXPECT_EQ(delta.percentile(p), interval_only.percentile(p)) << p;
+  }
+}
+
+TEST(HistogramDeltaTest, DeltaFromEmptyIsIdentity) {
+  Histogram h, empty;
+  h.add(5);
+  h.add(1000);
+  EXPECT_EQ(h.delta_since(empty), h);
+}
+
+TEST(HistogramDeltaTest, ResetSourceReturnsLaterSnapshotWhole) {
+  // "Earlier" has counts the later snapshot lacks — the source restarted.
+  // Garbage subtraction would underflow; the contract is to return the
+  // later snapshot unchanged.
+  Histogram earlier;
+  for (int i = 0; i < 100; ++i) earlier.add(1 << 20);
+  Histogram later;
+  later.add(3);
+  EXPECT_EQ(later.delta_since(earlier), later);
+}
+
+TEST(HistogramStateTest, BucketsRoundTripThroughJsonString) {
+  Histogram h;
+  for (std::uint64_t v : {0u, 1u, 7u, 500u, 65536u}) h.add(v);
+  const auto doc = testjson::parse(obs::histogram_json(h));
+  const Histogram back = Histogram::from_state(
+      obs::parse_histogram_buckets(doc->at("buckets").string),
+      static_cast<std::uint64_t>(doc->at("count").number),
+      static_cast<std::uint64_t>(doc->at("sum").number),
+      static_cast<std::uint64_t>(doc->at("min").number),
+      static_cast<std::uint64_t>(doc->at("max").number));
+  EXPECT_EQ(back, h);
+}
+
+TEST(HistogramStateTest, ParseBucketsRejectsGarbage) {
+  EXPECT_THROW((void)obs::parse_histogram_buckets("1 2 x"), ParseError);
+  EXPECT_THROW((void)obs::parse_histogram_buckets("1 -2"), ParseError);
+  std::string too_many;
+  for (int i = 0; i < 66; ++i) too_many += "1 ";
+  too_many.pop_back();
+  EXPECT_THROW((void)obs::parse_histogram_buckets(too_many), ParseError);
+  // Empty string = no buckets = the all-zero array.
+  const auto zero = obs::parse_histogram_buckets("");
+  for (const auto b : zero) EXPECT_EQ(b, 0u);
 }
 
 TEST(MetricsRegistryTest, EmptyAndMerge) {

@@ -1,0 +1,158 @@
+// Tests for the Prometheus text-exposition writer: a byte-for-byte golden
+// document (the format is an external contract — names, label syntax, and
+// header order must not drift), plus the structural invariants every
+// histogram family must satisfy (cumulative non-decreasing buckets, +Inf ==
+// count) checked against the serve layer's real ServerStats renderer.
+#include "fedcons/obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fedcons/serve/server.h"
+
+namespace fedcons {
+namespace {
+
+using obs::Histogram;
+using obs::PrometheusWriter;
+
+TEST(PrometheusWriterTest, GoldenExposition) {
+  Histogram lat;
+  lat.add(0);
+  lat.add(1);
+  lat.add(3);
+  lat.add(3);
+  lat.add(100);
+  PrometheusWriter w;
+  w.counter("demo_requests_total", "Requests served", 42);
+  w.gauge("demo_queue_depth", "Queued right now", 7);
+  w.counter("demo_stage_busy_us_total", "Busy by stage", 10, "stage",
+            "read");
+  w.counter("demo_stage_busy_us_total", "Busy by stage", 20, "stage",
+            "write");
+  w.histogram("demo_latency_us", "Latency", lat, "op", "all");
+
+  const std::string expected =
+      "# HELP demo_requests_total Requests served\n"
+      "# TYPE demo_requests_total counter\n"
+      "demo_requests_total 42\n"
+      "# HELP demo_queue_depth Queued right now\n"
+      "# TYPE demo_queue_depth gauge\n"
+      "demo_queue_depth 7\n"
+      "# HELP demo_stage_busy_us_total Busy by stage\n"
+      "# TYPE demo_stage_busy_us_total counter\n"
+      "demo_stage_busy_us_total{stage=\"read\"} 10\n"
+      "demo_stage_busy_us_total{stage=\"write\"} 20\n"
+      "# HELP demo_latency_us Latency\n"
+      "# TYPE demo_latency_us histogram\n"
+      "demo_latency_us_bucket{op=\"all\",le=\"0\"} 1\n"
+      "demo_latency_us_bucket{op=\"all\",le=\"1\"} 2\n"
+      "demo_latency_us_bucket{op=\"all\",le=\"3\"} 4\n"
+      "demo_latency_us_bucket{op=\"all\",le=\"7\"} 4\n"
+      "demo_latency_us_bucket{op=\"all\",le=\"15\"} 4\n"
+      "demo_latency_us_bucket{op=\"all\",le=\"31\"} 4\n"
+      "demo_latency_us_bucket{op=\"all\",le=\"63\"} 4\n"
+      "demo_latency_us_bucket{op=\"all\",le=\"127\"} 5\n"
+      "demo_latency_us_bucket{op=\"all\",le=\"+Inf\"} 5\n"
+      "demo_latency_us_sum{op=\"all\"} 107\n"
+      "demo_latency_us_count{op=\"all\"} 5\n";
+  EXPECT_EQ(w.str(), expected);
+}
+
+TEST(PrometheusWriterTest, EmptyHistogramStillEmitsFamily) {
+  PrometheusWriter w;
+  w.histogram("empty_hist", "Nothing yet", Histogram{});
+  const std::string expected =
+      "# HELP empty_hist Nothing yet\n"
+      "# TYPE empty_hist histogram\n"
+      "empty_hist_bucket{le=\"0\"} 0\n"
+      "empty_hist_bucket{le=\"+Inf\"} 0\n"
+      "empty_hist_sum 0\n"
+      "empty_hist_count 0\n";
+  EXPECT_EQ(w.str(), expected);
+}
+
+/// Split exposition text into lines for structural checks.
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(ServerStatsPrometheusTest, BucketsAreCumulativeAndInfEqualsCount) {
+  serve::ServerStats stats;
+  stats.uptime_us = 1'000'000;
+  stats.connections_accepted = 3;
+  stats.requests_enqueued = 1000;
+  stats.requests_shed = 5;
+  stats.batches = 40;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t lat = 10 + (i * 7) % 3000;
+    stats.latency_us.add(lat);
+    if (i % 2 == 0) {
+      stats.admit_latency_us.add(lat);
+    } else {
+      stats.release_latency_us.add(lat);
+    }
+    if (i % 25 == 0) stats.batch_size.add(1 + i % 60);
+  }
+  const std::string text = stats.to_prometheus();
+
+  // Walk each histogram series (family + op label pair): bucket values must
+  // be non-decreasing in le order and the +Inf bucket must equal _count.
+  std::string series;          // "name{op=..." prefix of the current series
+  std::uint64_t prev = 0;
+  std::uint64_t inf_value = 0;
+  int series_seen = 0;
+  for (const std::string& line : lines_of(text)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t bucket_pos = line.find("_bucket{");
+    if (bucket_pos != std::string::npos) {
+      const std::size_t le = line.find("le=\"");
+      ASSERT_NE(le, std::string::npos) << line;
+      const std::string prefix = line.substr(0, le);
+      if (prefix != series) {
+        series = prefix;
+        prev = 0;
+        ++series_seen;
+      }
+      const std::uint64_t v =
+          std::stoull(line.substr(line.rfind(' ') + 1));
+      EXPECT_GE(v, prev) << "non-cumulative bucket: " << line;
+      prev = v;
+      if (line.find("le=\"+Inf\"") != std::string::npos) inf_value = v;
+    } else if (line.find("_count") != std::string::npos) {
+      const std::uint64_t v =
+          std::stoull(line.substr(line.rfind(' ') + 1));
+      EXPECT_EQ(v, inf_value) << "count != +Inf bucket: " << line;
+    }
+  }
+  // batch_size + latency op=all/admit/release = 4 histogram series.
+  EXPECT_EQ(series_seen, 4);
+}
+
+TEST(ServerStatsPrometheusTest, StableMetricNames) {
+  // The exposition names are an external monitoring contract: renaming one
+  // silently breaks every dashboard built on it. Lock the set.
+  const std::string text = serve::ServerStats{}.to_prometheus();
+  for (const char* name :
+       {"fedcons_serve_uptime_us", "fedcons_serve_connections_total",
+        "fedcons_serve_requests_total", "fedcons_serve_requests_shed_total",
+        "fedcons_serve_requests_sampled_total",
+        "fedcons_serve_parse_errors_total",
+        "fedcons_serve_framing_errors_total", "fedcons_serve_batches_total",
+        "fedcons_serve_queue_depth", "fedcons_serve_queue_high_watermark",
+        "fedcons_serve_stage_busy_us_total", "fedcons_serve_batch_size",
+        "fedcons_serve_request_latency_us"}) {
+    EXPECT_NE(text.find(std::string("# HELP ") + name), std::string::npos)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace fedcons

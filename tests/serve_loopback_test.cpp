@@ -371,6 +371,45 @@ TEST(ServeLoopbackTest, TraceReplayMatchesCliVerdicts) {
   EXPECT_TRUE(saw_reject);
 }
 
+TEST(ServeLoopbackTest, VerdictsAreByteIdenticalWithObservabilityOn) {
+  // The PR-4 contract, extended to the serve pipeline: tracing (with
+  // sample=1, every request stamped and emitting spans) and an aggressive
+  // stats-series cadence must not perturb a single verdict byte. Replay the
+  // parity trace against a plain daemon and a fully-instrumented one; the
+  // verdict files must be byte-identical.
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_path = dir + "/serve_obs_parity.trace";
+  const std::string verdicts_off = dir + "/serve_obs_off.jsonl";
+  const std::string verdicts_on = dir + "/serve_obs_on.jsonl";
+  const std::string chrome_trace = dir + "/serve_obs_parity_trace.json";
+  {
+    std::ofstream out(trace_path);
+    out << write_online_trace(make_parity_trace());
+  }
+
+  {
+    Daemon plain({"--stats-interval-ms=0"});
+    ASSERT_EQ(std::system((kLoadgenBin + " --socket=" + plain.socket_path() +
+                           " --trace=" + trace_path + " --verdicts-out=" +
+                           verdicts_off + " >/dev/null 2>&1")
+                              .c_str()),
+              0);
+  }
+  {
+    Daemon traced({"--trace-out=" + chrome_trace, "--trace-sample=1",
+                   "--stats-interval-ms=10", "--stats-ring=8"});
+    ASSERT_EQ(std::system((kLoadgenBin + " --socket=" +
+                           traced.socket_path() + " --trace=" + trace_path +
+                           " --verdicts-out=" + verdicts_on +
+                           " >/dev/null 2>&1")
+                              .c_str()),
+              0);
+  }
+  const std::string off_bytes = read_file(verdicts_off);
+  ASSERT_FALSE(off_bytes.empty());
+  EXPECT_EQ(off_bytes, read_file(verdicts_on));
+}
+
 // ---- backpressure ----------------------------------------------------------
 
 TEST(ServeLoopbackTest, FullQueueShedsRetryAfterAndRecovers) {

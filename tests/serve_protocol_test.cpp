@@ -275,6 +275,73 @@ TEST(ServeRequestTest, AdmitNeedsExactlyOneOfSystemContent) {
       ParseError);
 }
 
+// ---- observability fields --------------------------------------------------
+
+TEST(ServeRequestTest, RoundTripsStatsFormatAndSeriesWindow) {
+  ServeRequest prom;
+  prom.op = ServeOp::kStats;
+  prom.seq = 20;
+  prom.prometheus = true;
+  const ServeRequest prom_back =
+      parse_serve_request(encode_serve_request(prom));
+  EXPECT_EQ(prom_back.op, ServeOp::kStats);
+  EXPECT_TRUE(prom_back.prometheus);
+
+  ServeRequest series;
+  series.op = ServeOp::kStatsSeries;
+  series.seq = 21;
+  series.series_last = 16;
+  const ServeRequest series_back =
+      parse_serve_request(encode_serve_request(series));
+  EXPECT_EQ(series_back.op, ServeOp::kStatsSeries);
+  EXPECT_EQ(series_back.series_last, 16u);
+
+  // Omitted window = 0 = the whole ring.
+  const ServeRequest whole =
+      parse_serve_request(R"({"op": "stats_series", "seq": 22})");
+  EXPECT_EQ(whole.series_last, 0u);
+}
+
+TEST(ServeRequestTest, StatsFormatRejectsUnknownValues) {
+  EXPECT_THROW(
+      parse_serve_request(
+          R"({"op": "stats", "seq": 1, "format": "openmetrics"})"),
+      ParseError);
+}
+
+TEST(ServeRequestTest, RoundTripsStageEchoOnAnyOp) {
+  ServeRequest req;
+  req.op = ServeOp::kPing;
+  req.seq = 30;
+  req.echo_stages = true;
+  const ServeRequest back = parse_serve_request(encode_serve_request(req));
+  EXPECT_TRUE(back.echo_stages);
+  // Absent flag parses false — stage echo is strictly opt-in per request.
+  EXPECT_FALSE(
+      parse_serve_request(R"({"op": "ping", "seq": 31})").echo_stages);
+}
+
+TEST(ServeResponseTest, RoundTripsStageBreakdown) {
+  ServeResponse resp;
+  resp.seq = 40;
+  resp.has_stages = true;
+  resp.stage_queue_us = 12;
+  resp.stage_batch_us = 340;
+  resp.stage_handle_us = 5;
+  const ServeResponse back =
+      parse_serve_response(encode_serve_response(resp));
+  ASSERT_TRUE(back.has_stages);
+  EXPECT_EQ(back.stage_queue_us, 12u);
+  EXPECT_EQ(back.stage_batch_us, 340u);
+  EXPECT_EQ(back.stage_handle_us, 5u);
+
+  ServeResponse bare;
+  bare.seq = 41;
+  const ServeResponse bare_back =
+      parse_serve_response(encode_serve_response(bare));
+  EXPECT_FALSE(bare_back.has_stages);
+}
+
 // ---- responses -------------------------------------------------------------
 
 TEST(ServeResponseTest, RoundTripsVerdict) {

@@ -3,9 +3,11 @@
 // Usage:
 //   fedcons_loadgen --socket=PATH | --port=N
 //     [--connections=N] [--pipeline=K] [--duration-s=S] [--warmup-s=S]
-//     [--rate=QPS] [--m=N] [--seed=N] [--json] [--shutdown]
+//     [--rate=QPS] [--m=N] [--seed=N] [--json] [--server-stages]
+//     [--shutdown]
 //   fedcons_loadgen --socket=PATH --trace=FILE [--m=N]
 //     [--verdicts-out=FILE] [--shutdown]
+//   fedcons_loadgen --socket=PATH --scrape     # dump Prometheus text, exit
 //
 // Throughput mode (default): N connections, each on its own thread, each
 // driving one AdmissionSession through an admit/release churn over a pool
@@ -27,6 +29,23 @@
 // --verdicts-out. The loopback test byte-compares those verdicts against
 // the in-process replay; this is the end-to-end proof that the daemon's
 // answers ARE the library's answers.
+//
+// The throughput report was historically a lifetime sum over the measured
+// window — blind to how the rate and queue depth MOVED during the run. The
+// report now also asks the daemon for its stats_series ring, windows the
+// samples to this run's measured interval (steady_clock is CLOCK_MONOTONIC
+// on Linux, so the daemon's snapshot_monotonic_us stamps are directly
+// comparable to ours), and prints the server-side interval QPS and the
+// maximum queue depth any sample in the window observed.
+//
+// --server-stages marks every admit/release request with "stages": 1; the
+// report then adds server-attributed stage histograms (queue wait, batch
+// formation, session handling) next to the client-observed latency — the
+// difference is the wire + client overhead.
+//
+// --scrape connects, fetches stats?format=prometheus, prints the exposition
+// text to stdout, and exits — a one-shot scrape for piping into promtool or
+// a file, and the CI hook that keeps the exposition renderer honest.
 //
 // --shutdown sends the protocol "shutdown" op when done (drains the daemon).
 // Exit 0 on success, 2 on usage/parse errors.
@@ -61,9 +80,10 @@ int usage() {
          "         [--connections=N] [--sessions=N] [--pipeline=K]\n"
          "         [--residents=N]\n"
          "         [--duration-s=S] [--warmup-s=S] [--rate=QPS] [--m=N]\n"
-         "         [--seed=N] [--json] [--shutdown]\n"
+         "         [--seed=N] [--json] [--server-stages] [--shutdown]\n"
          "       fedcons_loadgen --socket=PATH --trace=FILE [--m=N]\n"
-         "         [--verdicts-out=FILE] [--shutdown]\n";
+         "         [--verdicts-out=FILE] [--shutdown]\n"
+         "       fedcons_loadgen --socket=PATH --scrape\n";
   return 2;
 }
 
@@ -97,6 +117,7 @@ struct Options {
   double rate = 0.0;  ///< total target QPS across connections; 0 = closed
   int m = 8;
   std::uint64_t seed = 1;
+  bool server_stages = false;  ///< ask for the per-request stage echo
 };
 
 struct WorkerResult {
@@ -105,6 +126,10 @@ struct WorkerResult {
   std::uint64_t shed = 0;     ///< RETRY_AFTER responses (whole run)
   std::uint64_t errors = 0;   ///< error responses (whole run)
   obs::Histogram latency_us;  ///< measured window only
+  // Server-attributed stage breakdown (--server-stages, measured window).
+  obs::Histogram stage_queue_us;
+  obs::Histogram stage_batch_us;
+  obs::Histogram stage_handle_us;
 };
 
 serve::ServeClient connect(const Options& opt) {
@@ -233,6 +258,7 @@ WorkerResult run_worker(const Options& opt, int index,
         sent.is_admit = true;
         ++s.projected_residents;
       }
+      req.echo_stages = opt.server_stages;
       sendbuf += serve::encode_frame(serve::encode_serve_request(req));
       sent.at = Clock::now();
       inflight.emplace(req.seq, sent);
@@ -261,6 +287,11 @@ WorkerResult run_worker(const Options& opt, int index,
                 std::chrono::duration_cast<std::chrono::microseconds>(
                     now - sent.at)
                     .count()));
+            if (resp.has_stages) {
+              result.stage_queue_us.add(resp.stage_queue_us);
+              result.stage_batch_us.add(resp.stage_batch_us);
+              result.stage_handle_us.add(resp.stage_handle_us);
+            }
           }
           if (resp.has_verdict && resp.applied && !resp.task_ids.empty()) {
             for (const auto id : resp.task_ids) s.resident_ids.push_back(id);
@@ -297,6 +328,39 @@ WorkerResult run_worker(const Options& opt, int index,
   return result;
 }
 
+/// One stats_series sample, as scraped off the wire (parse_mini_json
+/// flattens the nested "sN" objects to "sN.field" keys).
+struct SeriesPoint {
+  std::uint64_t monotonic_us = 0;
+  std::uint64_t requests_enqueued = 0;
+  std::uint64_t queue_depth = 0;
+};
+
+std::vector<SeriesPoint> fetch_series(serve::ServeClient& client,
+                                      std::uint64_t seq) {
+  serve::ServeRequest req;
+  req.op = serve::ServeOp::kStatsSeries;
+  req.seq = seq;
+  const serve::ServeResponse resp = client.call(req);
+  FEDCONS_EXPECTS_MSG(resp.status == serve::ServeStatus::kOk,
+                      "loadgen: stats_series failed: " + resp.error);
+  const auto fields = parse_mini_json(resp.raw);
+  const std::uint64_t count = mini_json_uint(fields.at("count"));
+  std::vector<SeriesPoint> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string key = "s" + std::to_string(i);
+    SeriesPoint p;
+    p.monotonic_us =
+        mini_json_uint(fields.at(key + ".snapshot_monotonic_us"));
+    p.requests_enqueued =
+        mini_json_uint(fields.at(key + ".requests_enqueued"));
+    p.queue_depth = mini_json_uint(fields.at(key + ".queue_depth"));
+    out.push_back(p);
+  }
+  return out;
+}
+
 int run_throughput(const Options& opt, bool json, bool shutdown) {
   const auto start = Clock::now();
   std::vector<WorkerResult> results(
@@ -316,16 +380,61 @@ int run_throughput(const Options& opt, bool json, bool shutdown) {
     total.shed += r.shed;
     total.errors += r.errors;
     total.latency_us.merge(r.latency_us);
+    total.stage_queue_us.merge(r.stage_queue_us);
+    total.stage_batch_us.merge(r.stage_batch_us);
+    total.stage_handle_us.merge(r.stage_handle_us);
   }
   const double qps = total.ops / opt.duration_s;
 
-  if (shutdown) {
+  // Server-side view of the measured window, from the daemon's series ring:
+  // both clocks are CLOCK_MONOTONIC, so the window bounds translate
+  // directly. A lifetime sum can't show a mid-run stall or a shed burst;
+  // the windowed series can.
+  const auto mono_us = [](Clock::time_point t) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            t.time_since_epoch())
+            .count());
+  };
+  const std::uint64_t win_lo = mono_us(
+      start + std::chrono::microseconds(
+                  static_cast<std::int64_t>(opt.warmup_s * 1e6)));
+  const std::uint64_t win_hi = win_lo + static_cast<std::uint64_t>(
+                                            opt.duration_s * 1e6);
+  double series_qps = 0.0;
+  std::uint64_t series_max_depth = 0;
+  std::size_t series_samples = 0;
+  {
     serve::ServeClient control = connect(opt);
-    serve::ServeRequest req;
-    req.op = serve::ServeOp::kShutdown;
-    const serve::ServeResponse resp = control.call(req);
-    FEDCONS_EXPECTS_MSG(resp.status == serve::ServeStatus::kOk,
-                        "loadgen: shutdown failed: " + resp.error);
+    std::vector<SeriesPoint> points = fetch_series(control, 0);
+    points.erase(std::remove_if(points.begin(), points.end(),
+                                [&](const SeriesPoint& p) {
+                                  return p.monotonic_us < win_lo ||
+                                         p.monotonic_us > win_hi;
+                                }),
+                 points.end());
+    series_samples = points.size();
+    for (const SeriesPoint& p : points) {
+      series_max_depth = std::max(series_max_depth, p.queue_depth);
+    }
+    if (points.size() >= 2) {
+      const SeriesPoint& a = points.front();
+      const SeriesPoint& b = points.back();
+      if (b.monotonic_us > a.monotonic_us) {
+        series_qps = static_cast<double>(b.requests_enqueued -
+                                         a.requests_enqueued) /
+                     (static_cast<double>(b.monotonic_us - a.monotonic_us) /
+                      1e6);
+      }
+    }
+    if (shutdown) {
+      serve::ServeRequest req;
+      req.op = serve::ServeOp::kShutdown;
+      req.seq = 1;
+      const serve::ServeResponse resp = control.call(req);
+      FEDCONS_EXPECTS_MSG(resp.status == serve::ServeStatus::kOk,
+                          "loadgen: shutdown failed: " + resp.error);
+    }
   }
 
   if (json) {
@@ -341,8 +450,21 @@ int run_throughput(const Options& opt, bool json, bool shutdown) {
               << ", \"qps\": " << fmt_double(qps, 1)
               << ", \"applied\": " << total.applied
               << ", \"shed\": " << total.shed
-              << ", \"errors\": " << total.errors << ", \"latency_us\": "
-              << obs::histogram_json(total.latency_us) << "}\n";
+              << ", \"errors\": " << total.errors
+              << ", \"series_samples\": " << series_samples
+              << ", \"server_interval_qps\": " << fmt_double(series_qps, 1)
+              << ", \"server_max_queue_depth\": " << series_max_depth
+              << ", \"latency_us\": "
+              << obs::histogram_json(total.latency_us);
+    if (total.stage_queue_us.count() != 0) {
+      std::cout << ", \"stage_queue_us\": "
+                << obs::histogram_json(total.stage_queue_us)
+                << ", \"stage_batch_us\": "
+                << obs::histogram_json(total.stage_batch_us)
+                << ", \"stage_handle_us\": "
+                << obs::histogram_json(total.stage_handle_us);
+    }
+    std::cout << "}\n";
   } else {
     Table t({"metric", "value"});
     t.add_row({"connections", fmt_int(opt.connections)});
@@ -360,9 +482,40 @@ int run_throughput(const Options& opt, bool json, bool shutdown) {
                              total.latency_us.percentile(99)))});
     t.add_row({"p999 us", fmt_int(static_cast<long long>(
                               total.latency_us.percentile(99.9)))});
+    t.add_row({"srv interval qps", fmt_double(series_qps, 1)});
+    t.add_row({"srv max queue depth",
+               fmt_int(static_cast<long long>(series_max_depth))});
+    if (total.stage_queue_us.count() != 0) {
+      t.add_row({"srv stage queue p99 us",
+                 fmt_int(static_cast<long long>(
+                     total.stage_queue_us.percentile(99)))});
+      t.add_row({"srv stage batch p99 us",
+                 fmt_int(static_cast<long long>(
+                     total.stage_batch_us.percentile(99)))});
+      t.add_row({"srv stage handle p99 us",
+                 fmt_int(static_cast<long long>(
+                     total.stage_handle_us.percentile(99)))});
+    }
     t.print(std::cout);
   }
   return total.errors == 0 ? 0 : 1;
+}
+
+/// One-shot Prometheus scrape: fetch, print, exit.
+int run_scrape(const Options& opt) {
+  serve::ServeClient client = connect(opt);
+  serve::ServeRequest req;
+  req.op = serve::ServeOp::kStats;
+  req.prometheus = true;
+  const serve::ServeResponse resp = client.call(req);
+  FEDCONS_EXPECTS_MSG(resp.status == serve::ServeStatus::kOk,
+                      "loadgen: stats scrape failed: " + resp.error);
+  const auto fields = parse_mini_json(resp.raw);
+  const auto it = fields.find("prometheus");
+  FEDCONS_EXPECTS_MSG(it != fields.end(),
+                      "loadgen: scrape response has no prometheus text");
+  std::cout << it->second;  // parse already unescaped the embedded newlines
+  return 0;
 }
 
 /// Serial trace replay: the same event stream, answered by the daemon.
@@ -450,7 +603,8 @@ int main(int argc, char** argv) {
     static constexpr std::string_view kAllowed[] = {
         "socket", "port",     "connections", "sessions", "pipeline",
         "residents",  "duration-s", "warmup-s", "rate",  "m",
-        "seed",   "json",   "trace",  "verdicts-out", "shutdown"};
+        "seed",   "json",   "trace",  "verdicts-out", "shutdown",
+        "scrape", "server-stages"};
     const auto unknown = flags.unknown_keys(kAllowed);
     if (!unknown.empty() || !flags.positional().empty()) {
       for (const auto& key : unknown) {
@@ -479,6 +633,7 @@ int main(int argc, char** argv) {
     opt.rate = flags.get_double("rate", 0.0);
     opt.m = static_cast<int>(flags.get_int("m", 8));
     opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    opt.server_stages = flags.get_bool("server-stages", false);
     if (opt.connections < 1 || opt.sessions < 1 || opt.pipeline < 1 ||
         opt.residents < 1 ||
         opt.duration_s <= 0 ||
@@ -487,6 +642,9 @@ int main(int argc, char** argv) {
       return usage();
     }
 
+    if (flags.get_bool("scrape", false)) {
+      return run_scrape(opt);
+    }
     if (flags.has("trace")) {
       return run_trace(opt, flags.get_string("trace", ""),
                        flags.get_string("verdicts-out", ""), flags.has("m"),

@@ -4,6 +4,8 @@
 //   fedcons_serve --socket=PATH | --port=N
 //                 [--threads=N] [--max-batch=N] [--batch-timeout-us=N]
 //                 [--queue-depth=N] [--max-frame-bytes=N]
+//                 [--trace-out=FILE] [--trace-sample=N]
+//                 [--stats-interval-ms=N] [--stats-ring=N]
 //
 // Serves the serve/protocol.h length-prefixed newline-JSON protocol:
 // clients open AdmissionSessions, register task-system content, and stream
@@ -20,11 +22,23 @@
 // refused. On exit it prints the stats snapshot (server counters +
 // latency/batch histograms) as one JSON line to stdout.
 //
+// Observability (all optional; verdicts and default responses are
+// bit-identical with these on or off):
+//   --trace-out=FILE enables span tracing and writes a Chrome trace-event
+//     JSON on exit (open in Perfetto / chrome://tracing). Request-scoped
+//     spans are SAMPLED: every --trace-sample'th request (default 256 once
+//     --trace-out is given) records its queue -> batch -> handle -> write
+//     chain under one trace id.
+//   --stats-interval-ms (default 250; 0 disables) sets the cadence of the
+//     stats_series snapshot ring; --stats-ring (default 256) its capacity.
+//
 // Unknown or malformed flags exit 2 with usage. Exit 0 on a clean drain.
 #include <csignal>
+#include <fstream>
 #include <iostream>
 #include <string_view>
 
+#include "fedcons/obs/span_tracer.h"
 #include "fedcons/serve/server.h"
 #include "fedcons/util/flags.h"
 
@@ -43,9 +57,25 @@ int usage() {
       << "usage: fedcons_serve --socket=PATH | --port=N\n"
          "                     [--threads=N] [--max-batch=N]\n"
          "                     [--batch-timeout-us=N] [--queue-depth=N]\n"
-         "                     [--max-frame-bytes=N]\n";
+         "                     [--max-frame-bytes=N]\n"
+         "                     [--trace-out=FILE] [--trace-sample=N]\n"
+         "                     [--stats-interval-ms=N] [--stats-ring=N]\n";
   return 2;
 }
+
+// Writes the Chrome trace on every exit path once --trace-out is set.
+struct TraceDump {
+  std::string path;
+  ~TraceDump() {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "fedcons_serve: cannot write trace to '" << path << "'\n";
+      return;
+    }
+    obs::write_chrome_trace(out);
+  }
+};
 
 }  // namespace
 
@@ -54,7 +84,8 @@ int main(int argc, char** argv) {
     const Flags flags(argc, argv);
     static constexpr std::string_view kAllowed[] = {
         "socket",      "port",        "threads", "max-batch",
-        "batch-timeout-us", "queue-depth", "max-frame-bytes"};
+        "batch-timeout-us", "queue-depth", "max-frame-bytes",
+        "trace-out",   "trace-sample", "stats-interval-ms", "stats-ring"};
     const auto unknown = flags.unknown_keys(kAllowed);
     if (!unknown.empty() || !flags.positional().empty()) {
       for (const auto& key : unknown) {
@@ -82,11 +113,23 @@ int main(int argc, char** argv) {
     config.max_frame_bytes = static_cast<std::size_t>(
         flags.get_int("max-frame-bytes",
                       static_cast<std::int64_t>(serve::kDefaultMaxFrameBytes)));
+    TraceDump trace_dump;
+    trace_dump.path = flags.get_string("trace-out", "");
+    // Sampling defaults on with the trace sink: 1-in-256 keeps the span
+    // buffers bounded under load while still catching requests steadily.
+    config.trace_sample = static_cast<int>(
+        flags.get_int("trace-sample", trace_dump.path.empty() ? 0 : 256));
+    config.stats_interval_ms =
+        static_cast<int>(flags.get_int("stats-interval-ms", 250));
+    config.stats_ring = static_cast<int>(flags.get_int("stats-ring", 256));
     if (config.threads < 1 || config.max_batch < 1 ||
-        config.batch_timeout_us < 0 || config.queue_depth < 1) {
+        config.batch_timeout_us < 0 || config.queue_depth < 1 ||
+        config.trace_sample < 0 || config.stats_interval_ms < 0 ||
+        config.stats_ring < 1) {
       std::cerr << "fedcons_serve: flag values out of range\n";
       return usage();
     }
+    if (!trace_dump.path.empty()) obs::set_tracing_enabled(true);
 
     serve::Server server(config);
     g_server = &server;
